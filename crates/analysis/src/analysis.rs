@@ -1,0 +1,889 @@
+//! The module-wide similarity fixpoint (paper Figure 3, interprocedural).
+//!
+//! Every SSA value in every function is assigned a [`Category`]. Seeds:
+//! constants and loads of shared globals are `shared`; the thread-ID
+//! intrinsic (and fetch-adds on a designated thread-ID counter global) are
+//! `threadID`; loads of non-shared memory are `none`. Categories propagate
+//! through instructions with the Table II rules ([`combine_all`]), with the
+//! deviations the paper describes:
+//!
+//! * **Phi nodes** are folded optimistically (`NA` incomings are skipped) so
+//!   loop-carried values resolve from their initial value — the behaviour
+//!   Table III requires. An if-else *merge* phi whose result would be
+//!   `shared` but merges two or more distinct values is downgraded to
+//!   `partial` (the paper's `private = ±1` example).
+//! * **Function parameters** merge the categories of the arguments passed at
+//!   every (direct or table-indirect) call site. If all sites agree, the
+//!   branch instances are tracked per call site and the common category is
+//!   kept (the paper's "multiple instances" policy from Figure 2); mixed
+//!   non-`none` categories fall back to `partial`, which is always sound
+//!   because equal condition values imply equal outcomes.
+//! * **Call results** take the callee's return category; a callee with
+//!   several return sites (or an indirect call with several callees) yields
+//!   `partial` at best.
+//!
+//! The fixpoint is monotone in the similarity lattice
+//! (`shared ≤ {threadID, partial} ≤ none`), so it terminates; the paper
+//! observes fewer than ten iterations in practice and the tests here check
+//! the same programs converge just as fast.
+
+use std::collections::HashMap;
+
+use bw_ir::{
+    BlockId, BranchId, Cfg, DomTree, FuncId, Function, GlobalId, LoopForest, Module, Op, ValueId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::category::{combine_all, combine_optimistic, Category};
+
+/// Where a pointer value can point, for load classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Prov {
+    /// Not yet known (fixpoint bottom).
+    Unresolved,
+    /// Always into the given global region.
+    Global(GlobalId),
+    /// Always into thread-local memory.
+    Local,
+    /// Could be several places.
+    Unknown,
+}
+
+impl Prov {
+    fn merge(self, other: Prov) -> Prov {
+        match (self, other) {
+            (Prov::Unresolved, p) | (p, Prov::Unresolved) => p,
+            (a, b) if a == b => a,
+            _ => Prov::Unknown,
+        }
+    }
+}
+
+/// One conditional branch discovered in the module.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Stable id (index into [`ModuleAnalysis::branches`]).
+    pub id: BranchId,
+    /// Function containing the branch.
+    pub func: FuncId,
+    /// Block whose terminator it is.
+    pub block: BlockId,
+    /// Instruction index of the `Br` within the block.
+    pub inst_index: usize,
+    /// The branch condition value.
+    pub cond: ValueId,
+    /// Inferred similarity category of the condition.
+    pub category: Category,
+    /// Loop nesting depth of the block (0 = not in a loop).
+    pub loop_depth: u32,
+    /// Whether the branch is reachable from the SPMD entry (the paper's
+    /// "parallel section").
+    pub in_parallel_section: bool,
+    /// Minimum number of mutexes guaranteed held when the branch executes
+    /// (> 0 means the branch is inside a critical section).
+    pub min_locks_held: u32,
+}
+
+/// Result of the similarity analysis over a module.
+#[derive(Clone, Debug)]
+pub struct ModuleAnalysis {
+    /// Per-function, per-value categories.
+    value_cats: Vec<Vec<Category>>,
+    /// All conditional branches, indexed by [`BranchId`].
+    pub branches: Vec<BranchInfo>,
+    /// Number of whole-module fixpoint iterations executed.
+    pub iterations: usize,
+    /// Per-iteration snapshots of every branch's category (iteration 0 is
+    /// the state after the first pass). Used to reproduce the paper's
+    /// Table III convergence trace.
+    pub trace: Vec<Vec<Category>>,
+    /// Whether each function is reachable from the SPMD entry.
+    pub parallel_funcs: Vec<bool>,
+}
+
+impl ModuleAnalysis {
+    /// Runs the similarity analysis on `module`.
+    pub fn run(module: &Module) -> ModuleAnalysis {
+        Analyzer::new(module).run()
+    }
+
+    /// The category of an SSA value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn value_category(&self, func: FuncId, value: ValueId) -> Category {
+        self.value_cats[func.index()][value.index()]
+    }
+
+    /// The branch at the terminator of `(func, block)`, if that block ends
+    /// in a conditional branch.
+    pub fn branch_at(&self, func: FuncId, block: BlockId) -> Option<&BranchInfo> {
+        self.branches.iter().find(|b| b.func == func && b.block == block)
+    }
+
+    /// Branches in the parallel section only.
+    pub fn parallel_branches(&self) -> impl Iterator<Item = &BranchInfo> {
+        self.branches.iter().filter(|b| b.in_parallel_section)
+    }
+
+    /// Counts parallel-section branches per category
+    /// `(shared, threadID, partial, none)` — the rows of the paper's
+    /// Table V. `Na` branches count as `none`, as in Figure 3 line 18.
+    pub fn category_histogram(&self) -> CategoryHistogram {
+        let mut h = CategoryHistogram::default();
+        for b in self.parallel_branches() {
+            match b.category {
+                Category::Shared => h.shared += 1,
+                Category::ThreadId => h.thread_id += 1,
+                Category::Partial => h.partial += 1,
+                Category::None | Category::Na => h.none += 1,
+            }
+        }
+        h
+    }
+}
+
+/// Per-category branch counts for one program (a Table V row).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryHistogram {
+    /// Branches classified `shared`.
+    pub shared: usize,
+    /// Branches classified `threadID`.
+    pub thread_id: usize,
+    /// Branches classified `partial`.
+    pub partial: usize,
+    /// Branches classified `none` (or unresolved).
+    pub none: usize,
+}
+
+impl CategoryHistogram {
+    /// Total number of branches.
+    pub fn total(&self) -> usize {
+        self.shared + self.thread_id + self.partial + self.none
+    }
+
+    /// Fraction of branches that are checkable (not `none`).
+    pub fn similar_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.shared + self.thread_id + self.partial) as f64 / self.total() as f64
+    }
+}
+
+struct Analyzer<'m> {
+    module: &'m Module,
+    cats: Vec<Vec<Category>>,
+    provs: Vec<Vec<Prov>>,
+    ret_cats: Vec<Vec<(usize, Category)>>, // per func: (distinct ret site idx, category)
+    rpo: Vec<Vec<BlockId>>,
+    loop_headers: Vec<HashMap<BlockId, Vec<BlockId>>>, // header -> in-loop preds (back edges)
+    /// Trivial-phi resolution: `resolved[f][v]` is the value `v` is a copy
+    /// of (through chains of phis whose incomings all agree), or `v` itself.
+    resolved: Vec<Vec<ValueId>>,
+    branches: Vec<BranchInfo>,
+}
+
+/// Computes the trivial-phi resolution map of one function: a phi all of
+/// whose (non-self) incomings resolve to the same value is a copy of that
+/// value, and — following Braun et al.'s redundant-SCC observation — an
+/// entire strongly connected component of phis with exactly one external
+/// input is a copy of that input. The front-end's incremental SSA
+/// construction leaves such phis (and mutually-referencing phi cycles)
+/// behind for variables read but not written across merges; without
+/// resolving them, the merge-phi `partial` downgrade would fire on values
+/// that are not actually merged.
+fn resolve_trivial_phis(func: &Function) -> Vec<ValueId> {
+    let n = func.num_values();
+    let mut resolved: Vec<ValueId> = (0..n).map(ValueId::from_index).collect();
+    let mut is_phi = vec![false; n];
+    let mut phi_incomings: Vec<Vec<ValueId>> = vec![Vec::new(); n];
+    let mut phis = Vec::new();
+    for block in &func.blocks {
+        for inst in block.phis() {
+            let result = inst.result.expect("phi has a result");
+            is_phi[result.index()] = true;
+            phi_incomings[result.index()] = inst
+                .op
+                .phi_incomings()
+                .expect("phi")
+                .iter()
+                .map(|inc| inc.value)
+                .collect();
+            phis.push(result);
+        }
+    }
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds <= phis.len() + 10 {
+        changed = false;
+        rounds += 1;
+
+        // Pass 1: simple chains — a phi whose non-self incomings all
+        // resolve to one value is that value.
+        for &p in &phis {
+            let mut target: Option<ValueId> = None;
+            let mut trivial = true;
+            for &inc in &phi_incomings[p.index()] {
+                let r = resolved[inc.index()];
+                if r == p {
+                    continue;
+                }
+                match target {
+                    None => target = Some(r),
+                    Some(t) if t == r => {}
+                    Some(_) => {
+                        trivial = false;
+                        break;
+                    }
+                }
+            }
+            let new = if trivial { target.unwrap_or(p) } else { p };
+            if resolved[p.index()] != new {
+                resolved[p.index()] = new;
+                changed = true;
+            }
+        }
+
+        // Pass 2: SCCs of still-unresolved phis with a single external
+        // input (mutually-referencing copies through nested merges).
+        let unresolved: Vec<ValueId> =
+            phis.iter().copied().filter(|&p| resolved[p.index()] == p).collect();
+        if unresolved.is_empty() {
+            break;
+        }
+        for component in phi_sccs(&unresolved, &phi_incomings, &resolved) {
+            let in_scc = |v: ValueId| component.contains(&v);
+            let mut external: Option<ValueId> = None;
+            let mut single = true;
+            'members: for &member in &component {
+                for &inc in &phi_incomings[member.index()] {
+                    let r = resolved[inc.index()];
+                    if in_scc(r) {
+                        continue;
+                    }
+                    match external {
+                        None => external = Some(r),
+                        Some(x) if x == r => {}
+                        Some(_) => {
+                            single = false;
+                            break 'members;
+                        }
+                    }
+                }
+            }
+            if single {
+                if let Some(x) = external {
+                    for &member in &component {
+                        if resolved[member.index()] != x {
+                            resolved[member.index()] = x;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    resolved
+}
+
+/// Strongly connected components (size >= 2, plus self-loops are impossible
+/// here) of the "phi resolves-through phi" graph over `nodes`, via
+/// iterative Tarjan.
+fn phi_sccs(
+    nodes: &[ValueId],
+    phi_incomings: &[Vec<ValueId>],
+    resolved: &[ValueId],
+) -> Vec<Vec<ValueId>> {
+    use std::collections::HashMap;
+    let index_of: HashMap<ValueId, usize> =
+        nodes.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+    let n = nodes.len();
+    let succs: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&p| {
+            phi_incomings[p.index()]
+                .iter()
+                .filter_map(|&inc| index_of.get(&resolved[inc.index()]).copied())
+                .collect()
+        })
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Iterative Tarjan with an explicit work stack of (node, child pos).
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < succs[v].len() {
+                let w = succs[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(nodes[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if component.len() >= 2 {
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+impl<'m> Analyzer<'m> {
+    fn new(module: &'m Module) -> Self {
+        let mut rpo = Vec::with_capacity(module.funcs.len());
+        let mut loop_headers = Vec::with_capacity(module.funcs.len());
+        let mut branches = Vec::new();
+        let mut loop_depths: Vec<Vec<u32>> = Vec::with_capacity(module.funcs.len());
+
+        for (fid, func) in module.iter_funcs() {
+            let cfg = Cfg::new(func);
+            let dom = DomTree::new(&cfg, func.entry());
+            let loops = LoopForest::new(&cfg, &dom);
+            rpo.push(cfg.reverse_postorder(func.entry()));
+
+            let mut headers: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+            for l in loops.loops() {
+                let latches: Vec<BlockId> = l
+                    .blocks
+                    .iter()
+                    .copied()
+                    .filter(|&b| cfg.succs(b).contains(&l.header))
+                    .collect();
+                headers.insert(l.header, latches);
+            }
+            loop_headers.push(headers);
+
+            let depths: Vec<u32> =
+                (0..func.blocks.len()).map(|i| loops.depth(BlockId::from_index(i))).collect();
+            loop_depths.push(depths);
+
+            for (bb, block) in func.iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    if let Op::Br { cond, .. } = inst.op {
+                        branches.push(BranchInfo {
+                            id: BranchId::from_index(branches.len()),
+                            func: fid,
+                            block: bb,
+                            inst_index: i,
+                            cond,
+                            category: Category::Na,
+                            loop_depth: loop_depths[fid.index()][bb.index()],
+                            in_parallel_section: false,
+                            min_locks_held: 0,
+                        });
+                    }
+                }
+            }
+        }
+
+        let cats = module.funcs.iter().map(|f| vec![Category::Na; f.num_values()]).collect();
+        let provs = module.funcs.iter().map(|f| vec![Prov::Unresolved; f.num_values()]).collect();
+        let ret_cats = vec![Vec::new(); module.funcs.len()];
+        let resolved = module.funcs.iter().map(resolve_trivial_phis).collect();
+
+        Analyzer { module, cats, provs, ret_cats, rpo, loop_headers, resolved, branches }
+    }
+
+    fn run(mut self) -> ModuleAnalysis {
+        self.resolve_provenance();
+
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        // The categories only grow in a finite lattice, so this terminates;
+        // the bound is a safety net against bugs.
+        let max_iterations = 10 + self.module.num_insts();
+        loop {
+            iterations += 1;
+            let changed = self.iterate();
+            trace.push(self.branch_snapshot());
+            if !changed {
+                break;
+            }
+            assert!(
+                iterations <= max_iterations,
+                "similarity fixpoint failed to converge in {max_iterations} iterations"
+            );
+        }
+
+        // Branches never resolved default to `none` (Figure 3, line 18).
+        for b in &mut self.branches {
+            b.category = self.cats[b.func.index()][b.cond.index()];
+            if b.category == Category::Na {
+                b.category = Category::None;
+            }
+        }
+
+        let parallel_funcs = self.reachable_from_spmd();
+        for b in &mut self.branches {
+            b.in_parallel_section = parallel_funcs[b.func.index()];
+        }
+        self.compute_critical_sections();
+
+        ModuleAnalysis {
+            value_cats: self.cats,
+            branches: self.branches,
+            iterations,
+            trace,
+            parallel_funcs,
+        }
+    }
+
+    fn branch_snapshot(&self) -> Vec<Category> {
+        self.branches.iter().map(|b| self.cats[b.func.index()][b.cond.index()]).collect()
+    }
+
+    /// Pointer provenance: a small forward fixpoint of its own.
+    fn resolve_provenance(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fid, func) in self.module.iter_funcs() {
+                for &bb in &self.rpo[fid.index()].clone() {
+                    for inst in &func.block(bb).insts {
+                        let Some(result) = inst.result else { continue };
+                        let new = match &inst.op {
+                            Op::GlobalAddr(g) => Prov::Global(*g),
+                            Op::Gep { base, .. } => self.provs[fid.index()][base.index()],
+                            Op::Alloca { .. } => Prov::Local,
+                            Op::Phi { incomings, .. } => {
+                                let mut p = Prov::Unresolved;
+                                for inc in incomings {
+                                    if inc.value == result {
+                                        continue;
+                                    }
+                                    p = p.merge(self.provs[fid.index()][inc.value.index()]);
+                                }
+                                p
+                            }
+                            // Pointers flowing through calls or loads are
+                            // not tracked.
+                            Op::Call { .. } | Op::CallIndirect { .. } | Op::Load { .. } => {
+                                if inst.ty == Some(bw_ir::Type::Ptr) {
+                                    Prov::Unknown
+                                } else {
+                                    continue;
+                                }
+                            }
+                            _ => continue,
+                        };
+                        let slot = &mut self.provs[fid.index()][result.index()];
+                        let merged = slot.merge(new);
+                        if *slot != merged {
+                            *slot = merged;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Parameters of pointer type are unknown.
+        for (fid, func) in self.module.iter_funcs() {
+            for i in 0..func.params.len() {
+                if func.params[i] == bw_ir::Type::Ptr {
+                    self.provs[fid.index()][i] = Prov::Unknown;
+                }
+            }
+        }
+    }
+
+    /// One whole-module pass; returns whether anything changed.
+    fn iterate(&mut self) -> bool {
+        let mut changed = false;
+
+        // 1. Merge call-site argument categories into parameter categories.
+        changed |= self.update_params();
+
+        // 2. Visit all instructions in RPO.
+        for (fid, func) in self.module.iter_funcs() {
+            let rpo = self.rpo[fid.index()].clone();
+            for bb in rpo {
+                for (i, inst) in func.block(bb).insts.iter().enumerate() {
+                    let _ = i;
+                    let Some(result) = inst.result else { continue };
+                    let new = self.visit(fid, func, bb, inst, result);
+                    if new != Category::Na {
+                        let slot = &mut self.cats[fid.index()][result.index()];
+                        if *slot != new {
+                            *slot = new;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Refresh per-function return categories.
+        for (fid, func) in self.module.iter_funcs() {
+            let mut rets = Vec::new();
+            for (_, block) in func.iter_blocks() {
+                if let Some(inst) = block.terminator() {
+                    if let Op::Ret(Some(v)) = inst.op {
+                        rets.push((rets.len(), self.cats[fid.index()][v.index()]));
+                    }
+                }
+            }
+            if self.ret_cats[fid.index()] != rets {
+                self.ret_cats[fid.index()] = rets;
+                changed = true;
+            }
+        }
+
+        changed
+    }
+
+    fn update_params(&mut self) -> bool {
+        let mut changed = false;
+        // Collect argument categories per (callee, param index).
+        let mut inputs: HashMap<(FuncId, usize), Vec<Category>> = HashMap::new();
+        for (fid, func) in self.module.iter_funcs() {
+            for (_, block) in func.iter_blocks() {
+                for inst in &block.insts {
+                    match &inst.op {
+                        Op::Call { func: callee, args, .. } => {
+                            for (i, arg) in args.iter().enumerate() {
+                                inputs
+                                    .entry((*callee, i))
+                                    .or_default()
+                                    .push(self.cats[fid.index()][arg.index()]);
+                            }
+                        }
+                        Op::CallIndirect { table, args, .. } => {
+                            for &callee in &self.module.tables[table.index()].funcs {
+                                for (i, arg) in args.iter().enumerate() {
+                                    inputs
+                                        .entry((callee, i))
+                                        .or_default()
+                                        .push(self.cats[fid.index()][arg.index()]);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for ((callee, i), cats) in inputs {
+            let new = merge_sites(&cats);
+            if new != Category::Na {
+                let slot = &mut self.cats[callee.index()][i];
+                if *slot != new {
+                    *slot = new;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    fn visit(
+        &self,
+        fid: FuncId,
+        func: &Function,
+        bb: BlockId,
+        inst: &bw_ir::Inst,
+        result: ValueId,
+    ) -> Category {
+        let cat = |v: ValueId| self.cats[fid.index()][v.index()];
+        match &inst.op {
+            Op::Const(_) => Category::Shared,
+            Op::GlobalAddr(_) => Category::Shared,
+            Op::ThreadId => Category::ThreadId,
+            Op::NumThreads => Category::Shared,
+            Op::Rand { .. } => Category::None,
+            Op::Alloca { .. } => Category::None,
+            Op::AtomicFetchAdd { global, .. } => {
+                if self.module.global(*global).tid_counter {
+                    Category::ThreadId
+                } else {
+                    Category::None
+                }
+            }
+            Op::Bin { lhs, rhs, .. } | Op::Cmp { lhs, rhs, .. } => {
+                combine_all([cat(*lhs), cat(*rhs)])
+            }
+            Op::Un { operand, .. } => cat(*operand),
+            Op::Gep { base, offset } => combine_all([cat(*base), cat(*offset)]),
+            Op::Load { addr, .. } => match self.provs[fid.index()][addr.index()] {
+                Prov::Global(g) if self.module.global(g).shared => match cat(*addr) {
+                    Category::Na => Category::Na,
+                    Category::Shared => Category::Shared,
+                    // Value is "one of the elements of a shared array":
+                    // groupable by value, hence partial.
+                    _ => Category::Partial,
+                },
+                Prov::Unresolved => Category::Na,
+                _ => Category::None,
+            },
+            Op::Phi { incomings, .. } => {
+                // A trivial phi (all incomings agree through phi chains) is
+                // a copy of its target — no merge happens at runtime.
+                let resolved = &self.resolved[fid.index()];
+                let target = resolved[result.index()];
+                if target != result {
+                    return cat(target);
+                }
+                let latches = self.loop_headers[fid.index()].get(&bb);
+                let is_loop_phi = latches
+                    .is_some_and(|l| incomings.iter().any(|inc| l.contains(&inc.block)));
+                let cats: Vec<Category> = incomings
+                    .iter()
+                    .filter(|inc| resolved[inc.value.index()] != result)
+                    .map(|inc| cat(inc.value))
+                    .collect();
+                let combined = combine_optimistic(cats.iter().copied());
+                if !is_loop_phi && combined == Category::Shared {
+                    // If-else convergence merging distinct shared values →
+                    // partial (the paper's deviation from Table II).
+                    let mut distinct: Vec<ValueId> = incomings
+                        .iter()
+                        .map(|inc| resolved[inc.value.index()])
+                        .filter(|&v| v != result)
+                        .collect();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    if distinct.len() >= 2 {
+                        return Category::Partial;
+                    }
+                }
+                combined
+            }
+            Op::Call { func: callee, .. } => self.callee_result(&[*callee]),
+            Op::CallIndirect { table, .. } => {
+                self.callee_result(&self.module.tables[table.index()].funcs)
+            }
+            // No result:
+            Op::Store { .. }
+            | Op::Output(_)
+            | Op::MutexLock(_)
+            | Op::MutexUnlock(_)
+            | Op::Barrier(_)
+            | Op::Br { .. }
+            | Op::Jump(_)
+            | Op::Ret(_)
+            | Op::Trap => {
+                let _ = func;
+                Category::Na
+            }
+        }
+    }
+
+    fn callee_result(&self, callees: &[FuncId]) -> Category {
+        let mut cats = Vec::new();
+        let mut sites = 0usize;
+        for &callee in callees {
+            for (_, c) in &self.ret_cats[callee.index()] {
+                sites += 1;
+                cats.push(*c);
+            }
+        }
+        let combined = combine_optimistic(cats.iter().copied());
+        match combined {
+            Category::Na | Category::None => combined,
+            c if sites <= 1 && callees.len() <= 1 => c,
+            // Result is "one of several" values: groupable at best.
+            Category::Shared | Category::Partial => Category::Partial,
+            // Several thread-ID-derived returns chosen by unknown control:
+            // still groupable by value.
+            _ => Category::Partial,
+        }
+    }
+
+    fn reachable_from_spmd(&self) -> Vec<bool> {
+        let mut reachable = vec![false; self.module.funcs.len()];
+        let Some(entry) = self.module.spmd_entry else {
+            return reachable;
+        };
+        let mut work = vec![entry];
+        reachable[entry.index()] = true;
+        while let Some(fid) = work.pop() {
+            for block in &self.module.func(fid).blocks {
+                for inst in &block.insts {
+                    let callees: Vec<FuncId> = match &inst.op {
+                        Op::Call { func, .. } => vec![*func],
+                        Op::CallIndirect { table, .. } => {
+                            self.module.tables[table.index()].funcs.clone()
+                        }
+                        _ => continue,
+                    };
+                    for callee in callees {
+                        if !reachable[callee.index()] {
+                            reachable[callee.index()] = true;
+                            work.push(callee);
+                        }
+                    }
+                }
+            }
+        }
+        reachable
+    }
+
+    /// Interprocedural "minimum mutexes held" dataflow, used by the
+    /// critical-section optimization (branches only one thread can execute
+    /// at a time are not worth checking).
+    fn compute_critical_sections(&mut self) {
+        const INF: u32 = u32::MAX / 2;
+        // held_entry[f] = min locks held when f is entered.
+        let mut held_entry = vec![INF; self.module.funcs.len()];
+        for role in [self.module.init, self.module.spmd_entry, self.module.fini]
+            .into_iter()
+            .flatten()
+        {
+            held_entry[role.index()] = 0;
+        }
+
+        // block_in[f][b] = min locks held entering block b of f.
+        let mut block_in: Vec<Vec<u32>> =
+            self.module.funcs.iter().map(|f| vec![INF; f.blocks.len()]).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fid, func) in self.module.iter_funcs() {
+                let entry_held = held_entry[fid.index()];
+                let fi = fid.index();
+                if block_in[fi][func.entry().index()] > entry_held {
+                    block_in[fi][func.entry().index()] = entry_held;
+                    changed = true;
+                }
+                for &bb in &self.rpo[fi] {
+                    let mut held = block_in[fi][bb.index()];
+                    if held >= INF {
+                        continue;
+                    }
+                    for inst in &func.block(bb).insts {
+                        match &inst.op {
+                            Op::MutexLock(_) => held += 1,
+                            Op::MutexUnlock(_) => held = held.saturating_sub(1),
+                            Op::Call { func: callee, .. }
+                                if held_entry[callee.index()] > held => {
+                                    held_entry[callee.index()] = held;
+                                    changed = true;
+                                }
+                            Op::CallIndirect { table, .. } => {
+                                for &callee in &self.module.tables[table.index()].funcs {
+                                    if held_entry[callee.index()] > held {
+                                        held_entry[callee.index()] = held;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            Op::Br { then_bb, else_bb, .. } => {
+                                for succ in [*then_bb, *else_bb] {
+                                    if block_in[fi][succ.index()] > held {
+                                        block_in[fi][succ.index()] = held;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            Op::Jump(succ)
+                                if block_in[fi][succ.index()] > held => {
+                                    block_in[fi][succ.index()] = held;
+                                    changed = true;
+                                }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        for b in &mut self.branches {
+            let fi = b.func.index();
+            let func = self.module.func(b.func);
+            let mut held = block_in[fi][b.block.index()];
+            if held >= INF {
+                held = 0; // unreachable branch
+            } else {
+                for inst in func.block(b.block).insts.iter().take(b.inst_index) {
+                    match &inst.op {
+                        Op::MutexLock(_) => held += 1,
+                        Op::MutexUnlock(_) => held = held.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+            }
+            b.min_locks_held = held;
+        }
+    }
+}
+
+/// Merges the categories arriving at a parameter from its call sites (or a
+/// call result from multiple returns): unanimous sites keep their category
+/// (instances are tracked per call site); mixed checkable categories fall
+/// back to `partial`; any `none` poisons the merge.
+fn merge_sites(cats: &[Category]) -> Category {
+    let known: Vec<Category> = cats.iter().copied().filter(|&c| c != Category::Na).collect();
+    if known.is_empty() {
+        return Category::Na;
+    }
+    if known.contains(&Category::None) {
+        return Category::None;
+    }
+    let first = known[0];
+    if known.iter().all(|&c| c == first) {
+        return first;
+    }
+    Category::Partial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sites_rules() {
+        use Category::*;
+        assert_eq!(merge_sites(&[Shared, Shared]), Shared);
+        assert_eq!(merge_sites(&[Shared, Na]), Shared);
+        assert_eq!(merge_sites(&[Na, Na]), Na);
+        assert_eq!(merge_sites(&[Shared, ThreadId]), Partial);
+        assert_eq!(merge_sites(&[Shared, None]), None);
+        assert_eq!(merge_sites(&[ThreadId, ThreadId]), ThreadId);
+        assert_eq!(merge_sites(&[Partial, Shared]), Partial);
+    }
+
+    #[test]
+    fn prov_merge() {
+        let g = Prov::Global(GlobalId(0));
+        assert_eq!(Prov::Unresolved.merge(g), g);
+        assert_eq!(g.merge(g), g);
+        assert_eq!(g.merge(Prov::Local), Prov::Unknown);
+        assert_eq!(Prov::Unknown.merge(g), Prov::Unknown);
+    }
+}

@@ -1,0 +1,27 @@
+//! Microbenchmark: the similarity fixpoint on every SPLASH-2 port (the
+//! paper reports its static analysis takes under a second per benchmark).
+
+use bw_analysis::{AnalysisConfig, CheckPlan, ModuleAnalysis};
+use bw_splash::{Benchmark, Size};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_analysis");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    for bench in Benchmark::ALL {
+        let module = bench.module(Size::Reference).expect("compiles");
+        group.bench_function(bench.name().replace(' ', "_"), |b| {
+            b.iter(|| black_box(ModuleAnalysis::run(&module)));
+        });
+    }
+    let module = Benchmark::OceanContig.module(Size::Reference).expect("compiles");
+    let analysis = ModuleAnalysis::run(&module);
+    group.bench_function("check_plan", |b| {
+        b.iter(|| black_box(CheckPlan::build(&module, &analysis, AnalysisConfig::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenchmark: simulated-engine throughput (interpreted instructions
+//! per second) with instrumentation on and off.
+
+use bw_splash::{Benchmark, Size};
+use bw_vm::{run_sim, MonitorMode, ProgramImage, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+
+    let image = ProgramImage::prepare_default(Benchmark::Fft.module(Size::Test).expect("compiles"));
+    let steps = run_sim(&image, &SimConfig::new(4)).total_steps;
+    group.throughput(Throughput::Elements(steps));
+
+    group.bench_function("fft_4t_monitored", |b| {
+        b.iter(|| black_box(run_sim(&image, &SimConfig::new(4))));
+    });
+    group.bench_function("fft_4t_baseline", |b| {
+        let mut cfg = SimConfig::new(4);
+        cfg.monitor = MonitorMode::Off;
+        b.iter(|| black_box(run_sim(&image, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

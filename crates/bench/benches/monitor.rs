@@ -1,0 +1,48 @@
+//! Microbenchmark: monitor-side event processing (two-level table insert
+//! plus the eager check at the full reporter count).
+
+use bw_analysis::CheckKind;
+use bw_monitor::{BranchEvent, CheckTable, Monitor};
+use bw_analysis::{AnalysisConfig, CheckPlan, ModuleAnalysis};
+use bw_splash::{Benchmark, Size};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+
+    // A realistic check table from the FFT port.
+    let module = Benchmark::Fft.module(Size::Test).expect("compiles");
+    let analysis = ModuleAnalysis::run(&module);
+    let plan = CheckPlan::build(&module, &analysis, AnalysisConfig::default());
+    let table = CheckTable::from_plan(&plan);
+    let branch = (0..table.len() as u32)
+        .find(|&b| matches!(table.kind(b), Some(CheckKind::SharedUniform)))
+        .unwrap_or(0);
+
+    const NTHREADS: usize = 8;
+    group.throughput(Throughput::Elements(NTHREADS as u64));
+    group.bench_function("full_instance_8_threads", |b| {
+        let mut monitor = Monitor::new(table.clone(), NTHREADS);
+        let mut iter_key = 0u64;
+        b.iter(|| {
+            iter_key += 1;
+            for t in 0..NTHREADS as u32 {
+                monitor.process(BranchEvent {
+                    branch,
+                    thread: t,
+                    site: 1,
+                    iter: iter_key,
+                    witness: 5,
+                    taken: true,
+                });
+            }
+            black_box(monitor.detected())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmark: the lock-free Lamport SPSC queue on the reporting hot
+//! path (one push + matching pop).
+
+use bw_monitor::{spsc_queue, BranchEvent};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("push_pop", |b| {
+        let (p, consumer) = spsc_queue::<BranchEvent>(1 << 12);
+        let event = BranchEvent { branch: 1, thread: 0, site: 42, iter: 7, witness: 99, taken: true };
+        b.iter(|| {
+            p.push(black_box(event)).unwrap();
+            black_box(consumer.pop())
+        });
+    });
+
+    group.bench_function("burst_64", |b| {
+        let (p, consumer) = spsc_queue::<BranchEvent>(1 << 12);
+        let event = BranchEvent { branch: 1, thread: 0, site: 42, iter: 7, witness: 99, taken: true };
+        b.iter(|| {
+            for i in 0..64u64 {
+                let mut e = event;
+                e.iter = i;
+                p.push(e).unwrap();
+            }
+            while let Some(e) = consumer.pop() {
+                black_box(e);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spsc);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablations over BLOCKWATCH's design knobs (Section III-A optimizations
+//! and the Section VI proposals):
+//!
+//! * promotion of `none` branches to `partial` grouping (coverage ↑, events ↑)
+//! * the critical-section optimization (events ↓, no coverage change)
+//! * the loop-nesting cutoff (raytrace's coverage loss)
+//! * check deduplication (events ↓, flip coverage ↓ — §VI proposal)
+//!
+//! Run with: `cargo run --release -p bw-bench --bin ablations [injections]`
+
+use blockwatch::analysis::AnalysisConfig;
+use blockwatch::fault::{run_campaign, CampaignConfig};
+use blockwatch::reports::overhead_point;
+use blockwatch::vm::ProgramImage;
+use blockwatch::{Benchmark, FaultModel, Size};
+use bw_bench::{pct, render_table};
+
+struct Variant {
+    name: &'static str,
+    config: AnalysisConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = AnalysisConfig::default();
+    vec![
+        Variant { name: "paper default", config: base },
+        Variant { name: "no promotion", config: AnalysisConfig { promote_none: false, ..base } },
+        Variant {
+            name: "no critical-section opt",
+            config: AnalysisConfig { critical_section_opt: false, ..base },
+        },
+        Variant { name: "loop cutoff 2", config: AnalysisConfig { max_loop_depth: 2, ..base } },
+        Variant { name: "loop cutoff 4", config: AnalysisConfig { max_loop_depth: 4, ..base } },
+        Variant { name: "loop cutoff 8", config: AnalysisConfig { max_loop_depth: 8, ..base } },
+        Variant { name: "dedup checks (§VI)", config: AnalysisConfig { dedup_checks: true, ..base } },
+    ]
+}
+
+fn main() {
+    let injections: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let nthreads = 4;
+
+    for bench in [Benchmark::Raytrace, Benchmark::OceanContig, Benchmark::Fmm] {
+        println!(
+            "== {} (branch-flip, {injections} injections, {nthreads} threads) ==",
+            bench.name()
+        );
+        let mut rows = Vec::new();
+        for v in variants() {
+            let image = ProgramImage::prepare(
+                bench.module(Size::Small).expect("port compiles"),
+                v.config,
+            );
+            let mut cfg = CampaignConfig::new(injections, FaultModel::BranchFlip, nthreads);
+            cfg.seed = 0xab1a;
+            let campaign = run_campaign(&image, &cfg);
+            let overhead = overhead_point(&image, nthreads);
+            rows.push(vec![
+                v.name.to_string(),
+                image.plan.num_instrumented().to_string(),
+                pct(campaign.coverage()),
+                pct(campaign.counts.detection_rate()),
+                format!("{:.2}x", overhead.ratio()),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["variant", "instrumented", "coverage", "detection rate", "overhead"],
+                &rows
+            )
+        );
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 6: normalized execution time with BLOCKWATCH at 4
+//! and 32 threads (baseline = the program without BLOCKWATCH).
+
+use blockwatch::reports::{geomean_at, overhead_series};
+use blockwatch::Size;
+use bw_bench::render_table;
+
+fn main() {
+    let size = Size::Reference;
+    let threads = [4u32, 32];
+    let series = overhead_series(size, &threads);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.name.clone()];
+            for p in &s.points {
+                row.push(format!("{:.2}x", p.ratio()));
+            }
+            row
+        })
+        .collect();
+    println!("Figure 6: normalized execution time with BLOCKWATCH (size: {size:?})");
+    println!("(simulated 4-socket 32-core machine; lower is better; baseline = 1.0)");
+    println!();
+    println!("{}", render_table(&["benchmark", "4 threads", "32 threads"], &rows));
+    println!(
+        "geomean: {:.2}x at 4 threads (paper: 2.15x), {:.2}x at 32 threads (paper: 1.16x)",
+        geomean_at(&series, 4),
+        geomean_at(&series, 32)
+    );
+}

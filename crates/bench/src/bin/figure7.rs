@@ -1,0 +1,32 @@
+//! Regenerates Figure 7: geometric-mean BLOCKWATCH overhead vs. thread
+//! count (1–32), showing the 1→2 NUMA bump and the amortization slope.
+
+use blockwatch::reports::{geomean_at, overhead_series};
+use blockwatch::Size;
+use bw_bench::render_table;
+
+fn main() {
+    let size = Size::Reference;
+    let threads = [1u32, 2, 4, 8, 16, 32];
+    let series = overhead_series(size, &threads);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.name.clone()];
+            for p in &s.points {
+                row.push(format!("{:.2}", p.ratio()));
+            }
+            row
+        })
+        .collect();
+    println!("Figure 7: BLOCKWATCH overhead vs. number of threads (size: {size:?})");
+    println!();
+    println!(
+        "{}",
+        render_table(&["benchmark", "1t", "2t", "4t", "8t", "16t", "32t"], &rows)
+    );
+    let geo: Vec<String> =
+        threads.iter().map(|&n| format!("{:.2}", geomean_at(&series, n))).collect();
+    println!("geomean: {}", geo.join("  "));
+    println!("paper shape: rises from 1 to 2 threads, then falls monotonically to ~1.16 at 32");
+}

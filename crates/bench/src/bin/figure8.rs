@@ -1,0 +1,51 @@
+//! Regenerates Figure 8: SDC coverage with and without BLOCKWATCH under
+//! branch-flip faults, at 4 and 32 threads.
+
+use blockwatch::reports::coverage_row;
+use blockwatch::{Benchmark, FaultModel, Size};
+use bw_bench::{pct, render_table};
+
+fn main() {
+    let injections: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let size = Size::Small;
+    println!("Figure 8: coverage under branch-flip faults ({injections} injections per cell)");
+    println!("(coverage = 1 - SDC fraction of activated faults; higher is better)");
+    println!();
+    for nthreads in [4u32, 32] {
+        let mut rows = Vec::new();
+        let mut orig_cov = Vec::new();
+        let mut prot_cov = Vec::new();
+        for bench in Benchmark::ALL {
+            let row =
+                coverage_row(bench, size, FaultModel::BranchFlip, nthreads, injections, 0xf168);
+            orig_cov.push(row.coverage_original());
+            prot_cov.push(row.coverage_protected());
+            rows.push(vec![
+                row.name.clone(),
+                pct(row.coverage_original()),
+                pct(row.coverage_protected()),
+                row.protected.detected.to_string(),
+                row.protected.crashed.to_string(),
+                row.protected.hung.to_string(),
+                row.protected.masked.to_string(),
+                row.protected.sdc.to_string(),
+            ]);
+        }
+        println!("{nthreads} threads:");
+        println!(
+            "{}",
+            render_table(
+                &["benchmark", "original", "blockwatch", "det", "crash", "hang", "mask", "sdc"],
+                &rows
+            )
+        );
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "average: original {} -> blockwatch {}   (paper: 83% -> 97-98%)",
+            pct(avg(&orig_cov)),
+            pct(avg(&prot_cov))
+        );
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates Figure 9: SDC coverage with and without BLOCKWATCH under
+//! branch-condition (bit-flip) faults, at 4 and 32 threads.
+
+use blockwatch::reports::coverage_row;
+use blockwatch::{Benchmark, FaultModel, Size};
+use bw_bench::{pct, render_table};
+
+fn main() {
+    let injections: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let size = Size::Small;
+    println!(
+        "Figure 9: coverage under branch-condition faults ({injections} injections per cell)"
+    );
+    println!();
+    for nthreads in [4u32, 32] {
+        let mut rows = Vec::new();
+        let mut orig_cov = Vec::new();
+        let mut prot_cov = Vec::new();
+        for bench in Benchmark::ALL {
+            let row = coverage_row(
+                bench,
+                size,
+                FaultModel::ConditionBitFlip,
+                nthreads,
+                injections,
+                0xf169,
+            );
+            orig_cov.push(row.coverage_original());
+            prot_cov.push(row.coverage_protected());
+            rows.push(vec![
+                row.name.clone(),
+                pct(row.coverage_original()),
+                pct(row.coverage_protected()),
+                row.protected.detected.to_string(),
+                row.protected.crashed.to_string(),
+                row.protected.hung.to_string(),
+                row.protected.masked.to_string(),
+                row.protected.sdc.to_string(),
+            ]);
+        }
+        println!("{nthreads} threads:");
+        println!(
+            "{}",
+            render_table(
+                &["benchmark", "original", "blockwatch", "det", "crash", "hang", "mask", "sdc"],
+                &rows
+            )
+        );
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "average: original {} -> blockwatch {}   (paper: 90% -> 97%)",
+            pct(avg(&orig_cov)),
+            pct(avg(&prot_cov))
+        );
+        println!();
+    }
+}

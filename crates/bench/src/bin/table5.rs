@@ -1,0 +1,45 @@
+//! Regenerates Table V: similarity category statistics of the branches.
+
+use blockwatch::reports::table5;
+use blockwatch::Size;
+use bw_bench::{pct, render_table};
+
+fn main() {
+    let size = Size::Reference;
+    let paper: [(usize, usize, usize, usize, usize); 7] = [
+        // total, shared, threadID, partial, none (paper Table V)
+        (785, 30, 12, 723, 20),
+        (44, 14, 11, 18, 1),
+        (321, 51, 8, 98, 164),
+        (478, 22, 116, 329, 11),
+        (35, 11, 9, 7, 8),
+        (268, 12, 4, 117, 135),
+        (103, 34, 12, 26, 31),
+    ];
+    let rows: Vec<Vec<String>> = table5(size)
+        .into_iter()
+        .zip(paper)
+        .map(|(r, p)| {
+            let f = |n: usize| format!("{} ({})", n, pct(n as f64 / r.total.max(1) as f64));
+            let pf = |n: usize| pct(n as f64 / p.0 as f64);
+            vec![
+                r.name.clone(),
+                r.total.to_string(),
+                format!("{} [paper {}]", f(r.shared), pf(p.1)),
+                format!("{} [paper {}]", f(r.thread_id), pf(p.2)),
+                format!("{} [paper {}]", f(r.partial), pf(p.3)),
+                format!("{} [paper {}]", f(r.none), pf(p.4)),
+                pct(r.similar_fraction()),
+            ]
+        })
+        .collect();
+    println!("Table V: similarity category statistics (size: {size:?})");
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "total", "shared", "threadID", "partial", "none", "similar"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,20 @@
+use blockwatch::reports::{geomean_at, overhead_series};
+use blockwatch::Size;
+
+fn main() {
+    let threads = [1u32, 2, 4, 8, 16, 32];
+    let series = overhead_series(Size::Small, &threads);
+    for s in &series {
+        print!("{:22}", s.name);
+        for p in &s.points {
+            print!(" {:2}t={:.2}", p.nthreads, p.ratio());
+        }
+        println!();
+    }
+    print!("{:22}", "GEOMEAN");
+    for &n in &threads {
+        print!(" {:2}t={:.2}", n, geomean_at(&series, n));
+    }
+    println!();
+    println!("paper targets:          1t<2t, 4t~2.15, 32t~1.16");
+}

@@ -1,0 +1,26 @@
+use blockwatch::reports::coverage_row;
+use blockwatch::{Benchmark, FaultModel, Size};
+
+fn main() {
+    let injections: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    for model in [FaultModel::BranchFlip, FaultModel::ConditionBitFlip] {
+        println!("== {model:?} ==");
+        let mut orig_sum = 0.0;
+        let mut prot_sum = 0.0;
+        for bench in Benchmark::ALL {
+            let row = coverage_row(bench, Size::Test, model, 4, injections, 0xc0ffee);
+            println!(
+                "{:22} orig {:5.1}%  bw {:5.1}%  | prot: det {:3} crash {:3} hung {:3} mask {:3} sdc {:3} | orig: crash {:3} sdc {:3}",
+                row.name,
+                100.0 * row.coverage_original(),
+                100.0 * row.coverage_protected(),
+                row.protected.detected, row.protected.crashed, row.protected.hung,
+                row.protected.masked, row.protected.sdc,
+                row.original.crashed, row.original.sdc,
+            );
+            orig_sum += row.coverage_original();
+            prot_sum += row.coverage_protected();
+        }
+        println!("AVG orig {:.1}%  bw {:.1}%", 100.0 * orig_sum / 7.0, 100.0 * prot_sum / 7.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! `bw` — the BLOCKWATCH command-line tool.
+//!
+//! Compile, analyze, protect and fault-test SPMD mini-language programs:
+//!
+//! ```text
+//! bw analyze  <file>                 print per-branch similarity categories
+//! bw run      <file> [--threads N]   run under the monitor (simulated machine)
+//! bw ir       <file>                 dump the SSA IR
+//! bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
+//!                                    fault-injection campaign with and
+//!                                    without BLOCKWATCH
+//! ```
+
+use std::process::ExitCode;
+
+use blockwatch::fault::CampaignConfig;
+use blockwatch::ir::ModulePrinter;
+use blockwatch::vm::MonitorMode;
+use blockwatch::{Blockwatch, FaultModel, RunOutcome};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "run" => cmd_run(rest),
+        "ir" => cmd_ir(rest),
+        "campaign" => cmd_campaign(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bw analyze  <file>                  print per-branch similarity categories
+  bw run      <file> [--threads N]    run under the monitor
+  bw ir       <file>                  dump the SSA IR
+  bw campaign <file> [--threads N] [--injections K] [--model flip|cond]";
+
+fn load(path: &str) -> Result<Blockwatch, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Blockwatch::compile(&source).map_err(|e| format!("{e}"))
+}
+
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).cloned()
+}
+
+fn file_arg(rest: &[String]) -> Result<String, String> {
+    rest.iter()
+        .find(|a| !a.starts_with("--") && rest.iter().position(|b| b == *a).is_some_and(|i| i == 0 || !rest[i - 1].starts_with("--")))
+        .cloned()
+        .ok_or_else(|| format!("missing <file> argument\n{USAGE}"))
+}
+
+fn threads(rest: &[String]) -> u32 {
+    flag(rest, "--threads").and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    let bw = load(&file_arg(rest)?)?;
+    println!("{:<8} {:<20} {:<10} {:<6} check", "branch", "function", "category", "depth");
+    for b in bw.analysis().branches.iter() {
+        let func = &bw.image().module.func(b.func).name;
+        let check = match bw.plan().check(b.id) {
+            Some(c) => format!("{:?}", c.kind),
+            None => {
+                let reason = bw.plan().decisions[b.id.index()].as_ref().unwrap_err();
+                format!("skipped ({reason:?})")
+            }
+        };
+        println!(
+            "{:<8} {:<20} {:<10} {:<6} {}",
+            b.id.to_string(),
+            func,
+            b.category.to_string(),
+            b.loop_depth,
+            check
+        );
+    }
+    let h = bw.histogram();
+    println!(
+        "\nparallel section: {} branches | {} shared, {} threadID, {} partial, {} none | {} instrumented",
+        h.total(),
+        h.shared,
+        h.thread_id,
+        h.partial,
+        h.none,
+        bw.plan().num_instrumented()
+    );
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let bw = load(&file_arg(rest)?)?;
+    let n = threads(rest);
+    let result = bw.run(n);
+    println!("outcome: {:?}", result.outcome);
+    println!("outputs: {:?}", result.outputs);
+    println!(
+        "parallel cycles: {} | events: {} | violations: {}",
+        result.parallel_cycles,
+        result.events_sent,
+        result.violations.len()
+    );
+    for v in &result.violations {
+        println!("  violation: branch {} {:?} ({} reporters)", v.branch, v.kind, v.reporters);
+    }
+    if result.outcome != RunOutcome::Completed {
+        return Err("program did not complete".into());
+    }
+    Ok(())
+}
+
+fn cmd_ir(rest: &[String]) -> Result<(), String> {
+    let bw = load(&file_arg(rest)?)?;
+    println!("{}", ModulePrinter(&bw.image().module));
+    Ok(())
+}
+
+fn cmd_campaign(rest: &[String]) -> Result<(), String> {
+    let bw = load(&file_arg(rest)?)?;
+    let n = threads(rest);
+    let injections =
+        flag(rest, "--injections").and_then(|s| s.parse().ok()).unwrap_or(200);
+    let model = match flag(rest, "--model").as_deref() {
+        None | Some("flip") => FaultModel::BranchFlip,
+        Some("cond") => FaultModel::ConditionBitFlip,
+        Some(other) => return Err(format!("unknown model `{other}` (use flip|cond)")),
+    };
+
+    let cfg = CampaignConfig::new(injections, model, n);
+    let protected = bw.campaign(&cfg);
+    let mut base_cfg = cfg.clone();
+    base_cfg.sim.monitor = MonitorMode::Off;
+    let baseline = bw.campaign(&base_cfg);
+
+    println!("{model:?}, {injections} injections, {n} threads");
+    println!("  without BLOCKWATCH: {:?}", baseline.counts);
+    println!("  with    BLOCKWATCH: {:?}", protected.counts);
+    println!(
+        "  coverage: {:.1}% -> {:.1}%",
+        100.0 * baseline.coverage(),
+        100.0 * protected.coverage()
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # blockwatch — leveraging similarity in parallel programs for error detection
+//!
+//! A from-scratch Rust reproduction of **"BLOCKWATCH: Leveraging Similarity
+//! in Parallel Programs for Error Detection"** (Wei & Pattabiraman, DSN
+//! 2012): a compile-time analysis classifies every branch of an SPMD
+//! program by how its condition data relates across threads (`shared`,
+//! `threadID`, `partial`, `none`), and a lock-free runtime monitor flags
+//! any execution that deviates from the statically inferred similarity —
+//! detecting transient hardware faults in control data with no false
+//! positives.
+//!
+//! This crate is the umbrella: [`Blockwatch`] drives the full pipeline
+//! (compile → analyze → instrument → execute/campaign), and [`reports`]
+//! regenerates every table and figure of the paper's evaluation. The
+//! heavy lifting lives in the component crates, re-exported here:
+//!
+//! * [`ir`] — SSA IR, builder, verifier, mini-language front-end.
+//! * [`analysis`] — the Table II similarity fixpoint + instrumentation plan.
+//! * [`monitor`] — Lamport SPSC queues, two-level table, checkers.
+//! * [`vm`] — deterministic simulated engine (32-core cost model) and
+//!   real-threads engine.
+//! * [`fault`] — branch-flip / condition-bit-flip injection campaigns.
+//! * [`splash`] — ports of the seven SPLASH-2 benchmarks.
+//!
+//! # Examples
+//!
+//! Detect an injected control-data fault in FFT:
+//!
+//! ```
+//! use blockwatch::fault::{CampaignConfig, FaultModel};
+//! use blockwatch::splash::{Benchmark, Size};
+//! use blockwatch::Blockwatch;
+//!
+//! let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test)?);
+//! let campaign = bw.campaign(&CampaignConfig::new(25, FaultModel::BranchFlip, 4));
+//! assert!(campaign.counts.detected > 0);
+//! # Ok::<(), bw_ir::frontend::FrontendError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod pipeline;
+pub mod reports;
+
+pub use pipeline::Blockwatch;
+
+pub use bw_analysis as analysis;
+pub use bw_fault as fault;
+pub use bw_ir as ir;
+pub use bw_monitor as monitor;
+pub use bw_splash as splash;
+pub use bw_vm as vm;
+
+pub use bw_analysis::{AnalysisConfig, Category, CategoryHistogram, CheckKind, CheckPlan};
+pub use bw_fault::{CampaignConfig, FaultModel, FaultOutcome, OutcomeCounts};
+pub use bw_splash::{Benchmark, Size};
+pub use bw_vm::{MachineModel, MonitorMode, RunOutcome, RunResult, SimConfig};

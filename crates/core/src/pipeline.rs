@@ -1,0 +1,136 @@
+//! The end-to-end BLOCKWATCH pipeline: compile → analyze → instrument →
+//! execute (with the monitor) — the paper's two-step implementation
+//! (Section III) behind one facade.
+
+use bw_analysis::{AnalysisConfig, CategoryHistogram, CheckPlan, ModuleAnalysis};
+use bw_fault::{run_campaign, CampaignConfig, CampaignResult};
+use bw_ir::frontend::FrontendError;
+use bw_ir::Module;
+use bw_vm::{
+    run_real, run_sim, ProgramImage, RealConfig, RealResult, RunResult, SimConfig,
+};
+use std::sync::Arc;
+
+/// A compiled, analyzed and instrumented SPMD program.
+///
+/// # Examples
+///
+/// ```
+/// use blockwatch::Blockwatch;
+///
+/// let bw = Blockwatch::compile(r#"
+///     shared int n = 8;
+///     @spmd func slave() {
+///         var t: int = threadid();
+///         if (t == 0) { output(n); }
+///     }
+/// "#)?;
+/// let result = bw.run(4);
+/// assert!(!result.detected());
+/// # Ok::<(), bw_ir::frontend::FrontendError>(())
+/// ```
+#[derive(Debug)]
+pub struct Blockwatch {
+    image: Arc<ProgramImage>,
+}
+
+impl Blockwatch {
+    /// Compiles mini-language source and prepares it with the default
+    /// (paper) analysis configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error on syntax or semantic problems.
+    pub fn compile(source: &str) -> Result<Self, FrontendError> {
+        Self::compile_with(source, AnalysisConfig::default())
+    }
+
+    /// Compiles with an explicit analysis configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error on syntax or semantic problems.
+    pub fn compile_with(source: &str, config: AnalysisConfig) -> Result<Self, FrontendError> {
+        let module = bw_ir::frontend::compile(source)?;
+        Ok(Self::from_module_with(module, config))
+    }
+
+    /// Wraps an already-built (verified) module with the default config.
+    pub fn from_module(module: Module) -> Self {
+        Self::from_module_with(module, AnalysisConfig::default())
+    }
+
+    /// Wraps an already-built (verified) module.
+    pub fn from_module_with(module: Module, config: AnalysisConfig) -> Self {
+        Blockwatch { image: Arc::new(ProgramImage::prepare(module, config)) }
+    }
+
+    /// The prepared program image.
+    pub fn image(&self) -> &ProgramImage {
+        &self.image
+    }
+
+    /// The static analysis results.
+    pub fn analysis(&self) -> &ModuleAnalysis {
+        &self.image.analysis
+    }
+
+    /// The instrumentation plan.
+    pub fn plan(&self) -> &CheckPlan {
+        &self.image.plan
+    }
+
+    /// Per-category branch counts of the parallel section (a Table V row).
+    pub fn histogram(&self) -> CategoryHistogram {
+        self.image.analysis.category_histogram()
+    }
+
+    /// Runs on the deterministic simulated machine with default settings.
+    pub fn run(&self, nthreads: u32) -> RunResult {
+        run_sim(&self.image, &SimConfig::new(nthreads))
+    }
+
+    /// Runs on the deterministic simulated machine with full control.
+    pub fn run_with(&self, config: &SimConfig) -> RunResult {
+        run_sim(&self.image, config)
+    }
+
+    /// Runs on real OS threads with the asynchronous monitor thread.
+    pub fn run_real(&self, nthreads: u32) -> RealResult {
+        run_real(&self.image, &RealConfig::new(nthreads))
+    }
+
+    /// Runs a fault-injection campaign.
+    pub fn campaign(&self, config: &CampaignConfig) -> CampaignResult {
+        run_campaign(&self.image, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_vm::RunOutcome;
+
+    #[test]
+    fn pipeline_compiles_and_runs() {
+        let bw = Blockwatch::compile(
+            r#"
+            shared int n = 4;
+            @spmd func slave() {
+                for (var i: int = 0; i < n; i = i + 1) { output(i); }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(bw.histogram().shared, 1);
+        assert_eq!(bw.plan().num_instrumented(), 1);
+        let result = bw.run(2);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert_eq!(result.outputs.len(), 8);
+    }
+
+    #[test]
+    fn pipeline_rejects_bad_source() {
+        assert!(Blockwatch::compile("@spmd func f() { nope; }").is_err());
+    }
+}

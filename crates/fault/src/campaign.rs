@@ -1,0 +1,269 @@
+//! Fault-injection campaigns: golden run, N randomized injections,
+//! outcome classification and coverage statistics — the experimental
+//! procedure of the paper's Section IV.
+
+use bw_vm::{
+    run_sim, run_sim_with_hook, ProgramImage, RunOutcome, RunResult, SimConfig, SplitMix64,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::injector::{FaultModel, InjectionHook, InjectionPlan};
+
+/// Classification of one injection experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// The fault did not reach its target branch (e.g. the thread executed
+    /// fewer branches than profiled — cannot happen in the deterministic
+    /// engine, kept for API completeness) or the thread had no branches.
+    NotActivated,
+    /// The monitor flagged a violation.
+    Detected,
+    /// The program crashed (trap).
+    Crashed,
+    /// The program hung (deadlock or step-budget exhaustion).
+    Hung,
+    /// The program completed with the golden output.
+    Masked,
+    /// Silent data corruption: completed with wrong output.
+    Sdc,
+}
+
+/// Aggregate counts of a campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Injections that did not activate.
+    pub not_activated: usize,
+    /// Monitor detections.
+    pub detected: usize,
+    /// Crashes.
+    pub crashed: usize,
+    /// Hangs.
+    pub hung: usize,
+    /// Benign (masked) faults.
+    pub masked: usize,
+    /// Silent data corruptions.
+    pub sdc: usize,
+}
+
+impl OutcomeCounts {
+    /// Number of activated injections.
+    pub fn activated(&self) -> usize {
+        self.detected + self.crashed + self.hung + self.masked + self.sdc
+    }
+
+    /// The paper's coverage metric: the probability that an activated fault
+    /// does **not** lead to an SDC (`1 − SDC_f`). Crashes, hangs, masked
+    /// faults and detections all count as covered.
+    pub fn coverage(&self) -> f64 {
+        let activated = self.activated();
+        if activated == 0 {
+            return 1.0;
+        }
+        1.0 - self.sdc as f64 / activated as f64
+    }
+
+    /// Fraction of activated faults the monitor itself detected.
+    pub fn detection_rate(&self) -> f64 {
+        let activated = self.activated();
+        if activated == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / activated as f64
+    }
+
+    fn add(&mut self, outcome: FaultOutcome) {
+        match outcome {
+            FaultOutcome::NotActivated => self.not_activated += 1,
+            FaultOutcome::Detected => self.detected += 1,
+            FaultOutcome::Crashed => self.crashed += 1,
+            FaultOutcome::Hung => self.hung += 1,
+            FaultOutcome::Masked => self.masked += 1,
+            FaultOutcome::Sdc => self.sdc += 1,
+        }
+    }
+}
+
+/// One injection's record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// What was injected where.
+    pub plan: InjectionPlan,
+    /// The static branch hit, if activated.
+    pub branch: Option<u32>,
+    /// The classification.
+    pub outcome: FaultOutcome,
+}
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of injection experiments.
+    pub injections: usize,
+    /// Fault model for every experiment.
+    pub model: FaultModel,
+    /// RNG seed for target selection.
+    pub seed: u64,
+    /// The simulation configuration (thread count, monitor mode, …). The
+    /// golden run uses the same configuration with no fault.
+    pub sim: SimConfig,
+}
+
+impl CampaignConfig {
+    /// A campaign of `injections` faults of `model` on `nthreads` threads.
+    pub fn new(injections: usize, model: FaultModel, nthreads: u32) -> Self {
+        CampaignConfig {
+            injections,
+            model,
+            seed: 0xfa_017,
+            sim: SimConfig::new(nthreads),
+        }
+    }
+}
+
+/// Results of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Per-injection records.
+    pub records: Vec<InjectionRecord>,
+    /// Aggregate counts.
+    pub counts: OutcomeCounts,
+    /// The golden (fault-free) run the experiments were compared against.
+    pub golden_outputs_len: usize,
+    /// Dynamic branches per thread in the golden run.
+    pub branches_per_thread: Vec<u64>,
+}
+
+impl CampaignResult {
+    /// The paper's coverage metric (see [`OutcomeCounts::coverage`]).
+    pub fn coverage(&self) -> f64 {
+        self.counts.coverage()
+    }
+}
+
+/// Classifies one faulty run against the golden run. Detection has
+/// priority (the paper checks "whether it is detected by the monitor"
+/// first), then crash/hang, then output comparison.
+pub fn classify(result: &RunResult, golden: &RunResult, activated: bool) -> FaultOutcome {
+    if !activated {
+        return FaultOutcome::NotActivated;
+    }
+    if result.detected() {
+        return FaultOutcome::Detected;
+    }
+    match result.outcome {
+        RunOutcome::Crashed(_) => FaultOutcome::Crashed,
+        RunOutcome::Hung => FaultOutcome::Hung,
+        RunOutcome::Completed => {
+            if result.outputs == golden.outputs {
+                FaultOutcome::Masked
+            } else {
+                FaultOutcome::Sdc
+            }
+        }
+    }
+}
+
+/// Runs a full campaign: one golden run, then `config.injections`
+/// experiments with uniformly random (thread, dynamic-branch) targets,
+/// exactly as the paper's three-step procedure prescribes.
+///
+/// # Panics
+///
+/// Panics if the golden run does not complete (the program itself must be
+/// correct before injecting faults into it).
+pub fn run_campaign(image: &ProgramImage, config: &CampaignConfig) -> CampaignResult {
+    // Step 1: profile — the golden run records per-thread dynamic branch
+    // counts (the paper's PIN profiling run).
+    let golden = run_sim(image, &config.sim);
+    assert_eq!(
+        golden.outcome,
+        RunOutcome::Completed,
+        "golden run must complete before injecting faults"
+    );
+
+    // Faulty runs get a step budget derived from the golden run: a fault
+    // that corrupts a loop bound can otherwise spin for billions of steps
+    // before the generic cutoff declares a hang (the paper's injector uses
+    // a timeout for the same reason).
+    let mut faulty_sim = config.sim.clone();
+    faulty_sim.max_steps = golden.total_steps.saturating_mul(8).saturating_add(100_000);
+
+    let mut rng = SplitMix64::new(config.seed);
+    let n = config.sim.nthreads;
+    let mut records = Vec::with_capacity(config.injections);
+    let mut counts = OutcomeCounts::default();
+
+    for _ in 0..config.injections {
+        // Step 2: pick a random thread, then a random dynamic branch of it.
+        let tid = rng.below(i64::from(n)) as u32;
+        let nbranches = golden.branches_per_thread[tid as usize];
+        let plan = InjectionPlan {
+            tid,
+            dyn_index: if nbranches == 0 { 1 } else { 1 + rng.below(nbranches as i64) as u64 },
+            model: config.model,
+            value_choice: rng.below(1 << 16) as u32,
+            bit: rng.below(64) as u8,
+        };
+
+        // Step 3: inject and classify.
+        let mut hook = InjectionHook::new(plan);
+        let result = run_sim_with_hook(image, &faulty_sim, &mut hook);
+        let outcome = classify(&result, &golden, hook.activated());
+        counts.add(outcome);
+        records.push(InjectionRecord {
+            plan,
+            branch: hook.injected_branch.map(|b| b.0),
+            outcome,
+        });
+    }
+
+    CampaignResult {
+        records,
+        counts,
+        golden_outputs_len: golden.outputs.len(),
+        branches_per_thread: golden.branches_per_thread,
+    }
+}
+
+/// Runs `runs` fault-free executions and returns the number that reported
+/// a violation — the paper's false-positive experiment (the result must be
+/// zero, by construction of the static analysis).
+pub fn false_positive_runs(image: &ProgramImage, config: &SimConfig, runs: usize) -> usize {
+    let mut fps = 0;
+    for i in 0..runs {
+        let mut cfg = config.clone();
+        cfg.seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1);
+        let result = run_sim(image, &cfg);
+        if result.detected() {
+            fps += 1;
+        }
+    }
+    fps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counts_arithmetic() {
+        let counts = OutcomeCounts {
+            not_activated: 10,
+            detected: 40,
+            crashed: 20,
+            hung: 5,
+            masked: 15,
+            sdc: 10,
+        };
+        assert_eq!(counts.activated(), 90);
+        assert!((counts.coverage() - (1.0 - 10.0 / 90.0)).abs() < 1e-12);
+        assert!((counts.detection_rate() - 40.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_have_full_coverage() {
+        let counts = OutcomeCounts::default();
+        assert_eq!(counts.coverage(), 1.0);
+        assert_eq!(counts.detection_rate(), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fault models and the injection hook.
+//!
+//! The PIN-based injector of the paper picks one dynamic branch of one
+//! thread and flips a single bit in either the flag register (the branch
+//! goes the wrong, but legal, way) or the branch's condition variable (the
+//! corruption persists in the register and may or may not flip the branch).
+//! [`InjectionHook`] does exactly this at interpreter level, via the VM's
+//! [`BranchHook`] integration point.
+
+use bw_ir::BranchId;
+use bw_vm::{BranchHook, FaultAction};
+use serde::{Deserialize, Serialize};
+
+/// The two fault models of the paper's Section IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Single bit flip in the flag register: the chosen dynamic branch's
+    /// outcome is inverted, program data is untouched.
+    BranchFlip,
+    /// Single bit flip in the branch's condition data: persists in the
+    /// register, may or may not flip the branch, and is visible to the
+    /// instrumentation's witness.
+    ConditionBitFlip,
+}
+
+/// The exact injection point and parameters of one experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionPlan {
+    /// Thread to inject into.
+    pub tid: u32,
+    /// 1-based dynamic branch index within that thread.
+    pub dyn_index: u64,
+    /// Fault model.
+    pub model: FaultModel,
+    /// For [`FaultModel::ConditionBitFlip`]: which condition-data value to
+    /// corrupt (taken modulo the number of candidates).
+    pub value_choice: u32,
+    /// For [`FaultModel::ConditionBitFlip`]: which bit to flip.
+    pub bit: u8,
+}
+
+/// A [`BranchHook`] that fires once at the planned injection point.
+#[derive(Clone, Debug)]
+pub struct InjectionHook {
+    plan: InjectionPlan,
+    /// The static branch the fault landed on, once activated.
+    pub injected_branch: Option<BranchId>,
+}
+
+impl InjectionHook {
+    /// Creates the hook for one injection experiment.
+    pub fn new(plan: InjectionPlan) -> Self {
+        InjectionHook { plan, injected_branch: None }
+    }
+
+    /// Whether the fault was actually injected (the target dynamic branch
+    /// was reached).
+    pub fn activated(&self) -> bool {
+        self.injected_branch.is_some()
+    }
+}
+
+impl BranchHook for InjectionHook {
+    fn on_branch(&mut self, tid: u32, dyn_index: u64, branch: BranchId) -> Option<FaultAction> {
+        if self.injected_branch.is_some()
+            || tid != self.plan.tid
+            || dyn_index != self.plan.dyn_index
+        {
+            return None;
+        }
+        self.injected_branch = Some(branch);
+        Some(match self.plan.model {
+            FaultModel::BranchFlip => FaultAction::FlipOutcome,
+            FaultModel::ConditionBitFlip => FaultAction::CorruptData {
+                value_choice: self.plan.value_choice,
+                bit: self.plan.bit,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_the_target() {
+        let mut hook = InjectionHook::new(InjectionPlan {
+            tid: 1,
+            dyn_index: 3,
+            model: FaultModel::BranchFlip,
+            value_choice: 0,
+            bit: 0,
+        });
+        assert_eq!(hook.on_branch(0, 3, BranchId(0)), None); // wrong thread
+        assert_eq!(hook.on_branch(1, 2, BranchId(0)), None); // wrong index
+        assert!(!hook.activated());
+        assert_eq!(hook.on_branch(1, 3, BranchId(7)), Some(FaultAction::FlipOutcome));
+        assert!(hook.activated());
+        assert_eq!(hook.injected_branch, Some(BranchId(7)));
+        // Never fires again.
+        assert_eq!(hook.on_branch(1, 3, BranchId(7)), None);
+    }
+
+    #[test]
+    fn condition_model_requests_corruption() {
+        let mut hook = InjectionHook::new(InjectionPlan {
+            tid: 0,
+            dyn_index: 1,
+            model: FaultModel::ConditionBitFlip,
+            value_choice: 2,
+            bit: 17,
+        });
+        assert_eq!(
+            hook.on_branch(0, 1, BranchId(0)),
+            Some(FaultAction::CorruptData { value_choice: 2, bit: 17 })
+        );
+    }
+}

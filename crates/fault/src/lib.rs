@@ -1,0 +1,46 @@
+//! # bw-fault — fault-injection campaigns for BLOCKWATCH
+//!
+//! Reproduces the paper's PIN-based fault-injection methodology at
+//! interpreter level (Section IV):
+//!
+//! 1. **Profile**: a golden run records each thread's dynamic branch count.
+//! 2. **Target**: pick a uniformly random thread `j` and a uniformly random
+//!    dynamic branch `k` of that thread.
+//! 3. **Inject**: flip one bit — either the flag register
+//!    ([`FaultModel::BranchFlip`], the branch goes the wrong way) or the
+//!    branch's condition data ([`FaultModel::ConditionBitFlip`], persists
+//!    in the register and may or may not flip the branch).
+//!
+//! Each run is then classified ([`FaultOutcome`]) as Detected / Crashed /
+//! Hung / Masked / SDC against the golden output, and
+//! [`OutcomeCounts::coverage`] computes the paper's metric
+//! `coverage = 1 − SDC_fraction` over activated faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_fault::{run_campaign, CampaignConfig, FaultModel};
+//! use bw_vm::ProgramImage;
+//!
+//! let module = bw_ir::frontend::compile(r#"
+//!     shared int n = 16;
+//!     @spmd func slave() {
+//!         for (var i: int = 0; i < n; i = i + 1) { output(i); }
+//!     }
+//! "#).unwrap();
+//! let image = ProgramImage::prepare_default(module);
+//! let campaign = run_campaign(&image, &CampaignConfig::new(20, FaultModel::BranchFlip, 4));
+//! assert_eq!(campaign.records.len(), 20);
+//! assert!(campaign.coverage() >= 0.0 && campaign.coverage() <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod campaign;
+mod injector;
+
+pub use campaign::{
+    classify, false_positive_runs, run_campaign, CampaignConfig, CampaignResult, FaultOutcome,
+    InjectionRecord, OutcomeCounts,
+};
+pub use injector::{FaultModel, InjectionHook, InjectionPlan};

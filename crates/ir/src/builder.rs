@@ -1,0 +1,485 @@
+//! Convenience builder for constructing SSA functions.
+//!
+//! The builder tracks the "current block" and appends instructions to it,
+//! allocating result values and recording definition sites. It performs
+//! local type inference for arithmetic (result type = lhs type) and checks
+//! simple invariants eagerly so mistakes surface at construction time rather
+//! than in the verifier.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_ir::{Module, FunctionBuilder, Type, Val, BinOp, CmpOp};
+//!
+//! let mut module = Module::new("demo");
+//! let mut b = FunctionBuilder::new("slave", vec![], None);
+//! let tid = b.thread_id();
+//! let zero = b.const_i64(0);
+//! let is_leader = b.cmp(CmpOp::Eq, tid, zero);
+//! let then_bb = b.add_block("leader");
+//! let join_bb = b.add_block("join");
+//! b.br(is_leader, then_bb, join_bb);
+//! b.switch_to(then_bb);
+//! b.jump(join_bb);
+//! b.switch_to(join_bb);
+//! b.ret(None);
+//! let func = b.finish();
+//! module.add_func(func);
+//! ```
+
+use crate::ids::{BarrierId, BlockId, FuncId, GlobalId, MutexId, TableId, ValueId};
+use crate::function::{Function, ValueDef};
+use crate::inst::{BinOp, CmpOp, Inst, Op, PhiIncoming, UnOp};
+use crate::module::Module;
+use crate::value::{Type, Val};
+
+/// Incremental builder for one [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    sealed: bool,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given signature. The current
+    /// block is the entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Option<Type>) -> Self {
+        FunctionBuilder { func: Function::new(name, params, ret), current: BlockId(0), sealed: false }
+    }
+
+    /// The `n`-th parameter as an SSA value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn param(&self, n: usize) -> ValueId {
+        assert!(n < self.func.params.len(), "parameter index out of range");
+        ValueId::from_index(n)
+    }
+
+    /// Creates a new (empty) block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(Some(name.into()))
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn current_is_terminated(&self) -> bool {
+        self.func.block(self.current).terminator().is_some()
+    }
+
+    fn push(&mut self, op: Op, ty: Option<Type>) -> Option<ValueId> {
+        assert!(
+            !self.current_is_terminated(),
+            "appending to already-terminated block {} in `{}`",
+            self.current,
+            self.func.name
+        );
+        let block = self.current;
+        let inst_index = self.func.block(block).insts.len();
+        let result = ty.map(|t| self.func.new_value(t, ValueDef::Inst { block, inst_index }));
+        self.func.block_mut(block).insts.push(Inst { op, result, ty });
+        result
+    }
+
+    fn push_value(&mut self, op: Op, ty: Type) -> ValueId {
+        self.push(op, Some(ty)).expect("value-producing op")
+    }
+
+    /// An `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.push_value(Op::Const(Val::I64(v)), Type::I64)
+    }
+
+    /// An `f64` constant.
+    pub fn const_f64(&mut self, v: f64) -> ValueId {
+        self.push_value(Op::Const(Val::F64(v)), Type::F64)
+    }
+
+    /// A `bool` constant.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.push_value(Op::Const(Val::Bool(v)), Type::Bool)
+    }
+
+    /// A binary operation; the result type is the lhs type.
+    pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.func.value_type(lhs);
+        self.push_value(Op::Bin { op, lhs, rhs }, ty)
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `lhs / rhs`.
+    pub fn div(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Div, lhs, rhs)
+    }
+
+    /// A comparison producing `bool`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.push_value(Op::Cmp { op, lhs, rhs }, Type::Bool)
+    }
+
+    /// A unary operation.
+    pub fn un(&mut self, op: UnOp, operand: ValueId) -> ValueId {
+        let ty = match op {
+            UnOp::IntToFloat | UnOp::Sqrt => Type::F64,
+            UnOp::FloatToInt => Type::I64,
+            UnOp::Neg | UnOp::Abs | UnOp::Not => self.func.value_type(operand),
+        };
+        self.push_value(Op::Un { op, operand }, ty)
+    }
+
+    /// A phi node. Must be inserted before any non-phi instruction of the
+    /// current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block already contains a non-phi instruction.
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, ValueId)>) -> ValueId {
+        assert!(
+            self.func.block(self.current).insts.iter().all(|inst| inst.op.is_phi()),
+            "phi after non-phi instruction in {}",
+            self.current
+        );
+        let incomings =
+            incomings.into_iter().map(|(block, value)| PhiIncoming { block, value }).collect();
+        self.push_value(Op::Phi { incomings, ty }, ty)
+    }
+
+    /// Inserts an empty phi at the head of `block` (after any existing
+    /// phis) and returns its value. Used by incremental SSA construction;
+    /// incomings must be added with [`FunctionBuilder::add_phi_incoming`]
+    /// before the function is verified.
+    pub fn insert_phi_at_head(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let pos = self.func.block(block).insts.iter().take_while(|i| i.op.is_phi()).count();
+        // Shift definition records of the instructions the insert displaces.
+        for def in &mut self.func.defs {
+            if let ValueDef::Inst { block: b, inst_index } = def {
+                if *b == block && *inst_index >= pos {
+                    *inst_index += 1;
+                }
+            }
+        }
+        let result = self.func.new_value(ty, ValueDef::Inst { block, inst_index: pos });
+        self.func.block_mut(block).insts.insert(
+            pos,
+            Inst { op: Op::Phi { incomings: Vec::new(), ty }, result: Some(result), ty: Some(ty) },
+        );
+        result
+    }
+
+    /// Adds an incoming edge to an existing phi (used when building loops,
+    /// where the back-edge value is only known after the body is built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` does not name a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, block: BlockId, value: ValueId) {
+        let def = self.func.defs[phi.index()];
+        let ValueDef::Inst { block: phi_block, inst_index } = def else {
+            panic!("{phi} is a parameter, not a phi");
+        };
+        let inst = &mut self.func.block_mut(phi_block).insts[inst_index];
+        let Op::Phi { incomings, .. } = &mut inst.op else {
+            panic!("{phi} is not a phi instruction");
+        };
+        incomings.push(PhiIncoming { block, value });
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&mut self, global: GlobalId) -> ValueId {
+        self.push_value(Op::GlobalAddr(global), Type::Ptr)
+    }
+
+    /// Pointer displaced by `offset` (i64) words.
+    pub fn gep(&mut self, base: ValueId, offset: ValueId) -> ValueId {
+        self.push_value(Op::Gep { base, offset }, Type::Ptr)
+    }
+
+    /// Load a `ty` word from `addr`.
+    pub fn load(&mut self, addr: ValueId, ty: Type) -> ValueId {
+        self.push_value(Op::Load { addr, ty }, ty)
+    }
+
+    /// Store `value` to `addr`.
+    pub fn store(&mut self, addr: ValueId, value: ValueId) {
+        self.push(Op::Store { addr, value }, None);
+    }
+
+    /// Loads a scalar global: `global_addr` + `load` in one call.
+    pub fn load_global(&mut self, module: &Module, global: GlobalId) -> ValueId {
+        let ty = module.global(global).ty;
+        let addr = self.global_addr(global);
+        self.load(addr, ty)
+    }
+
+    /// Stores to a scalar global.
+    pub fn store_global(&mut self, global: GlobalId, value: ValueId) {
+        let addr = self.global_addr(global);
+        self.store(addr, value);
+    }
+
+    /// Loads `global[index]`.
+    pub fn load_index(&mut self, module: &Module, global: GlobalId, index: ValueId) -> ValueId {
+        let ty = module.global(global).ty;
+        let base = self.global_addr(global);
+        let addr = self.gep(base, index);
+        self.load(addr, ty)
+    }
+
+    /// Stores `value` to `global[index]`.
+    pub fn store_index(&mut self, global: GlobalId, index: ValueId, value: ValueId) {
+        let base = self.global_addr(global);
+        let addr = self.gep(base, index);
+        self.store(addr, value);
+    }
+
+    /// Allocates `size` thread-local words.
+    pub fn alloca(&mut self, size: ValueId) -> ValueId {
+        self.push_value(Op::Alloca { size }, Type::Ptr)
+    }
+
+    /// The executing thread's id.
+    pub fn thread_id(&mut self) -> ValueId {
+        self.push_value(Op::ThreadId, Type::I64)
+    }
+
+    /// The number of threads.
+    pub fn num_threads(&mut self) -> ValueId {
+        self.push_value(Op::NumThreads, Type::I64)
+    }
+
+    /// Atomic fetch-and-add on a global scalar.
+    pub fn atomic_fetch_add(&mut self, global: GlobalId, delta: ValueId) -> ValueId {
+        self.push_value(Op::AtomicFetchAdd { global, delta }, Type::I64)
+    }
+
+    /// Direct call. Requires `&mut Module` to allocate the call-site id and
+    /// to read the callee's return type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callee id is out of range or the argument count does
+    /// not match the callee signature.
+    pub fn call(&mut self, module: &mut Module, func: FuncId, args: Vec<ValueId>) -> Option<ValueId> {
+        let callee = module.func(func);
+        assert_eq!(
+            callee.params.len(),
+            args.len(),
+            "call to `{}` with wrong argument count",
+            callee.name
+        );
+        let ret = callee.ret;
+        let site = module.new_call_site();
+        self.push(Op::Call { func, args, site }, ret)
+    }
+
+    /// Indirect call through a function table. All callees in a table must
+    /// share a signature; the return type is taken from the first callee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn call_indirect(
+        &mut self,
+        module: &mut Module,
+        table: TableId,
+        selector: ValueId,
+        args: Vec<ValueId>,
+    ) -> Option<ValueId> {
+        let first = *module.tables[table.index()]
+            .funcs
+            .first()
+            .expect("indirect call through empty table");
+        let ret = module.func(first).ret;
+        let site = module.new_call_site();
+        self.push(Op::CallIndirect { table, selector, args, site }, ret)
+    }
+
+    /// Appends `value` to the program output.
+    pub fn output(&mut self, value: ValueId) {
+        self.push(Op::Output(value), None);
+    }
+
+    /// Acquires a mutex.
+    pub fn mutex_lock(&mut self, mutex: MutexId) {
+        self.push(Op::MutexLock(mutex), None);
+    }
+
+    /// Releases a mutex.
+    pub fn mutex_unlock(&mut self, mutex: MutexId) {
+        self.push(Op::MutexUnlock(mutex), None);
+    }
+
+    /// Waits at a barrier.
+    pub fn barrier(&mut self, barrier: BarrierId) {
+        self.push(Op::Barrier(barrier), None);
+    }
+
+    /// Draws a pseudo-random i64 in `[0, bound)`.
+    pub fn rand(&mut self, bound: ValueId) -> ValueId {
+        self.push_value(Op::Rand { bound }, Type::I64)
+    }
+
+    /// Conditional branch terminator.
+    pub fn br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        self.push(Op::Br { cond, then_bb, else_bb }, None);
+    }
+
+    /// Unconditional jump terminator.
+    pub fn jump(&mut self, target: BlockId) {
+        self.push(Op::Jump(target), None);
+    }
+
+    /// Return terminator.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        self.push(Op::Ret(value), None);
+    }
+
+    /// Trap terminator.
+    pub fn trap(&mut self) {
+        self.push(Op::Trap, None);
+    }
+
+    /// Low-level escape hatch: appends an arbitrary op with an explicit
+    /// result type. Used by the front-end lowering, which performs its own
+    /// signature resolution; prefer the typed helpers elsewhere.
+    pub fn emit(&mut self, op: Op, ty: Option<Type>) -> Option<ValueId> {
+        self.push(op, ty)
+    }
+
+    /// Finishes building and returns the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn finish(mut self) -> Function {
+        assert!(!self.sealed, "finish called twice");
+        self.sealed = true;
+        self.func
+    }
+
+    /// Read-only view of the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_code() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let one = b.const_i64(1);
+        let sum = b.add(p, one);
+        b.ret(Some(sum));
+        let f = b.finish();
+        assert_eq!(f.num_insts(), 3);
+        assert_eq!(f.value_type(sum), Type::I64);
+    }
+
+    #[test]
+    fn builds_diamond_cfg() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Bool], None);
+        let cond = b.param(0);
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let j = b.add_block("j");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.jump(j);
+        b.switch_to(e);
+        let two = b.const_i64(2);
+        b.jump(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I64, vec![(t, one), (e, two)]);
+        b.output(phi);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.num_branches(), 1);
+    }
+
+    #[test]
+    fn add_phi_incoming_extends_loop_phi() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        let zero = b.const_i64(0);
+        let entry = b.current_block();
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let ten = b.const_i64(10);
+        let cond = b.cmp(CmpOp::Lt, i, ten);
+        b.br(cond, body, exit);
+        b.switch_to(body);
+        let one = b.const_i64(1);
+        let next = b.add(i, one);
+        b.add_phi_incoming(i, body, next);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let phi_inst = f.def_inst(i).unwrap();
+        assert_eq!(phi_inst.op.phi_incomings().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-terminated")]
+    fn appending_after_terminator_panics() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        b.const_i64(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi after non-phi")]
+    fn phi_after_non_phi_panics() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.const_i64(1);
+        b.phi(Type::I64, vec![]);
+    }
+
+    #[test]
+    fn call_uses_unique_sites_and_signature() {
+        let mut m = Module::new("t");
+        let callee = m.add_func(Function::new("g", vec![Type::I64], Some(Type::I64)));
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let one = b.const_i64(1);
+        let r1 = b.call(&mut m, callee, vec![one]).unwrap();
+        let r2 = b.call(&mut m, callee, vec![one]).unwrap();
+        assert_ne!(r1, r2);
+        assert_eq!(m.num_call_sites, 2);
+        let f = b.func();
+        assert_eq!(f.value_type(r1), Type::I64);
+    }
+}

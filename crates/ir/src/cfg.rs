@@ -1,0 +1,188 @@
+//! Control-flow graph utilities: predecessor/successor maps and orderings.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Precomputed CFG edges for a function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func` from its terminators. Blocks without a
+    /// terminator (only possible mid-construction) have no successors.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bb, block) in func.iter_blocks() {
+            if let Some(term) = block.terminator() {
+                for succ in term.op.successors() {
+                    succs[bb.index()].push(succ);
+                    preds[succ.index()].push(bb);
+                }
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Successors of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.index()]
+    }
+
+    /// Predecessors of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// excluded.
+    pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let mut order = self.postorder(entry);
+        order.reverse();
+        order
+    }
+
+    /// Blocks in postorder from the entry (iterative DFS). Unreachable
+    /// blocks are excluded.
+    pub fn postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        // Each stack frame is (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        while let Some((bb, idx)) = stack.last_mut() {
+            let succs = &self.succs[bb.index()];
+            if *idx < succs.len() {
+                let next = succs[*idx];
+                *idx += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(*bb);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Blocks reachable from `entry`, as a boolean vector indexed by block.
+    pub fn reachable(&self, entry: BlockId) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut work = vec![entry];
+        seen[entry.index()] = true;
+        while let Some(bb) = work.pop() {
+            for &succ in self.succs(bb) {
+                if !seen[succ.index()] {
+                    seen[succ.index()] = true;
+                    work.push(succ);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::value::Type;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", vec![Type::Bool], None);
+        let cond = b.param(0);
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let j = b.add_block("j");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_ends_at_exit() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder(BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo[3], BlockId(3));
+    }
+
+    #[test]
+    fn rpo_excludes_unreachable() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let dead = b.add_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder(BlockId(0));
+        assert_eq!(rpo, vec![BlockId(0)]);
+        let reach = cfg.reachable(BlockId(0));
+        assert!(reach[0]);
+        assert!(!reach[1]);
+    }
+
+    #[test]
+    fn loop_rpo_visits_header_before_body() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        let c = b.const_bool(true);
+        b.jump(header);
+        b.switch_to(header);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder(BlockId(0));
+        let pos =
+            |bb: BlockId| rpo.iter().position(|&x| x == bb).unwrap();
+        assert!(pos(header) < pos(body));
+    }
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax tree of the SPMD mini language.
+
+use crate::frontend::lexer::Pos;
+use crate::inst::{BinOp, CmpOp, UnOp};
+use crate::value::Type;
+
+/// A whole parsed source file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstModule {
+    /// Module name (from `module NAME;`, defaults to `"main"`).
+    pub name: String,
+    /// Global variable declarations.
+    pub globals: Vec<AstGlobal>,
+    /// Mutex names.
+    pub mutexes: Vec<String>,
+    /// Barrier names.
+    pub barriers: Vec<String>,
+    /// Function tables.
+    pub tables: Vec<AstTable>,
+    /// Function definitions.
+    pub funcs: Vec<AstFunc>,
+}
+
+/// A global variable declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstGlobal {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Array length, or `None` for scalars.
+    pub len: Option<u64>,
+    /// Initializer literal (scalar value applied to every element).
+    pub init: Option<Literal>,
+    /// Declared with `shared`.
+    pub shared: bool,
+    /// Declared with `tid_counter`.
+    pub tid_counter: bool,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+/// A function-table declaration: `table name = { f, g, h };`
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstTable {
+    /// Table name.
+    pub name: String,
+    /// Callee function names.
+    pub funcs: Vec<String>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Role attribute attached to a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuncRole {
+    /// No attribute: a plain helper function.
+    Plain,
+    /// `@init`: single-threaded setup.
+    Init,
+    /// `@spmd`: the parallel-section entry run by all threads.
+    Spmd,
+    /// `@fini`: single-threaded teardown.
+    Fini,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstFunc {
+    /// Function name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Return type, if any.
+    pub ret: Option<Type>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Role.
+    pub role: FuncRole,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Literal values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var name: ty = expr;` or `var name: ty[len];` (local array).
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        ty: Type,
+        /// Array length expression (local array) or `None` for scalars.
+        len: Option<Expr>,
+        /// Scalar initializer.
+        init: Option<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+        /// Position.
+        pos: Pos,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-arm.
+        then_body: Vec<Stmt>,
+        /// Else-arm (empty if absent).
+        else_body: Vec<Stmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `for (init; cond; step) { .. }`
+    For {
+        /// Init statement (var decl or assignment), if any.
+        init: Option<Box<Stmt>>,
+        /// Condition.
+        cond: Expr,
+        /// Step statement (assignment), if any.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `return expr?;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `break;`
+    Break {
+        /// Position.
+        pos: Pos,
+    },
+    /// `continue;`
+    Continue {
+        /// Position.
+        pos: Pos,
+    },
+    /// `lock(m);`
+    Lock {
+        /// Mutex name.
+        mutex: String,
+        /// Position.
+        pos: Pos,
+    },
+    /// `unlock(m);`
+    Unlock {
+        /// Mutex name.
+        mutex: String,
+        /// Position.
+        pos: Pos,
+    },
+    /// `barrier(b);`
+    BarrierWait {
+        /// Barrier name.
+        barrier: String,
+        /// Position.
+        pos: Pos,
+    },
+    /// `output(expr);`
+    Output {
+        /// Emitted value.
+        value: Expr,
+        /// Position.
+        pos: Pos,
+    },
+    /// `trap;`
+    Trap {
+        /// Position.
+        pos: Pos,
+    },
+    /// An expression evaluated for its side effects (typically a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A local variable or global scalar.
+    Name(String),
+    /// `name[index]` — a global array element, or an element of a local
+    /// array variable holding a pointer.
+    Index(String, Box<Expr>),
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Literal(Literal, Pos),
+    /// A variable or global scalar read.
+    Name(String, Pos),
+    /// `name[index]` — array element read.
+    Index(String, Box<Expr>, Pos),
+    /// Binary arithmetic / bitwise operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>, Pos),
+    /// Short-circuit `&&`.
+    LogicalAnd(Box<Expr>, Box<Expr>, Pos),
+    /// Short-circuit `||`.
+    LogicalOr(Box<Expr>, Box<Expr>, Pos),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>, Pos),
+    /// Direct call `f(args)`.
+    Call(String, Vec<Expr>, Pos),
+    /// Indirect call `table[selector](args)`.
+    CallIndirect(String, Box<Expr>, Vec<Expr>, Pos),
+    /// `threadid()`
+    ThreadId(Pos),
+    /// `numthreads()`
+    NumThreads(Pos),
+    /// `rand(bound)`
+    Rand(Box<Expr>, Pos),
+    /// `fetch_add(global, delta)`
+    FetchAdd(String, Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// The source position of this expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Literal(_, p)
+            | Expr::Name(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Cmp(_, _, _, p)
+            | Expr::LogicalAnd(_, _, p)
+            | Expr::LogicalOr(_, _, p)
+            | Expr::Un(_, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::CallIndirect(_, _, _, p)
+            | Expr::ThreadId(p)
+            | Expr::NumThreads(p)
+            | Expr::Rand(_, p)
+            | Expr::FetchAdd(_, _, p) => *p,
+        }
+    }
+}

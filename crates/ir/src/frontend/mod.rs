@@ -1,0 +1,59 @@
+//! Textual front-end: a C-like mini language for SPMD programs.
+//!
+//! The language mirrors the pthreads/SPMD structure the paper assumes:
+//! globals (optionally `shared`, optionally `tid_counter`), mutexes,
+//! barriers, function tables (modelling function pointers), and functions
+//! with the roles `@init` (single-threaded setup), `@spmd` (executed by all
+//! threads) and `@fini` (single-threaded teardown).
+//!
+//! # Language reference
+//!
+//! ```text
+//! module fft;                     // optional module name
+//! shared int n = 64;              // shared global scalar (seeds `shared`)
+//! tid_counter int id = 0;         // thread-ID counter (seeds `threadID`)
+//! shared float data[1024];        // shared global array
+//! int scratch;                    // non-shared global
+//! mutex m;  barrier b;            // sync primitives
+//! table shaders = { flat, phong };// function table for indirect calls
+//!
+//! @spmd func slave() {
+//!     var procid: int = threadid();          // or fetch_add(id, 1)
+//!     if (procid == 0) { output(1); }
+//!     for (var i: int = 0; i < n; i = i + 1) {
+//!         data[procid * n + i] = float(i);
+//!     }
+//!     lock(m);   unlock(m);   barrier(b);
+//!     shaders[procid % 2](procid);           // indirect call
+//! }
+//! ```
+//!
+//! Types are `int` (i64), `float` (f64) and `bool`. Intrinsics:
+//! `threadid()`, `numthreads()`, `rand(bound)`, `fetch_add(global, delta)`,
+//! `float(x)`, `int(x)`, `sqrt(x)`, `abs(x)`, `min(a,b)`, `max(a,b)`.
+//!
+//! # Examples
+//!
+//! ```
+//! let module = bw_ir::frontend::compile(r#"
+//!     shared int n = 8;
+//!     @spmd func slave() {
+//!         var t: int = threadid();
+//!         if (t < n) { output(t); }
+//!     }
+//! "#)?;
+//! assert_eq!(module.funcs.len(), 1);
+//! # Ok::<(), bw_ir::frontend::FrontendError>(())
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{
+    AstFunc, AstGlobal, AstModule, AstTable, Expr, FuncRole, LValue, Literal, Stmt,
+};
+pub use lexer::{lex, LexError, Pos, Tok, Token};
+pub use lower::{compile, lower, FrontendError, LowerError};
+pub use parser::{parse, ParseError};

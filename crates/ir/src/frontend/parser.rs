@@ -1,0 +1,898 @@
+//! Recursive-descent parser for the SPMD mini language.
+//!
+//! Grammar sketch (see the crate docs of [`crate::frontend`] for the full
+//! language reference):
+//!
+//! ```text
+//! module   := ("module" IDENT ";")? item*
+//! item     := global | "mutex" IDENT ";" | "barrier" IDENT ";"
+//!           | "table" IDENT "=" "{" IDENT,* "}" ";" | func
+//! global   := ("shared")? ("tid_counter")? type IDENT ("[" INT "]")?
+//!             ("=" literal)? ";"
+//! func     := attr? "func" IDENT "(" (IDENT ":" type),* ")" ("->" type)? block
+//! ```
+
+use std::fmt;
+
+use crate::frontend::ast::*;
+use crate::frontend::lexer::{lex, LexError, Pos, Tok, Token};
+use crate::inst::{BinOp, CmpOp, UnOp};
+use crate::value::Type;
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+/// Parses a source file into an [`AstModule`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse(source: &str) -> Result<AstModule, ParseError> {
+    let tokens = lex(source)?;
+    Parser { tokens, index: 0 }.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.index + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.index].clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), pos: self.peek().pos })
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, ParseError> {
+        if self.peek().tok == tok {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected `{tok}`, found `{}`", self.peek().tok))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found `{}`", self.peek().tok))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn try_type(&mut self) -> Option<Type> {
+        let ty = match &self.peek().tok {
+            Tok::Ident(s) => match s.as_str() {
+                "int" => Type::I64,
+                "float" => Type::F64,
+                "bool" => Type::Bool,
+                _ => return None,
+            },
+            _ => return None,
+        };
+        self.bump();
+        Some(ty)
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        match self.try_type() {
+            Some(t) => Ok(t),
+            None => self.err(format!("expected type, found `{}`", self.peek().tok)),
+        }
+    }
+
+    fn module(&mut self) -> Result<AstModule, ParseError> {
+        let mut m = AstModule {
+            name: "main".to_string(),
+            globals: Vec::new(),
+            mutexes: Vec::new(),
+            barriers: Vec::new(),
+            tables: Vec::new(),
+            funcs: Vec::new(),
+        };
+        if self.peek().is_kw("module") {
+            self.bump();
+            m.name = self.ident()?;
+            self.expect(Tok::Semi)?;
+        }
+        loop {
+            let t = self.peek().clone();
+            match &t.tok {
+                Tok::Eof => break,
+                Tok::Attr(attr) => {
+                    let role = match attr.as_str() {
+                        "init" => FuncRole::Init,
+                        "spmd" => FuncRole::Spmd,
+                        "fini" => FuncRole::Fini,
+                        other => return self.err(format!("unknown attribute `@{other}`")),
+                    };
+                    self.bump();
+                    m.funcs.push(self.func(role)?);
+                }
+                Tok::Ident(kw) => match kw.as_str() {
+                    "func" => m.funcs.push(self.func(FuncRole::Plain)?),
+                    "mutex" => {
+                        self.bump();
+                        m.mutexes.push(self.ident()?);
+                        self.expect(Tok::Semi)?;
+                    }
+                    "barrier" => {
+                        self.bump();
+                        m.barriers.push(self.ident()?);
+                        self.expect(Tok::Semi)?;
+                    }
+                    "table" => {
+                        let pos = t.pos;
+                        self.bump();
+                        let name = self.ident()?;
+                        self.expect(Tok::Assign)?;
+                        self.expect(Tok::LBrace)?;
+                        let mut funcs = vec![self.ident()?];
+                        while self.peek().tok == Tok::Comma {
+                            self.bump();
+                            funcs.push(self.ident()?);
+                        }
+                        self.expect(Tok::RBrace)?;
+                        self.expect(Tok::Semi)?;
+                        m.tables.push(AstTable { name, funcs, pos });
+                    }
+                    _ => m.globals.push(self.global()?),
+                },
+                other => return self.err(format!("expected item, found `{other}`")),
+            }
+        }
+        Ok(m)
+    }
+
+    fn global(&mut self) -> Result<AstGlobal, ParseError> {
+        let pos = self.peek().pos;
+        let mut shared = false;
+        let mut tid_counter = false;
+        loop {
+            if self.eat_kw("shared") {
+                shared = true;
+            } else if self.eat_kw("tid_counter") {
+                tid_counter = true;
+            } else {
+                break;
+            }
+        }
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        let len = if self.peek().tok == Tok::LBracket {
+            self.bump();
+            let n = match self.peek().tok {
+                Tok::Int(v) if v > 0 => v as u64,
+                _ => return self.err("global array length must be a positive integer literal"),
+            };
+            self.bump();
+            self.expect(Tok::RBracket)?;
+            Some(n)
+        } else {
+            None
+        };
+        let init = if self.peek().tok == Tok::Assign {
+            self.bump();
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(AstGlobal { name, ty, len, init, shared, tid_counter, pos })
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        let t = self.peek().clone();
+        let negative = if t.tok == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let t = self.peek().clone();
+        let lit = match t.tok {
+            Tok::Int(v) => Literal::Int(if negative { -v } else { v }),
+            Tok::Float(v) => Literal::Float(if negative { -v } else { v }),
+            Tok::Ident(ref s) if s == "true" && !negative => Literal::Bool(true),
+            Tok::Ident(ref s) if s == "false" && !negative => Literal::Bool(false),
+            ref other => return self.err(format!("expected literal, found `{other}`")),
+        };
+        self.bump();
+        Ok(lit)
+    }
+
+    fn func(&mut self, role: FuncRole) -> Result<AstFunc, ParseError> {
+        let pos = self.peek().pos;
+        self.expect_kw("func")?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().tok != Tok::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.peek().tok == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret = if self.peek().tok == Tok::Arrow {
+            self.bump();
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(AstFunc { name, params, ret, body, role, pos })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek().tok != Tok::RBrace {
+            if self.peek().tok == Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let t = self.peek().clone();
+        let pos = t.pos;
+        match &t.tok {
+            Tok::Ident(kw) => match kw.as_str() {
+                "var" => {
+                    let s = self.var_decl()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(s)
+                }
+                "if" => self.if_stmt(),
+                "while" => {
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    let body = self.block()?;
+                    Ok(Stmt::While { cond, body, pos })
+                }
+                "for" => self.for_stmt(),
+                "return" => {
+                    self.bump();
+                    let value = if self.peek().tok == Tok::Semi {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return { value, pos })
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Break { pos })
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Continue { pos })
+                }
+                "lock" | "unlock" | "barrier" | "output" => {
+                    let which = kw.clone();
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let s = match which.as_str() {
+                        "lock" => Stmt::Lock { mutex: self.ident()?, pos },
+                        "unlock" => Stmt::Unlock { mutex: self.ident()?, pos },
+                        "barrier" => Stmt::BarrierWait { barrier: self.ident()?, pos },
+                        _ => Stmt::Output { value: self.expr()?, pos },
+                    };
+                    self.expect(Tok::RParen)?;
+                    self.expect(Tok::Semi)?;
+                    Ok(s)
+                }
+                "trap" => {
+                    self.bump();
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Trap { pos })
+                }
+                _ => {
+                    // Assignment or expression statement.
+                    let s = self.assign_or_expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(s)
+                }
+            },
+            _ => self.err(format!("expected statement, found `{}`", t.tok)),
+        }
+    }
+
+    /// Parses `var name: ty (= expr | [len])?` without the trailing `;`.
+    fn var_decl(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.peek().pos;
+        self.expect_kw("var")?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        let mut len = None;
+        let mut init = None;
+        if self.peek().tok == Tok::LBracket {
+            self.bump();
+            len = Some(self.expr()?);
+            self.expect(Tok::RBracket)?;
+        } else if self.peek().tok == Tok::Assign {
+            self.bump();
+            init = Some(self.expr()?);
+        }
+        Ok(Stmt::VarDecl { name, ty, len, init, pos })
+    }
+
+    /// Parses an assignment or expression statement, without the `;`.
+    fn assign_or_expr(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.peek().pos;
+        // Lookahead: IDENT `=` or IDENT `[`…`]` `=` is an assignment;
+        // everything else is an expression statement.
+        if let Tok::Ident(name) = &self.peek().tok {
+            let name = name.clone();
+            if self.peek2().tok == Tok::Assign {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { target: LValue::Name(name), value, pos });
+            }
+            if self.peek2().tok == Tok::LBracket {
+                // Could be `a[i] = e`, `a[i]` in an expression, or an
+                // indirect call `t[i](args)`. Parse the index, then decide.
+                let save = self.index;
+                self.bump(); // name
+                self.bump(); // [
+                let index = self.expr()?;
+                if self.peek().tok == Tok::RBracket && self.peek2().tok == Tok::Assign {
+                    self.bump(); // ]
+                    self.bump(); // =
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        target: LValue::Index(name, Box::new(index)),
+                        value,
+                        pos,
+                    });
+                }
+                self.index = save;
+            }
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::ExprStmt { expr, pos })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.peek().pos;
+        self.expect_kw("if")?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.peek().is_kw("else") {
+            self.bump();
+            if self.peek().is_kw("if") {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body, pos })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.peek().pos;
+        self.expect_kw("for")?;
+        self.expect(Tok::LParen)?;
+        let init = if self.peek().tok == Tok::Semi {
+            None
+        } else if self.peek().is_kw("var") {
+            Some(Box::new(self.var_decl()?))
+        } else {
+            Some(Box::new(self.assign_or_expr()?))
+        };
+        self.expect(Tok::Semi)?;
+        let cond = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let step = if self.peek().tok == Tok::RParen {
+            None
+        } else {
+            Some(Box::new(self.assign_or_expr()?))
+        };
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For { init, cond, step, body, pos })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek().tok == Tok::OrOr {
+            let pos = self.bump().pos;
+            let rhs = self.and_expr()?;
+            lhs = Expr::LogicalOr(Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitor_expr()?;
+        while self.peek().tok == Tok::AndAnd {
+            let pos = self.bump().pos;
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::LogicalAnd(Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.peek().tok == Tok::Pipe {
+            let pos = self.bump().pos;
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.peek().tok == Tok::Caret {
+            let pos = self.bump().pos;
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::Bin(BinOp::Xor, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek().tok == Tok::Amp {
+            let pos = self.bump().pos;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.shift_expr()?;
+        let op = match self.peek().tok {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.bump().pos;
+        let rhs = self.shift_expr()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs), pos))
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            let pos = self.bump().pos;
+            let rhs = self.add_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.bump().pos;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let pos = self.bump().pos;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().tok {
+            Tok::Minus => {
+                let pos = self.bump().pos;
+                let operand = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(operand), pos))
+            }
+            Tok::Not => {
+                let pos = self.bump().pos;
+                let operand = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Not, Box::new(operand), pos))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        let pos = t.pos;
+        match &t.tok {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(*v), pos))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(*v), pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let name = name.clone();
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Literal::Bool(true), pos));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Literal::Bool(false), pos));
+                    }
+                    _ => {}
+                }
+                self.bump();
+                match self.peek().tok {
+                    Tok::LParen => {
+                        let args = self.call_args()?;
+                        self.intrinsic_or_call(name, args, pos)
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        if self.peek().tok == Tok::LParen {
+                            let args = self.call_args()?;
+                            Ok(Expr::CallIndirect(name, Box::new(index), args, pos))
+                        } else {
+                            Ok(Expr::Index(name, Box::new(index), pos))
+                        }
+                    }
+                    _ => Ok(Expr::Name(name, pos)),
+                }
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek().tok != Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek().tok == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn intrinsic_or_call(
+        &mut self,
+        name: String,
+        mut args: Vec<Expr>,
+        pos: Pos,
+    ) -> Result<Expr, ParseError> {
+        let arity = |n: usize, args: &[Expr]| -> Result<(), ParseError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    message: format!("`{name}` expects {n} argument(s), got {}", args.len()),
+                    pos,
+                })
+            }
+        };
+        match name.as_str() {
+            "threadid" => {
+                arity(0, &args)?;
+                Ok(Expr::ThreadId(pos))
+            }
+            "numthreads" => {
+                arity(0, &args)?;
+                Ok(Expr::NumThreads(pos))
+            }
+            "rand" => {
+                arity(1, &args)?;
+                Ok(Expr::Rand(Box::new(args.remove(0)), pos))
+            }
+            "fetch_add" => {
+                arity(2, &args)?;
+                let delta = args.remove(1);
+                let target = args.remove(0);
+                let Expr::Name(global, _) = target else {
+                    return Err(ParseError {
+                        message: "first argument of `fetch_add` must be a global name".into(),
+                        pos,
+                    });
+                };
+                Ok(Expr::FetchAdd(global, Box::new(delta), pos))
+            }
+            "float" => {
+                arity(1, &args)?;
+                Ok(Expr::Un(UnOp::IntToFloat, Box::new(args.remove(0)), pos))
+            }
+            "int" => {
+                arity(1, &args)?;
+                Ok(Expr::Un(UnOp::FloatToInt, Box::new(args.remove(0)), pos))
+            }
+            "sqrt" => {
+                arity(1, &args)?;
+                Ok(Expr::Un(UnOp::Sqrt, Box::new(args.remove(0)), pos))
+            }
+            "abs" => {
+                arity(1, &args)?;
+                Ok(Expr::Un(UnOp::Abs, Box::new(args.remove(0)), pos))
+            }
+            "min" => {
+                arity(2, &args)?;
+                let b = args.remove(1);
+                let a = args.remove(0);
+                Ok(Expr::Bin(BinOp::Min, Box::new(a), Box::new(b), pos))
+            }
+            "max" => {
+                arity(2, &args)?;
+                let b = args.remove(1);
+                let a = args.remove(0);
+                Ok(Expr::Bin(BinOp::Max, Box::new(a), Box::new(b), pos))
+            }
+            _ => Ok(Expr::Call(name, args, pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals() {
+        let m = parse("shared int n = 4; float grid[100]; tid_counter int id = 0;").unwrap();
+        assert_eq!(m.globals.len(), 3);
+        assert!(m.globals[0].shared);
+        assert_eq!(m.globals[0].init, Some(Literal::Int(4)));
+        assert_eq!(m.globals[1].len, Some(100));
+        assert!(m.globals[2].tid_counter);
+    }
+
+    #[test]
+    fn parses_module_name_and_sync() {
+        let m = parse("module fft; mutex m; barrier b;").unwrap();
+        assert_eq!(m.name, "fft");
+        assert_eq!(m.mutexes, vec!["m"]);
+        assert_eq!(m.barriers, vec!["b"]);
+    }
+
+    #[test]
+    fn parses_function_with_attr() {
+        let m = parse("@spmd func slave() { return; }").unwrap();
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.funcs[0].role, FuncRole::Spmd);
+        assert_eq!(m.funcs[0].body.len(), 1);
+    }
+
+    #[test]
+    fn parses_params_and_return_type() {
+        let m = parse("func f(a: int, b: float) -> int { return a; }").unwrap();
+        let f = &m.funcs[0];
+        assert_eq!(f.params, vec![("a".into(), Type::I64), ("b".into(), Type::F64)]);
+        assert_eq!(f.ret, Some(Type::I64));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            func f() {
+                var i: int = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i == 5) { break; } else { continue; }
+                }
+                while (i > 0) { i = i - 1; }
+            }
+        "#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let m = parse("func f() { var x: int = 1 + 2 * 3; }").unwrap();
+        let Stmt::VarDecl { init: Some(e), .. } = &m.funcs[0].body[0] else { panic!() };
+        // 1 + (2 * 3)
+        let Expr::Bin(BinOp::Add, _, rhs, _) = e else { panic!("{e:?}") };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn parses_intrinsics() {
+        let src = r#"
+            int id = 0;
+            func f() {
+                var t: int = threadid();
+                var n: int = numthreads();
+                var r: int = rand(10);
+                var p: int = fetch_add(id, 1);
+                var x: float = float(t);
+                var q: float = sqrt(x);
+            }
+        "#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.funcs[0].body.len(), 6);
+    }
+
+    #[test]
+    fn parses_indirect_call_and_table() {
+        let src = r#"
+            table shaders = { a, b };
+            func a(x: int) { return; }
+            func b(x: int) { return; }
+            func f() { shaders[0](1); var v: int = shaders[1](2); }
+        "#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.tables[0].funcs, vec!["a", "b"]);
+        let Stmt::ExprStmt { expr: Expr::CallIndirect(name, _, args, _), .. } = &m.funcs[2].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name, "shaders");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parses_array_assign_vs_read() {
+        let src = r#"
+            float grid[10];
+            func f() {
+                grid[3] = 1.5;
+                var x: float = grid[3];
+            }
+        "#;
+        let m = parse(src).unwrap();
+        assert!(matches!(
+            m.funcs[0].body[0],
+            Stmt::Assign { target: LValue::Index(_, _), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_logical_operators() {
+        let m = parse("func f(a: bool, b: bool) { if (a && b || !a) { return; } }").unwrap();
+        let Stmt::If { cond, .. } = &m.funcs[0].body[0] else { panic!() };
+        assert!(matches!(cond, Expr::LogicalOr(_, _, _)));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("func f() { var 5; }").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("identifier"));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        assert!(parse("@bogus func f() {}").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_table() {
+        assert!(parse("table t = { };").is_err());
+    }
+
+    #[test]
+    fn negative_literal_global_init() {
+        let m = parse("shared int x = -5;").unwrap();
+        assert_eq!(m.globals[0].init, Some(Literal::Int(-5)));
+    }
+
+    #[test]
+    fn local_array_decl() {
+        let m = parse("func f() { var a: int[16]; a[0] = 1; var x: int = a[0]; }").unwrap();
+        let Stmt::VarDecl { len: Some(_), .. } = &m.funcs[0].body[0] else { panic!() };
+    }
+}

@@ -1,0 +1,131 @@
+//! Strongly-typed index newtypes for IR entities.
+//!
+//! Every IR entity (function, block, instruction/value, global, …) is stored
+//! in an arena owned by its parent and referred to by a compact `u32` index.
+//! Newtypes keep the indices from being mixed up ([C-NEWTYPE]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a function within a [`Module`](crate::Module).
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifies a basic block within a [`Function`](crate::Function).
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies an SSA value (an instruction result or a function
+    /// parameter) within a [`Function`](crate::Function).
+    ValueId,
+    "v"
+);
+id_type!(
+    /// Identifies a global variable (scalar or array) within a module.
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// Identifies a mutex declared by the module.
+    MutexId,
+    "mtx"
+);
+id_type!(
+    /// Identifies a barrier declared by the module.
+    BarrierId,
+    "bar"
+);
+id_type!(
+    /// Identifies a function table used by indirect calls.
+    TableId,
+    "tbl"
+);
+id_type!(
+    /// Identifies a static call site. Assigned module-wide so that the
+    /// runtime can encode the call stack compactly.
+    CallSiteId,
+    "cs"
+);
+id_type!(
+    /// Identifies a static branch. Assigned module-wide by the
+    /// instrumentation pass; used as the level-1 hash-table key component.
+    BranchId,
+    "br"
+);
+id_type!(
+    /// Identifies a natural loop discovered by loop analysis.
+    LoopId,
+    "loop"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = ValueId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ValueId(42));
+    }
+
+    #[test]
+    fn debug_and_display_prefixes() {
+        assert_eq!(format!("{}", BlockId(3)), "bb3");
+        assert_eq!(format!("{:?}", FuncId(1)), "fn1");
+        assert_eq!(format!("{}", BranchId(7)), "br7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ValueId(1) < ValueId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index overflow")]
+    fn from_index_overflow_panics() {
+        let _ = ValueId::from_index(usize::MAX);
+    }
+}

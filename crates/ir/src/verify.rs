@@ -1,0 +1,621 @@
+//! IR verifier: checks SSA and structural invariants of a module.
+//!
+//! The verifier is run by the pipeline before analysis and by tests after
+//! construction. It checks:
+//!
+//! * every block of a reachable function ends in exactly one terminator,
+//!   and terminators appear only in final position;
+//! * phi nodes appear only at block heads and have exactly one incoming per
+//!   predecessor edge;
+//! * every operand is defined, and non-phi uses are dominated by their
+//!   definitions;
+//! * operand and result types are consistent;
+//! * ids (blocks, globals, funcs, tables, mutexes, barriers) are in range;
+//! * call argument counts match callee signatures.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::{Function, ValueDef};
+use crate::ids::{BlockId, FuncId, ValueId};
+use crate::inst::{BinOp, Op, UnOp};
+use crate::module::Module;
+use crate::value::Type;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found, if applicable.
+    pub func: Option<String>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in `{}`: {}", name, self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first structural or SSA violation found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let module_err = |message: String| VerifyError { func: None, message };
+
+    for role in [module.init, module.spmd_entry, module.fini].into_iter().flatten() {
+        if role.index() >= module.funcs.len() {
+            return Err(module_err(format!("entry function {role} out of range")));
+        }
+    }
+    for table in &module.tables {
+        if table.funcs.is_empty() {
+            return Err(module_err(format!("function table `{}` is empty", table.name)));
+        }
+        let first = table.funcs[0];
+        for &f in &table.funcs {
+            if f.index() >= module.funcs.len() {
+                return Err(module_err(format!("table `{}` references {f} out of range", table.name)));
+            }
+            let (a, b) = (module.func(first), module.func(f));
+            if a.params != b.params || a.ret != b.ret {
+                return Err(module_err(format!(
+                    "table `{}` mixes signatures: `{}` vs `{}`",
+                    table.name, a.name, b.name
+                )));
+            }
+        }
+    }
+
+    let mut names = HashSet::new();
+    for func in &module.funcs {
+        if !names.insert(func.name.as_str()) {
+            return Err(module_err(format!("duplicate function name `{}`", func.name)));
+        }
+    }
+
+    for func in &module.funcs {
+        verify_function(module, func)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
+    let err = |message: String| VerifyError { func: Some(func.name.clone()), message };
+
+    if func.blocks.is_empty() {
+        return Err(err("function has no blocks".into()));
+    }
+    if func.defs.len() != func.value_types.len() {
+        return Err(err("defs/value_types length mismatch".into()));
+    }
+
+    // Structural checks (terminators, phi placement, id ranges).
+    for (bb, block) in func.iter_blocks() {
+        let Some(last) = block.insts.last() else {
+            return Err(err(format!("{bb} is empty")));
+        };
+        if !last.op.is_terminator() {
+            return Err(err(format!("{bb} does not end in a terminator")));
+        }
+        let mut seen_non_phi = false;
+        for (i, inst) in block.insts.iter().enumerate() {
+            if inst.op.is_terminator() && i + 1 != block.insts.len() {
+                return Err(err(format!("terminator in the middle of {bb}")));
+            }
+            if inst.op.is_phi() {
+                if seen_non_phi {
+                    return Err(err(format!("phi after non-phi in {bb}")));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            check_ids_in_range(module, func, bb, &inst.op).map_err(&err)?;
+
+            // Result bookkeeping must point back at this instruction.
+            if let Some(result) = inst.result {
+                match func.defs.get(result.index()) {
+                    Some(ValueDef::Inst { block, inst_index })
+                        if *block == bb && *inst_index == i => {}
+                    _ => {
+                        return Err(err(format!(
+                            "result {result} of {bb}[{i}] has a stale definition record"
+                        )))
+                    }
+                }
+                let declared = inst.ty;
+                if declared != Some(func.value_type(result)) {
+                    return Err(err(format!("result {result} type mismatch in {bb}")));
+                }
+            }
+        }
+    }
+
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(&cfg, func.entry());
+
+    // Phi incoming edges must match predecessors exactly (reachable blocks).
+    for (bb, block) in func.iter_blocks() {
+        if !dom.is_reachable(bb) {
+            continue;
+        }
+        let preds: HashSet<BlockId> = cfg.preds(bb).iter().copied().collect();
+        for inst in block.phis() {
+            let incomings = inst.op.phi_incomings().expect("phis() yields phis");
+            let mut seen = HashSet::new();
+            for inc in incomings {
+                if !preds.contains(&inc.block) {
+                    return Err(err(format!(
+                        "phi in {bb} has incoming from non-predecessor {}",
+                        inc.block
+                    )));
+                }
+                if !seen.insert(inc.block) {
+                    return Err(err(format!(
+                        "phi in {bb} has duplicate incoming from {}",
+                        inc.block
+                    )));
+                }
+            }
+            if seen.len() != preds.len() {
+                return Err(err(format!(
+                    "phi in {bb} covers {} of {} predecessor edges",
+                    seen.len(),
+                    preds.len()
+                )));
+            }
+        }
+    }
+
+    // SSA dominance: each use must be dominated by its definition.
+    for (bb, block) in func.iter_blocks() {
+        if !dom.is_reachable(bb) {
+            continue;
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(incomings) = inst.op.phi_incomings() {
+                for inc in incomings {
+                    check_use_dominated(func, &dom, inc.value, inc.block, usize::MAX)
+                        .map_err(&err)?;
+                }
+            } else {
+                for operand in inst.op.operands() {
+                    check_use_dominated(func, &dom, operand, bb, i).map_err(&err)?;
+                }
+            }
+            check_types(module, func, bb, &inst.op).map_err(&err)?;
+        }
+    }
+
+    // Return type consistency.
+    for (bb, block) in func.iter_blocks() {
+        if let Some(inst) = block.terminator() {
+            if let Op::Ret(v) = &inst.op {
+                match (v, func.ret) {
+                    (Some(v), Some(ret_ty)) => {
+                        if func.value_type(*v) != ret_ty {
+                            return Err(err(format!("{bb}: return value type mismatch")));
+                        }
+                    }
+                    (None, None) => {}
+                    (Some(_), None) => {
+                        return Err(err(format!("{bb}: value returned from void function")))
+                    }
+                    (None, Some(_)) => {
+                        return Err(err(format!("{bb}: missing return value")))
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn check_use_dominated(
+    func: &Function,
+    dom: &DomTree,
+    value: ValueId,
+    use_block: BlockId,
+    use_index: usize,
+) -> Result<(), String> {
+    let Some(def) = func.defs.get(value.index()) else {
+        return Err(format!("use of undefined value {value}"));
+    };
+    match def {
+        ValueDef::Param(_) => Ok(()),
+        ValueDef::Inst { block, inst_index } => {
+            if *block == use_block {
+                if *inst_index < use_index {
+                    Ok(())
+                } else {
+                    Err(format!("{value} used at or before its definition in {use_block}"))
+                }
+            } else if dom.dominates(*block, use_block) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "use of {value} in {use_block} not dominated by its definition in {block}"
+                ))
+            }
+        }
+    }
+}
+
+fn check_ids_in_range(
+    module: &Module,
+    func: &Function,
+    bb: BlockId,
+    op: &Op,
+) -> Result<(), String> {
+    let block_ok = |b: BlockId| -> Result<(), String> {
+        if b.index() < func.blocks.len() {
+            Ok(())
+        } else {
+            Err(format!("{bb}: branch target {b} out of range"))
+        }
+    };
+    match op {
+        Op::Br { then_bb, else_bb, .. } => {
+            block_ok(*then_bb)?;
+            block_ok(*else_bb)
+        }
+        Op::Jump(target) => block_ok(*target),
+        Op::GlobalAddr(g) | Op::AtomicFetchAdd { global: g, .. } => {
+            if g.index() < module.globals.len() {
+                Ok(())
+            } else {
+                Err(format!("{bb}: global {g} out of range"))
+            }
+        }
+        Op::Call { func: f, args, .. } => {
+            if f.index() >= module.funcs.len() {
+                return Err(format!("{bb}: callee {f} out of range"));
+            }
+            check_call_signature(module.func(*f).params.len(), args.len(), *f, bb)
+        }
+        Op::CallIndirect { table, args, .. } => {
+            if table.index() >= module.tables.len() {
+                return Err(format!("{bb}: table {table} out of range"));
+            }
+            let first = module.tables[table.index()].funcs[0];
+            check_call_signature(module.func(first).params.len(), args.len(), first, bb)
+        }
+        Op::MutexLock(m) | Op::MutexUnlock(m) => {
+            if m.0 < module.num_mutexes {
+                Ok(())
+            } else {
+                Err(format!("{bb}: mutex {m} out of range"))
+            }
+        }
+        Op::Barrier(b) => {
+            if b.0 < module.num_barriers {
+                Ok(())
+            } else {
+                Err(format!("{bb}: barrier {b} out of range"))
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_call_signature(
+    expected: usize,
+    actual: usize,
+    callee: FuncId,
+    bb: BlockId,
+) -> Result<(), String> {
+    if expected == actual {
+        Ok(())
+    } else {
+        Err(format!("{bb}: call to {callee} passes {actual} args, expected {expected}"))
+    }
+}
+
+fn check_types(module: &Module, func: &Function, bb: BlockId, op: &Op) -> Result<(), String> {
+    let ty = |v: ValueId| func.value_type(v);
+    match op {
+        Op::Bin { op: bin, lhs, rhs } => {
+            let (l, r) = (ty(*lhs), ty(*rhs));
+            if l != r {
+                return Err(format!("{bb}: binop {} with mixed types {l}/{r}", bin.mnemonic()));
+            }
+            let numeric = matches!(l, Type::I64 | Type::F64);
+            let ok = match bin {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => numeric,
+                BinOp::Min | BinOp::Max => numeric,
+                BinOp::And | BinOp::Or | BinOp::Xor => matches!(l, Type::I64 | Type::Bool),
+                BinOp::Shl | BinOp::Shr => l == Type::I64,
+            };
+            if !ok {
+                return Err(format!("{bb}: binop {} on {l}", bin.mnemonic()));
+            }
+            Ok(())
+        }
+        Op::Cmp { lhs, rhs, .. } => {
+            let (l, r) = (ty(*lhs), ty(*rhs));
+            if l != r {
+                return Err(format!("{bb}: comparison with mixed types {l}/{r}"));
+            }
+            Ok(())
+        }
+        Op::Un { op: un, operand } => {
+            let t = ty(*operand);
+            let ok = match un {
+                UnOp::Neg | UnOp::Abs => matches!(t, Type::I64 | Type::F64),
+                UnOp::Not => matches!(t, Type::I64 | Type::Bool),
+                UnOp::IntToFloat => t == Type::I64,
+                UnOp::FloatToInt | UnOp::Sqrt => t == Type::F64,
+            };
+            if !ok {
+                return Err(format!("{bb}: unop {} on {t}", un.mnemonic()));
+            }
+            Ok(())
+        }
+        Op::Phi { incomings, ty: phi_ty } => {
+            for inc in incomings {
+                if ty(inc.value) != *phi_ty {
+                    return Err(format!(
+                        "{bb}: phi incoming {} has type {}, expected {phi_ty}",
+                        inc.value,
+                        ty(inc.value)
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Op::Gep { base, offset } => {
+            if ty(*base) != Type::Ptr {
+                return Err(format!("{bb}: gep base is {}", ty(*base)));
+            }
+            if ty(*offset) != Type::I64 {
+                return Err(format!("{bb}: gep offset is {}", ty(*offset)));
+            }
+            Ok(())
+        }
+        Op::Load { addr, .. } => {
+            if ty(*addr) != Type::Ptr {
+                return Err(format!("{bb}: load address is {}", ty(*addr)));
+            }
+            Ok(())
+        }
+        Op::Store { addr, .. } => {
+            if ty(*addr) != Type::Ptr {
+                return Err(format!("{bb}: store address is {}", ty(*addr)));
+            }
+            Ok(())
+        }
+        Op::Alloca { size } | Op::Rand { bound: size } => {
+            if ty(*size) != Type::I64 {
+                return Err(format!("{bb}: size/bound operand is {}", ty(*size)));
+            }
+            Ok(())
+        }
+        Op::AtomicFetchAdd { delta, .. } => {
+            if ty(*delta) != Type::I64 {
+                return Err(format!("{bb}: fetch-add delta is {}", ty(*delta)));
+            }
+            Ok(())
+        }
+        Op::Br { cond, .. } => {
+            if ty(*cond) != Type::Bool {
+                return Err(format!("{bb}: branch condition is {}", ty(*cond)));
+            }
+            Ok(())
+        }
+        Op::Call { func: f, args, .. } => {
+            let callee = module.func(*f);
+            for (arg, expected) in args.iter().zip(&callee.params) {
+                if ty(*arg) != *expected {
+                    return Err(format!("{bb}: argument type mismatch calling `{}`", callee.name));
+                }
+            }
+            Ok(())
+        }
+        Op::CallIndirect { table, selector, args, .. } => {
+            if ty(*selector) != Type::I64 {
+                return Err(format!("{bb}: indirect-call selector is {}", ty(*selector)));
+            }
+            let callee = module.func(module.tables[table.index()].funcs[0]);
+            for (arg, expected) in args.iter().zip(&callee.params) {
+                if ty(*arg) != *expected {
+                    return Err(format!("{bb}: argument type mismatch in indirect call"));
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpOp, Inst};
+    use crate::value::Val;
+
+    fn empty_module() -> Module {
+        Module::new("t")
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let one = b.const_i64(1);
+        let s = b.add(p, one);
+        b.ret(Some(s));
+        m.add_func(b.finish());
+        assert_eq!(verify_module(&m), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = empty_module();
+        let mut f = Function::new("f", vec![], None);
+        f.block_mut(BlockId(0)).insts.push(Inst {
+            op: Op::Const(Val::I64(1)),
+            result: None,
+            ty: None,
+        });
+        m.add_func(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        // Build a branch on a value defined only in the `then` block.
+        b.const_bool(true);
+        let cond = ValueId(0);
+        b.br(cond, t, e);
+        b.switch_to(t);
+        let v = b.const_i64(1); // defined in t
+        b.jump(e);
+        b.switch_to(e);
+        b.output(v); // not dominated: e reachable from entry directly
+        b.ret(None);
+        m.add_func(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("not dominated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mixed_type_binop() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let i = b.const_i64(1);
+        let f = b.const_f64(1.0);
+        // bypass builder type inference by writing through bin directly
+        let bad = b.bin(BinOp::Add, i, f);
+        b.output(bad);
+        b.ret(None);
+        m.add_func(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("mixed types"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_bool_branch_condition() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let t = b.add_block("t");
+        let i = b.const_i64(1);
+        b.br(i, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        m.add_func(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("branch condition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_not_covering_preds() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![Type::Bool], None);
+        let cond = b.param(0);
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let j = b.add_block("j");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.phi(Type::I64, vec![(t, one)]); // missing incoming from e
+        b.ret(None);
+        m.add_func(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("covers"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        let mut m = empty_module();
+        for _ in 0..2 {
+            let mut b = FunctionBuilder::new("dup", vec![], None);
+            b.ret(None);
+            m.add_func(b.finish());
+        }
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_mutex() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.mutex_lock(crate::ids::MutexId(3));
+        b.ret(None);
+        m.add_func(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("mutex"), "{err}");
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![], Some(Type::I64));
+        let v = b.const_bool(true);
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("return value type"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_table() {
+        let mut m = empty_module();
+        m.add_table("empty", vec![]);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn accepts_loop_with_back_edge_phi() {
+        let mut m = empty_module();
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        let zero = b.const_i64(0);
+        let entry = b.current_block();
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64, vec![(entry, zero)]);
+        let ten = b.const_i64(10);
+        let c = b.cmp(CmpOp::Lt, i, ten);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let one = b.const_i64(1);
+        let next = b.add(i, one);
+        b.add_phi_incoming(i, body, next);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_func(b.finish());
+        assert_eq!(verify_module(&m), Ok(()));
+    }
+}

@@ -1,0 +1,404 @@
+//! Hierarchical monitoring — the scaling extension sketched in the paper's
+//! Section VI: "we can have multiple monitor threads structured in a
+//! hierarchical fashion, each of which is assigned to a sub-group of
+//! threads".
+//!
+//! Each *sub-monitor* drains the queues of its thread subgroup and
+//! aggregates reports per branch instance, exactly like the flat monitor's
+//! front half. Since a similarity check needs every thread's report, the
+//! sub-monitor does not check; once its whole subgroup has reported an
+//! instance (or at flush), it forwards the aggregated instance — one
+//! record instead of `group_size` records — to the *root monitor*, which
+//! merges subgroups and applies the usual checks. The root therefore
+//! processes `nthreads / fanout` fewer messages, which is the point of the
+//! hierarchy.
+//!
+//! Verdicts are identical to the flat monitor's: aggregation is lossless
+//! (every report reaches the root), only batched differently.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::checker::{check_instance, Report};
+use crate::event::BranchEvent;
+use crate::monitor::{CheckTable, Monitor, Violation};
+use crate::spsc::Consumer;
+use crate::table::BranchTable;
+
+/// An aggregated instance forwarded from a sub-monitor to the root.
+#[derive(Clone, Debug)]
+pub struct InstanceBatch {
+    /// Static branch id.
+    pub branch: u32,
+    /// Level-1 key (call-path hash).
+    pub site: u64,
+    /// Level-2 key (loop-iteration hash).
+    pub iter: u64,
+    /// The subgroup's reports.
+    pub reports: Vec<Report>,
+}
+
+/// A sub-monitor: aggregates one thread subgroup's events per instance.
+#[derive(Debug)]
+pub struct SubMonitor {
+    group_size: usize,
+    table: BranchTable,
+    events_processed: u64,
+}
+
+impl SubMonitor {
+    /// Creates a sub-monitor for a subgroup of `group_size` threads.
+    pub fn new(group_size: usize) -> Self {
+        SubMonitor { group_size, table: BranchTable::new(), events_processed: 0 }
+    }
+
+    /// Processes one event; returns the aggregated instance once the whole
+    /// subgroup has reported it.
+    pub fn process(&mut self, event: BranchEvent) -> Option<InstanceBatch> {
+        self.events_processed += 1;
+        let report =
+            Report { thread: event.thread, witness: event.witness, taken: event.taken };
+        self.table
+            .record(event.branch, event.site, event.iter, report, self.group_size)
+            .map(|reports| InstanceBatch {
+                branch: event.branch,
+                site: event.site,
+                iter: event.iter,
+                reports,
+            })
+    }
+
+    /// Drains all partially-reported instances (end of the parallel phase).
+    pub fn flush(&mut self) -> Vec<InstanceBatch> {
+        self.table
+            .drain_pending()
+            .into_iter()
+            .map(|(branch, site, iter, reports)| InstanceBatch { branch, site, iter, reports })
+            .collect()
+    }
+
+    /// Events this sub-monitor has processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+}
+
+/// The root of the hierarchy: merges subgroup batches and checks.
+#[derive(Debug)]
+pub struct RootMonitor {
+    checks: CheckTable,
+    nthreads: usize,
+    table: BranchTable,
+    violations: Vec<Violation>,
+    batches_processed: u64,
+}
+
+impl RootMonitor {
+    /// Creates the root for `nthreads` total application threads.
+    pub fn new(checks: CheckTable, nthreads: usize) -> Self {
+        RootMonitor {
+            checks,
+            nthreads,
+            table: BranchTable::new(),
+            violations: Vec::new(),
+            batches_processed: 0,
+        }
+    }
+
+    /// Merges one subgroup batch; checks eagerly when every thread has
+    /// reported the instance.
+    pub fn process(&mut self, batch: InstanceBatch) {
+        self.batches_processed += 1;
+        let Some(kind) = self.checks.kind(batch.branch) else { return };
+        let mut complete = None;
+        for report in batch.reports {
+            if let Some(reports) =
+                self.table.record(batch.branch, batch.site, batch.iter, report, self.nthreads)
+            {
+                complete = Some(reports);
+            }
+        }
+        if let Some(reports) = complete {
+            if let Err(vk) = check_instance(kind, &reports) {
+                self.violations.push(Violation {
+                    branch: batch.branch,
+                    site: batch.site,
+                    iter: batch.iter,
+                    kind: vk,
+                    reporters: reports.len() as u32,
+                });
+            }
+        }
+    }
+
+    /// Checks the remaining partially-reported instances.
+    pub fn flush(&mut self) -> usize {
+        for (branch, site, iter, reports) in self.table.drain_pending() {
+            if let Some(kind) = self.checks.kind(branch) {
+                if let Err(vk) = check_instance(kind, &reports) {
+                    self.violations.push(Violation {
+                        branch,
+                        site,
+                        iter,
+                        kind: vk,
+                        reporters: reports.len() as u32,
+                    });
+                }
+            }
+        }
+        self.violations.len()
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Batches received from sub-monitors (the root's message load; compare
+    /// with the event count a flat monitor would process).
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+}
+
+/// A two-level monitor tree running on real threads: one OS thread per
+/// sub-monitor plus one root thread.
+pub struct HierarchicalMonitorThread {
+    handles: Vec<std::thread::JoinHandle<(u64, Vec<InstanceBatch>)>>,
+    root_handle: std::thread::JoinHandle<RootMonitor>,
+    stop: Arc<AtomicBool>,
+    batch_senders_dropped: std::sync::mpsc::Sender<InstanceBatch>,
+}
+
+impl HierarchicalMonitorThread {
+    /// Spawns sub-monitors over `queues` split into groups of `fanout`
+    /// threads each, plus the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn spawn(
+        checks: CheckTable,
+        nthreads: usize,
+        queues: Vec<Consumer<BranchEvent>>,
+        fanout: usize,
+    ) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let (batch_tx, batch_rx) = std::sync::mpsc::channel::<InstanceBatch>();
+
+        let mut handles = Vec::new();
+        let mut queues = queues;
+        let mut group_index = 0;
+        while !queues.is_empty() {
+            let take = fanout.min(queues.len());
+            let group: Vec<Consumer<BranchEvent>> = queues.drain(..take).collect();
+            let tx = batch_tx.clone();
+            let stop2 = Arc::clone(&stop);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bw-submonitor-{group_index}"))
+                    .spawn(move || {
+                        let mut sub = SubMonitor::new(group.len());
+                        loop {
+                            let mut drained = false;
+                            for q in &group {
+                                while let Some(event) = q.pop() {
+                                    drained = true;
+                                    if let Some(batch) = sub.process(event) {
+                                        let _ = tx.send(batch);
+                                    }
+                                }
+                            }
+                            if !drained {
+                                if stop2.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                        for q in &group {
+                            while let Some(event) = q.pop() {
+                                if let Some(batch) = sub.process(event) {
+                                    let _ = tx.send(batch);
+                                }
+                            }
+                        }
+                        let events = sub.events_processed();
+                        (events, sub.flush())
+                    })
+                    .expect("spawn sub-monitor"),
+            );
+            group_index += 1;
+        }
+
+        let root_handle = std::thread::Builder::new()
+            .name("bw-root-monitor".into())
+            .spawn(move || {
+                let mut root = RootMonitor::new(checks, nthreads);
+                // The channel closes when every sub-monitor sender (and the
+                // handle kept by the struct) is dropped.
+                while let Ok(batch) = batch_rx.recv() {
+                    root.process(batch);
+                }
+                root.flush();
+                root
+            })
+            .expect("spawn root monitor");
+
+        HierarchicalMonitorThread {
+            handles,
+            root_handle,
+            stop,
+            batch_senders_dropped: batch_tx,
+        }
+    }
+
+    /// Stops the tree (once queues drain) and returns the root monitor and
+    /// the total event count processed by the sub-monitors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a monitor thread panicked.
+    pub fn join(self) -> (RootMonitor, u64) {
+        self.stop.store(true, Ordering::Release);
+        let mut total_events = 0;
+        let mut final_batches = Vec::new();
+        for handle in self.handles {
+            let (events, batches) = handle.join().expect("sub-monitor panicked");
+            total_events += events;
+            final_batches.extend(batches);
+        }
+        // Forward the sub-monitors' flush output, then close the channel.
+        for batch in final_batches {
+            let _ = self.batch_senders_dropped.send(batch);
+        }
+        drop(self.batch_senders_dropped);
+        let root = self.root_handle.join().expect("root monitor panicked");
+        (root, total_events)
+    }
+}
+
+/// Runs the same event stream through a flat [`Monitor`] (for differential
+/// testing of the hierarchy).
+pub fn run_flat(checks: CheckTable, nthreads: usize, events: &[BranchEvent]) -> Monitor {
+    let mut m = Monitor::new(checks, nthreads);
+    for &e in events {
+        m.process(e);
+    }
+    m.flush();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_analysis::CheckKind;
+
+    fn checks() -> CheckTable {
+        CheckTable::from_kinds(vec![Some(CheckKind::SharedUniform)])
+    }
+
+    fn ev(thread: u32, iter: u64, witness: u64, taken: bool) -> BranchEvent {
+        BranchEvent { branch: 0, thread, site: 0, iter, witness, taken }
+    }
+
+    /// Flat and hierarchical monitors agree on a mixed clean/faulty stream.
+    #[test]
+    fn hierarchy_matches_flat_verdicts() {
+        let nthreads = 8;
+        let mut events = Vec::new();
+        for iter in 0..50u64 {
+            for t in 0..nthreads {
+                // Instance 17: thread 5 lies about the witness.
+                let witness = if iter == 17 && t == 5 { 999 } else { iter };
+                events.push(ev(t, iter, witness, true));
+            }
+        }
+        // Instance 50: only threads 2 and 3 report, and disagree on
+        // direction (checked at flush).
+        events.push(ev(2, 50, 7, true));
+        events.push(ev(3, 50, 7, false));
+
+        let flat = run_flat(checks(), nthreads as usize, &events);
+
+        let mut subs: Vec<SubMonitor> = (0..2).map(|_| SubMonitor::new(4)).collect();
+        let mut root = RootMonitor::new(checks(), nthreads as usize);
+        for &e in &events {
+            let sub = &mut subs[(e.thread / 4) as usize];
+            if let Some(batch) = sub.process(e) {
+                root.process(batch);
+            }
+        }
+        for sub in &mut subs {
+            for batch in sub.flush() {
+                root.process(batch);
+            }
+        }
+        root.flush();
+
+        let mut flat_keys: Vec<_> =
+            flat.violations().iter().map(|v| (v.branch, v.iter, v.kind)).collect();
+        let mut tree_keys: Vec<_> =
+            root.violations().iter().map(|v| (v.branch, v.iter, v.kind)).collect();
+        flat_keys.sort();
+        tree_keys.sort();
+        assert_eq!(flat_keys, tree_keys);
+        assert_eq!(root.violations().len(), 2);
+    }
+
+    /// The root sees one batch per (instance, subgroup) instead of one
+    /// message per event — the scaling claim of Section VI.
+    #[test]
+    fn root_load_is_reduced_by_fanout() {
+        let nthreads = 8u32;
+        let mut subs: Vec<SubMonitor> = (0..2).map(|_| SubMonitor::new(4)).collect();
+        let mut root = RootMonitor::new(checks(), nthreads as usize);
+        let mut events = 0u64;
+        for iter in 0..100u64 {
+            for t in 0..nthreads {
+                events += 1;
+                if let Some(batch) = subs[(t / 4) as usize].process(ev(t, iter, 1, true)) {
+                    root.process(batch);
+                }
+            }
+        }
+        assert_eq!(events, 800);
+        assert_eq!(root.batches_processed(), 200); // fanout 4 → 4x reduction
+        assert!(root.violations().is_empty());
+    }
+
+    /// The threaded tree detects the same injected mismatch end to end.
+    #[test]
+    fn threaded_hierarchy_detects() {
+        use crate::spsc::spsc_queue;
+        let nthreads = 8usize;
+        let mut producers = Vec::new();
+        let mut consumers = Vec::new();
+        for _ in 0..nthreads {
+            let (p, c) = spsc_queue(1024);
+            producers.push(p);
+            consumers.push(c);
+        }
+        let tree = HierarchicalMonitorThread::spawn(checks(), nthreads, consumers, 4);
+        let handles: Vec<_> = producers
+            .into_iter()
+            .enumerate()
+            .map(|(t, p)| {
+                std::thread::spawn(move || {
+                    for iter in 0..200u64 {
+                        let taken = !(t == 6 && iter == 123);
+                        p.push(ev(t as u32, iter, 42, taken)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (root, events) = tree.join();
+        assert_eq!(events, 8 * 200);
+        assert_eq!(root.violations().len(), 1);
+        assert_eq!(root.violations()[0].iter, 123);
+    }
+}

@@ -1,0 +1,51 @@
+//! # bw-monitor — the BLOCKWATCH lock-free runtime monitor
+//!
+//! The runtime half of BLOCKWATCH (paper Section III-B): application
+//! threads append fixed-size [`BranchEvent`]s to per-thread lock-free
+//! [Lamport SPSC queues](spsc_queue); an asynchronous monitor drains the
+//! queues round-robin, correlates reports across threads in a
+//! [two-level hash table](BranchTable) keyed by call-site path and
+//! enclosing-loop iterations, and applies the per-category
+//! [checks](check_instance) derived from the static analysis. A deviation
+//! from the statically inferred similarity is reported as a [`Violation`].
+//!
+//! Design goals carried over from the paper:
+//! 1. **Asynchronous** — senders never wait for the monitor (the queue push
+//!    returns immediately; [`MonitorThread`] runs on its own core).
+//! 2. **Unique branch identifier and fast lookup** — `(static branch id,
+//!    call-path hash)` at level 1, loop-iteration hash at level 2.
+//! 3. **Lock freedom** — no locks anywhere on the reporting path.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_monitor::{check_instance, Report};
+//! use bw_analysis::CheckKind;
+//!
+//! // Three threads report a `shared` branch; thread 1's condition data
+//! // was corrupted by a fault.
+//! let reports = [
+//!     Report { thread: 0, witness: 42, taken: true },
+//!     Report { thread: 1, witness: 43, taken: true },
+//!     Report { thread: 2, witness: 42, taken: true },
+//! ];
+//! assert!(check_instance(CheckKind::SharedUniform, &reports).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+mod checker;
+mod event;
+mod hierarchy;
+mod monitor;
+mod spsc;
+mod table;
+
+pub use checker::{check_instance, Report, ViolationKind};
+pub use hierarchy::{
+    run_flat, HierarchicalMonitorThread, InstanceBatch, RootMonitor, SubMonitor,
+};
+pub use event::{hash_words, BranchEvent, KeyHasher};
+pub use monitor::{CheckTable, EventSender, Monitor, MonitorThread, Violation};
+pub use spsc::{spsc_queue, Consumer, Producer, QueueFull};
+pub use table::{BranchTable, Instance};

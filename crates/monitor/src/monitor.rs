@@ -1,0 +1,363 @@
+//! The monitor proper: drains the per-thread queues round-robin, correlates
+//! reports in the two-level table, and applies the per-category checks.
+//!
+//! The monitor is a passive object ([`Monitor::poll`] / [`Monitor::flush`])
+//! so that the deterministic simulator can drive it inline; for the
+//! real-threads engine, [`MonitorThread`] wraps it in a dedicated OS thread
+//! that polls until all producers disconnect, exactly like the paper's
+//! asynchronous monitor thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bw_analysis::{CheckKind, CheckPlan};
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{check_instance, Report, ViolationKind};
+use crate::event::BranchEvent;
+use crate::spsc::{Consumer, Producer, QueueFull};
+use crate::table::BranchTable;
+
+/// A detected similarity violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The offending branch.
+    pub branch: u32,
+    /// Level-1 runtime key (call-site path hash).
+    pub site: u64,
+    /// Level-2 runtime key (loop-iteration hash).
+    pub iter: u64,
+    /// What failed.
+    pub kind: ViolationKind,
+    /// How many threads had reported the instance when it was checked.
+    pub reporters: u32,
+}
+
+/// How the monitor checks each branch: a compact per-branch table derived
+/// from the [`CheckPlan`].
+#[derive(Clone, Debug, Default)]
+pub struct CheckTable {
+    kinds: Vec<Option<CheckKind>>,
+}
+
+impl CheckTable {
+    /// Builds a table directly from per-branch kinds (tests, custom plans).
+    pub fn from_kinds(kinds: Vec<Option<CheckKind>>) -> Self {
+        CheckTable { kinds }
+    }
+
+    /// Extracts the per-branch check kinds from a plan.
+    pub fn from_plan(plan: &CheckPlan) -> Self {
+        CheckTable {
+            kinds: plan
+                .decisions
+                .iter()
+                .map(|d| d.as_ref().ok().map(|c| c.kind))
+                .collect(),
+        }
+    }
+
+    /// The check kind for a branch, if instrumented.
+    pub fn kind(&self, branch: u32) -> Option<CheckKind> {
+        self.kinds.get(branch as usize).copied().flatten()
+    }
+
+    /// Number of branches covered (instrumented or not).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+/// The passive monitor object.
+#[derive(Debug)]
+pub struct Monitor {
+    checks: CheckTable,
+    nthreads: usize,
+    table: BranchTable,
+    violations: Vec<Violation>,
+    events_processed: u64,
+}
+
+impl Monitor {
+    /// Creates a monitor for `nthreads` application threads checking
+    /// according to `checks`.
+    pub fn new(checks: CheckTable, nthreads: usize) -> Self {
+        Monitor {
+            checks,
+            nthreads,
+            table: BranchTable::new(),
+            violations: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Processes one event.
+    pub fn process(&mut self, event: BranchEvent) {
+        self.events_processed += 1;
+        let Some(kind) = self.checks.kind(event.branch) else {
+            return; // not instrumented; defensive
+        };
+        let report =
+            Report { thread: event.thread, witness: event.witness, taken: event.taken };
+        if let Some(reports) =
+            self.table.record(event.branch, event.site, event.iter, report, self.nthreads)
+        {
+            self.check(kind, event.branch, event.site, event.iter, &reports);
+        }
+    }
+
+    /// Checks every instance that has not reached `nthreads` reporters
+    /// (executed at the end of the parallel phase). Returns the total number
+    /// of violations found so far.
+    pub fn flush(&mut self) -> usize {
+        for (branch, site, iter, reports) in self.table.drain_pending() {
+            if let Some(kind) = self.checks.kind(branch) {
+                self.check(kind, branch, site, iter, &reports);
+            }
+        }
+        self.violations.len()
+    }
+
+    fn check(&mut self, kind: CheckKind, branch: u32, site: u64, iter: u64, reports: &[Report]) {
+        if let Err(vk) = check_instance(kind, reports) {
+            self.violations.push(Violation {
+                branch,
+                site,
+                iter,
+                kind: vk,
+                reporters: reports.len() as u32,
+            });
+        }
+    }
+
+    /// The violations detected so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether any violation has been detected.
+    pub fn detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Total number of events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of instances awaiting more reporters.
+    pub fn pending_instances(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// A sending endpoint one application thread uses. Pushes spin briefly when
+/// the queue is full (the paper sizes queues to make this rare) and count
+/// the overflow events that had to be dropped after the spin budget.
+#[derive(Debug)]
+pub struct EventSender {
+    producer: Producer<BranchEvent>,
+    dropped: u64,
+    spin_budget: u32,
+}
+
+impl EventSender {
+    /// Wraps a queue producer.
+    pub fn new(producer: Producer<BranchEvent>) -> Self {
+        EventSender { producer, dropped: 0, spin_budget: 1024 }
+    }
+
+    /// Sends an event, spinning briefly if the queue is full; drops the
+    /// event (and counts it) if the monitor cannot keep up.
+    pub fn send(&mut self, event: BranchEvent) {
+        let mut ev = event;
+        for _ in 0..self.spin_budget {
+            match self.producer.push(ev) {
+                Ok(()) => return,
+                Err(QueueFull(back)) => {
+                    ev = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.dropped += 1;
+    }
+
+    /// Events dropped due to sustained queue overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The monitor thread for the real-threads engine: owns the consumer ends
+/// of all per-thread queues and polls them round-robin until asked to stop
+/// (after the application threads join), then drains what is left.
+pub struct MonitorThread {
+    handle: std::thread::JoinHandle<Monitor>,
+    stop: Arc<AtomicBool>,
+}
+
+impl MonitorThread {
+    /// Spawns the monitor thread.
+    pub fn spawn(checks: CheckTable, nthreads: usize, queues: Vec<Consumer<BranchEvent>>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("blockwatch-monitor".into())
+            .spawn(move || {
+                let mut monitor = Monitor::new(checks, nthreads);
+                loop {
+                    let mut drained_any = false;
+                    // Round-robin over the per-thread front-end queues.
+                    for q in &queues {
+                        while let Some(event) = q.pop() {
+                            monitor.process(event);
+                            drained_any = true;
+                        }
+                    }
+                    if !drained_any {
+                        if stop2.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                // Producers are done: one final sweep, then flush.
+                for q in &queues {
+                    while let Some(event) = q.pop() {
+                        monitor.process(event);
+                    }
+                }
+                monitor.flush();
+                monitor
+            })
+            .expect("spawn monitor thread");
+        MonitorThread { handle, stop }
+    }
+
+    /// Signals the monitor to finish once the queues are empty and returns
+    /// the final monitor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor thread itself panicked.
+    pub fn join(self) -> Monitor {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("monitor thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spsc::spsc_queue;
+    use bw_analysis::TidCheck;
+
+    fn table_with(kinds: Vec<Option<CheckKind>>) -> CheckTable {
+        CheckTable { kinds }
+    }
+
+    fn ev(branch: u32, thread: u32, witness: u64, taken: bool) -> BranchEvent {
+        BranchEvent { branch, thread, site: 0, iter: 0, witness, taken }
+    }
+
+    #[test]
+    fn eager_check_fires_at_full_instance() {
+        let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
+        let mut m = Monitor::new(checks, 2);
+        m.process(ev(0, 0, 5, true));
+        assert!(!m.detected());
+        m.process(ev(0, 1, 5, false)); // direction mismatch
+        assert!(m.detected());
+        assert_eq!(m.violations()[0].kind, ViolationKind::DirectionMismatch);
+        assert_eq!(m.violations()[0].reporters, 2);
+    }
+
+    #[test]
+    fn flush_checks_partial_instances() {
+        let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
+        let mut m = Monitor::new(checks, 4);
+        m.process(ev(0, 0, 5, true));
+        m.process(ev(0, 1, 6, true)); // witness mismatch, but only 2 of 4
+        assert!(!m.detected());
+        assert_eq!(m.pending_instances(), 1);
+        m.flush();
+        assert!(m.detected());
+        assert_eq!(m.violations()[0].kind, ViolationKind::WitnessMismatch);
+    }
+
+    #[test]
+    fn uninstrumented_branches_are_ignored() {
+        let checks = table_with(vec![None]);
+        let mut m = Monitor::new(checks, 2);
+        m.process(ev(0, 0, 1, true));
+        m.process(ev(0, 1, 2, false));
+        m.flush();
+        assert!(!m.detected());
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let checks = table_with(vec![
+            Some(CheckKind::SharedUniform),
+            Some(CheckKind::ThreadIdPredicate(TidCheck::AtMostOneTaken)),
+        ]);
+        let mut m = Monitor::new(checks, 4);
+        for t in 0..4 {
+            m.process(ev(0, t, 42, true));
+            m.process(BranchEvent { branch: 1, thread: t, site: 0, iter: 0, witness: 0, taken: t == 0 });
+        }
+        m.flush();
+        assert!(!m.detected());
+        assert_eq!(m.events_processed(), 8);
+    }
+
+    #[test]
+    fn monitor_thread_end_to_end() {
+        let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
+        let nthreads = 4;
+        let mut producers = Vec::new();
+        let mut consumers = Vec::new();
+        for _ in 0..nthreads {
+            let (p, c) = spsc_queue(256);
+            producers.push(EventSender::new(p));
+            consumers.push(c);
+        }
+        let monitor = MonitorThread::spawn(checks, nthreads, consumers);
+
+        let handles: Vec<_> = producers
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut sender)| {
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        // Thread 2 lies about instance 50.
+                        let witness = if t == 2 && i == 50 { 999 } else { i };
+                        sender.send(BranchEvent {
+                            branch: 0,
+                            thread: t as u32,
+                            site: 0,
+                            iter: i,
+                            witness,
+                            taken: true,
+                        });
+                    }
+                    assert_eq!(sender.dropped(), 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let monitor = monitor.join();
+        assert_eq!(monitor.events_processed(), 400);
+        assert_eq!(monitor.violations().len(), 1);
+        assert_eq!(monitor.violations()[0].iter, 50);
+        assert_eq!(monitor.violations()[0].kind, ViolationKind::WitnessMismatch);
+    }
+}

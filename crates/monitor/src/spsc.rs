@@ -1,0 +1,248 @@
+//! Lock-free single-producer/single-consumer ring buffer (Lamport, 1983).
+//!
+//! Each application thread owns the producer end of one queue; the monitor
+//! thread owns all consumer ends and drains them round-robin. Insertion
+//! happens at the tail and removal at the head, so neither side ever takes
+//! a lock — exactly the front-end design of the paper's runtime monitor.
+//! Capacity is fixed at construction (the paper sizes the queues "to a
+//! sufficiently large value") so the hot path never allocates.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read. Only the consumer writes this.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Only the producer writes this.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer;
+// slot access is ordered by the head/tail release/acquire pairs below.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// Producer half of an SPSC queue.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Consumer half of an SPSC queue.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer").field("len", &self.len()).finish()
+    }
+}
+
+/// Error returned by [`Producer::push`] when the queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull<T>(pub T);
+
+/// Creates a queue holding up to `capacity` elements.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_queue<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "queue capacity must be positive");
+    // One slot is sacrificed to distinguish full from empty.
+    let slots = capacity + 1;
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..slots).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(Ring {
+        buf,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (Producer { ring: Arc::clone(&ring) }, Consumer { ring })
+}
+
+impl<T> Producer<T> {
+    /// Appends `value` at the back of the queue without locking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] with the value if the queue has no free slot.
+    pub fn push(&self, value: T) -> Result<(), QueueFull<T>> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let next = (tail + 1) % ring.buf.len();
+        if next == ring.head.load(Ordering::Acquire) {
+            return Err(QueueFull(value));
+        }
+        // SAFETY: `tail` is owned by this (single) producer and the slot is
+        // free: the consumer's head has moved past it (checked above).
+        unsafe {
+            (*ring.buf[tail].get()).write(value);
+        }
+        ring.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of elements currently queued (racy, for diagnostics).
+    pub fn len(&self) -> usize {
+        queue_len(&self.ring)
+    }
+
+    /// Whether the queue looks empty (racy, for diagnostics).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Removes the element at the front of the queue, if any.
+    pub fn pop(&self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        if head == ring.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: the slot at `head` was fully written before the producer
+        // released `tail` past it, and only this consumer reads it.
+        let value = unsafe { (*ring.buf[head].get()).assume_init_read() };
+        ring.head.store((head + 1) % ring.buf.len(), Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of elements currently queued (racy, for diagnostics).
+    pub fn len(&self) -> usize {
+        queue_len(&self.ring)
+    }
+
+    /// Whether the queue looks empty (racy, for diagnostics).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn queue_len<T>(ring: &Ring<T>) -> usize {
+    let head = ring.head.load(Ordering::Acquire);
+    let tail = ring.tail.load(Ordering::Acquire);
+    (tail + ring.buf.len() - head) % ring.buf.len()
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Drain remaining initialized slots so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (p, c) = spsc_queue(8);
+        for i in 0..5 {
+            p.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (p, c) = spsc_queue(2);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.push(3), Err(QueueFull(3)));
+        assert_eq!(c.pop(), Some(1));
+        p.push(3).unwrap();
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+    }
+
+    #[test]
+    fn wraparound() {
+        let (p, c) = spsc_queue(3);
+        for round in 0..10 {
+            p.push(round * 2).unwrap();
+            p.push(round * 2 + 1).unwrap();
+            assert_eq!(c.pop(), Some(round * 2));
+            assert_eq!(c.pop(), Some(round * 2 + 1));
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (p, c) = spsc_queue(4);
+        assert_eq!(p.len(), 0);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(c.len(), 2);
+        c.pop();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cross_thread_stress() {
+        let (p, c) = spsc_queue(64);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match p.push(v) {
+                        Ok(()) => break,
+                        Err(QueueFull(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (p, c) = spsc_queue(8);
+        p.push(Counted).unwrap();
+        p.push(Counted).unwrap();
+        drop(c);
+        drop(p);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

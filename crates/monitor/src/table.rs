@@ -1,0 +1,142 @@
+//! The monitor's back-end: a two-level hash table correlating branch
+//! reports across threads.
+//!
+//! Level 1 is keyed by `(static branch id, call-site path)` — the paper's
+//! "function's call site ID and static branch identifier". Level 2 is keyed
+//! by the enclosing-loop iteration hash. Each level-2 entry accumulates one
+//! report per thread; when all `nthreads` threads have reported, the entry
+//! is checked eagerly and removed. Entries with fewer reporters are checked
+//! at [`BranchTable::drain_pending`] (end of the parallel phase), since the
+//! monitor cannot know statically how many threads execute a branch that is
+//! itself under divergent control.
+
+use std::collections::HashMap;
+
+use crate::checker::Report;
+
+/// Accumulated reports for one runtime instance of one branch.
+#[derive(Clone, Debug, Default)]
+pub struct Instance {
+    /// One report per thread (at most).
+    pub reports: Vec<Report>,
+}
+
+/// The two-level table.
+#[derive(Debug, Default)]
+pub struct BranchTable {
+    level1: HashMap<(u32, u64), HashMap<u64, Instance>>,
+    len: usize,
+}
+
+impl BranchTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a report; returns the instance's reports if this was the
+    /// `nthreads`-th reporter (the instance is then removed — time to check
+    /// it eagerly).
+    pub fn record(
+        &mut self,
+        branch: u32,
+        site: u64,
+        iter: u64,
+        report: Report,
+        nthreads: usize,
+    ) -> Option<Vec<Report>> {
+        let level2 = self.level1.entry((branch, site)).or_default();
+        let instance = level2.entry(iter).or_default();
+        if instance.reports.is_empty() {
+            self.len += 1;
+        }
+        // A thread reporting the same instance twice would indicate a key
+        // collision; keep the first report (collisions are ~2^-64).
+        if instance.reports.iter().any(|r| r.thread == report.thread) {
+            return None;
+        }
+        instance.reports.push(report);
+        if instance.reports.len() >= nthreads {
+            let full = level2.remove(&iter).expect("entry exists");
+            self.len -= 1;
+            Some(full.reports)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns every pending (partially reported) instance:
+    /// `(branch, site, iter, reports)`.
+    pub fn drain_pending(&mut self) -> Vec<(u32, u64, u64, Vec<Report>)> {
+        let mut out = Vec::with_capacity(self.len);
+        for ((branch, site), level2) in self.level1.drain() {
+            for (iter, instance) in level2 {
+                out.push((branch, site, iter, instance.reports));
+            }
+        }
+        self.len = 0;
+        // Deterministic order for reproducible violation reports.
+        out.sort_by_key(|(b, s, i, _)| (*b, *s, *i));
+        out
+    }
+
+    /// Number of pending instances.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no instances are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(thread: u32, taken: bool) -> Report {
+        Report { thread, witness: 0, taken }
+    }
+
+    #[test]
+    fn completes_at_nthreads() {
+        let mut t = BranchTable::new();
+        assert_eq!(t.record(1, 0, 0, r(0, true), 3), None);
+        assert_eq!(t.record(1, 0, 0, r(1, true), 3), None);
+        let full = t.record(1, 0, 0, r(2, true), 3).expect("complete");
+        assert_eq!(full.len(), 3);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn distinct_instances_do_not_mix() {
+        let mut t = BranchTable::new();
+        t.record(1, 0, 0, r(0, true), 2);
+        t.record(1, 0, 1, r(1, true), 2); // different loop iteration
+        t.record(2, 0, 0, r(1, true), 2); // different branch
+        t.record(1, 7, 0, r(1, true), 2); // different call path
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_thread_report_is_ignored() {
+        let mut t = BranchTable::new();
+        assert_eq!(t.record(1, 0, 0, r(0, true), 2), None);
+        assert_eq!(t.record(1, 0, 0, r(0, false), 2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn drain_returns_sorted_pending() {
+        let mut t = BranchTable::new();
+        t.record(2, 0, 5, r(0, true), 4);
+        t.record(1, 0, 3, r(0, true), 4);
+        t.record(1, 0, 1, r(1, false), 4);
+        let pending = t.drain_pending();
+        let keys: Vec<(u32, u64, u64)> =
+            pending.iter().map(|(b, s, i, _)| (*b, *s, *i)).collect();
+        assert_eq!(keys, vec![(1, 0, 1), (1, 0, 3), (2, 0, 5)]);
+        assert!(t.is_empty());
+    }
+}

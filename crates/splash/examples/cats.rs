@@ -1,0 +1,31 @@
+//! Developer tool: dump the per-branch similarity classification of one
+//! benchmark port.
+//!
+//! Usage: `cargo run -p bw-splash --example cats [name-substring]`
+
+use bw_analysis::{ConditionInfo, ModuleAnalysis};
+use bw_splash::{Benchmark, Size};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "radix".into());
+    let bench = Benchmark::ALL
+        .iter()
+        .find(|b| b.name().to_lowercase().contains(&which.to_lowercase()))
+        .copied()
+        .unwrap_or(Benchmark::Radix);
+    println!("{}:", bench.name());
+    let module = bench.module(Size::Test).expect("port compiles");
+    let analysis = ModuleAnalysis::run(&module);
+    for b in analysis.parallel_branches() {
+        let f = module.func(b.func);
+        let info = ConditionInfo::extract(f, b.cond);
+        println!(
+            "{:10} func {:14} block {:4} depth {} cmp {:?}",
+            b.category.to_string(),
+            f.name,
+            b.block.to_string(),
+            b.loop_depth,
+            info.cmp.map(|(op, ..)| op),
+        );
+    }
+}

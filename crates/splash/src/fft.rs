@@ -1,0 +1,172 @@
+//! Port of SPLASH-2 **FFT**.
+//!
+//! The original is a 1-D radix-2 complex FFT with staged butterflies and a
+//! bit-reversal permutation; threads own contiguous chunks of the point
+//! array and synchronize between stages. Its branch mix in the paper is
+//! the most balanced of the suite (≈32 % shared, 25 % threadID, 41 %
+//! partial): stage and bit loops have shared bounds, the data exchange and
+//! scaling phases are gated by thread-ID tests, and the per-chunk loops
+//! take their bounds from partition tables.
+
+use crate::size::Size;
+
+/// log2 of the number of points.
+fn log_points(size: Size) -> u64 {
+    match size {
+        Size::Test => 7,
+        Size::Small => 9,
+        Size::Reference => 11,
+    }
+}
+
+/// Returns the mini-language source of the port.
+pub fn source(size: Size) -> String {
+    let logn = log_points(size);
+    let n = 1u64 << logn;
+    format!(
+        r#"
+module fft;
+
+shared int npoints = {n};
+shared int logn = {logn};
+shared int chunkbeg[33];
+shared int chunkend[33];
+// Twiddle factors are computed once and read-only afterwards.
+shared float twre[{n}];
+shared float twim[{n}];
+
+float re[{n}];
+float im[{n}];
+float scratch_re[{n}];
+float scratch_im[{n}];
+
+barrier stage_sync;
+
+@init func setup() {{
+    for (var p: int = 0; p < numthreads(); p = p + 1) {{
+        chunkbeg[p] = p * npoints / numthreads();
+        chunkend[p] = (p + 1) * npoints / numthreads();
+    }}
+    for (var i: int = 0; i < npoints; i = i + 1) {{
+        re[i] = float(rand(2000)) / 1000.0 - 1.0;
+        im[i] = float(rand(2000)) / 1000.0 - 1.0;
+        // A crude cosine/sine table via a quadratic approximation keeps the
+        // arithmetic structure without a trig intrinsic.
+        var x: float = float(i) / float(npoints);
+        twre[i] = 1.0 - 4.0 * x * (1.0 - x);
+        twim[i] = 4.0 * x * (1.0 - x) - 2.0 * x;
+    }}
+}}
+
+// Reverses the low `logn` bits of `v` (shared-bound bit loop).
+func bitrev(v: int) -> int {{
+    var r: int = 0;
+    var x: int = v;
+    for (var b: int = 0; b < logn; b = b + 1) {{
+        r = r * 2 + x % 2;
+        x = x / 2;
+    }}
+    return r;
+}}
+
+@spmd func slave() {{
+    var procid: int = threadid();
+    var first: int = chunkbeg[procid];
+    var last: int = chunkend[procid];
+
+    // Phase 1: bit-reversal permutation of the chunk into scratch.
+    for (var i: int = first; i < last; i = i + 1) {{
+        var r: int = bitrev(i);
+        scratch_re[r] = re[i];
+        scratch_im[r] = im[i];
+    }}
+    barrier(stage_sync);
+    for (var i: int = first; i < last; i = i + 1) {{
+        re[i] = scratch_re[i];
+        im[i] = scratch_im[i];
+    }}
+    barrier(stage_sync);
+
+    // Phase 2: staged butterflies (the stage loop bound is shared).
+    for (var stage: int = 0; stage < logn; stage = stage + 1) {{
+        var span: int = 1 << stage;
+        for (var k: int = first; k < last; k = k + 1) {{
+            // Each pair is processed by the owner of its lower element.
+            if (k % (span * 2) < span) {{
+                var mate: int = k + span;
+                var tw: int = (k % span) * (npoints / (span * 2));
+                var wr: float = twre[tw];
+                var wi: float = twim[tw];
+                var tr: float = wr * re[mate] - wi * im[mate];
+                var ti: float = wr * im[mate] + wi * re[mate];
+                re[mate] = re[k] - tr;
+                im[mate] = im[k] - ti;
+                re[k] = re[k] + tr;
+                im[k] = im[k] + ti;
+            }}
+        }}
+        barrier(stage_sync);
+    }}
+
+    // Phase 3: inter-thread exchange, staged by thread ID.
+    var half: int = numthreads() / 2;
+    if (procid < half) {{
+        for (var i: int = first; i < last; i = i + 1) {{
+            scratch_re[i] = re[i] + im[i];
+        }}
+    }}
+    barrier(stage_sync);
+    if (procid >= half) {{
+        for (var i: int = first; i < last; i = i + 1) {{
+            scratch_re[i] = re[i] - im[i];
+        }}
+    }}
+    barrier(stage_sync);
+
+    // Phase 4: the leader normalizes the spectrum; the last thread
+    // handles the DC tail (both threadID-gated).
+    if (procid == 0) {{
+        for (var i: int = 0; i < npoints; i = i + 1) {{
+            re[i] = re[i] / float(npoints);
+            im[i] = im[i] / float(npoints);
+        }}
+    }}
+    if (procid == numthreads() - 1) {{
+        im[0] = 0.0;
+    }}
+    barrier(stage_sync);
+
+    // Every thread validates the twiddle table (shared-bound scan; the
+    // original re-checks its trig tables in the same way).
+    var bad: int = 0;
+    for (var i: int = 0; i < npoints; i = i + 1) {{
+        if (twre[i] > 1.0) {{
+            bad = bad + 1;
+        }}
+    }}
+    if (bad > 0) {{
+        trap;
+    }}
+
+    // Chunk checksum, quantized like the original's fixed-precision print.
+    var sum: float = 0.0;
+    for (var i: int = first; i < last; i = i + 1) {{
+        sum = sum + re[i] * re[i] + im[i] * im[i];
+    }}
+    output(int(sum * 100.0));
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_for_all_sizes() {
+        for size in [Size::Test, Size::Small, Size::Reference] {
+            bw_ir::frontend::compile(&source(size)).expect("fft compiles");
+        }
+    }
+}

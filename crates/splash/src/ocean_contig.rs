@@ -1,0 +1,171 @@
+//! Port of SPLASH-2 **ocean (contiguous partitions)**.
+//!
+//! The original simulates large-scale ocean movements with a red-black
+//! Gauss-Seidel multigrid solver; threads own contiguous blocks of the
+//! grid described by per-process partition descriptors computed once at
+//! startup. Nearly every branch — row loops, column loops, red/black
+//! masks, boundary tests — draws its bounds from those descriptors, which
+//! is why the paper finds 92 % of the branches in the `partial` category:
+//! the bounds are "one of a small set of shared values" selected by
+//! thread ID.
+//!
+//! The port keeps exactly that structure: shared read-only partition
+//! tables (`rowbeg`/`rowend`/`colbeg`/`colend`), a shared timestep loop, a
+//! `threadID`-gated progress report, red-black sweeps, boundary handling,
+//! and a single data-dependent residual branch (`none`), with barriers
+//! between phases.
+
+use crate::size::Size;
+
+/// Grid dimension per size.
+fn grid_dim(size: Size) -> u64 {
+    match size {
+        Size::Test => 18,
+        Size::Small => 34,
+        Size::Reference => 66,
+    }
+}
+
+/// Timesteps per size.
+fn timesteps(size: Size) -> u64 {
+    2 * size.scale()
+}
+
+/// Returns the mini-language source of the port.
+pub fn source(size: Size) -> String {
+    let n = grid_dim(size);
+    let steps = timesteps(size);
+    let cells = n * n;
+    format!(
+        r#"
+module ocean_contig;
+
+// Read-only after init: per-thread partition descriptors and parameters.
+shared int rowbeg[33];
+shared int rowend[33];
+shared int colbeg[33];
+shared int colend[33];
+shared int nsteps = {steps};
+shared int dim = {n};
+shared float tol = 0.001;
+
+// The working grids are written concurrently (not `shared`).
+float grid[{cells}];
+float work[{cells}];
+float localdiff[32];
+
+barrier phase;
+mutex reduction;
+float globaldiff = 0.0;
+
+@init func setup() {{
+    var interior: int = dim - 2;
+    for (var p: int = 0; p < numthreads(); p = p + 1) {{
+        rowbeg[p] = 1 + p * interior / numthreads();
+        rowend[p] = 1 + (p + 1) * interior / numthreads();
+        colbeg[p] = 1;
+        colend[p] = dim - 1;
+    }}
+    for (var i: int = 0; i < dim * dim; i = i + 1) {{
+        grid[i] = float(rand(1000)) / 100.0;
+        work[i] = 0.0;
+    }}
+}}
+
+@spmd func slave() {{
+    var procid: int = threadid();
+    var rfirst: int = rowbeg[procid];
+    var rlast: int = rowend[procid];
+    var cfirst: int = colbeg[procid];
+    var clast: int = colend[procid];
+
+    for (var step: int = 0; step < nsteps; step = step + 1) {{
+        // Red sweep over this thread's block.
+        for (var i: int = rfirst; i < rlast; i = i + 1) {{
+            for (var j: int = cfirst; j < clast; j = j + 1) {{
+                if ((i + j) % 2 == 0) {{
+                    relax(i, j);
+                }}
+            }}
+        }}
+        barrier(phase);
+
+        // Black sweep.
+        for (var i: int = rfirst; i < rlast; i = i + 1) {{
+            for (var j: int = cfirst; j < clast; j = j + 1) {{
+                if ((i + j) % 2 == 1) {{
+                    relax(i, j);
+                }}
+            }}
+        }}
+        barrier(phase);
+
+        // Boundary rows: the bands owning the edges replicate them.
+        if (rfirst == rowbeg[0]) {{
+            for (var j: int = cfirst - 1; j < clast + 1; j = j + 1) {{
+                grid[j] = grid[dim + j];
+            }}
+        }}
+        if (rlast == rowend[numthreads() - 1]) {{
+            for (var j: int = cfirst - 1; j < clast + 1; j = j + 1) {{
+                grid[(dim - 1) * dim + j] = grid[(dim - 2) * dim + j];
+            }}
+        }}
+        barrier(phase);
+
+        // Residual over the block (data-dependent branch: `none`).
+        var diff: float = 0.0;
+        for (var i: int = rfirst; i < rlast; i = i + 1) {{
+            for (var j: int = cfirst; j < clast; j = j + 1) {{
+                var d: float = grid[i * dim + j] - work[i * dim + j];
+                diff = diff + abs(d);
+            }}
+        }}
+        localdiff[procid] = diff;
+        if (diff > tol) {{
+            lock(reduction);
+            globaldiff = globaldiff + diff;
+            unlock(reduction);
+        }}
+        barrier(phase);
+    }}
+
+    // The leader logs the final residual (threadID branch; quantized as
+    // the original's %d-style report).
+    if (procid == 0) {{
+        output(int(globaldiff / 100.0));
+    }}
+
+    // The original prints solver statistics, not the grid: report the
+    // final per-thread residual (quantized like a %d print).
+    output(int(localdiff[procid] / 100.0));
+}}
+
+func relax(i: int, j: int) {{
+    var idx: int = i * dim + j;
+    var up: float = grid[idx - dim];
+    var down: float = grid[idx + dim];
+    var left: float = grid[idx - 1];
+    var right: float = grid[idx + 1];
+    work[idx] = grid[idx];
+    grid[idx] = (up + down + left + right) / 4.0;
+}}
+
+@fini func report() {{
+    output(int(globaldiff / 100.0));
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_for_all_sizes() {
+        for size in [Size::Test, Size::Small, Size::Reference] {
+            bw_ir::frontend::compile(&source(size)).expect("ocean_contig compiles");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Port of SPLASH-2 **radix** (parallel radix sort).
+//!
+//! The original sorts integer keys digit by digit: per-thread histograms,
+//! a logarithmic prefix-sum tree across threads, then a permutation pass.
+//! The paper's mix is balanced: the digit and pass loops are `shared`
+//! (31 %), the prefix tree is staged by thread ID (26 %), per-thread key
+//! ranges give `partial` loops (20 %) and key-value tests give `none`
+//! (23 %).
+
+use crate::size::Size;
+
+/// Number of keys.
+fn keys(size: Size) -> u64 {
+    match size {
+        Size::Test => 128,
+        Size::Small => 512,
+        Size::Reference => 2048,
+    }
+}
+
+/// Radix (digit base) and number of passes: keys are < radix^passes.
+const RADIX: u64 = 16;
+const PASSES: u64 = 3;
+
+/// Returns the mini-language source of the port.
+pub fn source(size: Size) -> String {
+    let nkeys = keys(size);
+    let hist_slots = 32 * RADIX;
+    let max_key = RADIX.pow(PASSES as u32);
+    format!(
+        r#"
+module radix;
+
+shared int nkeys = {nkeys};
+shared int radix = {RADIX};
+shared int npasses = {PASSES};
+shared int keybeg[33];
+shared int keyend[33];
+// Per-process digit-range descriptors (the original's rank_me arrays):
+// all threads cover the full radix, but the bounds come from the tables.
+shared int histbeg[33];
+shared int histend[33];
+
+int keys[{nkeys}];
+int sorted[{nkeys}];
+// hist[p * radix + d]: thread p's count of digit d in the current pass.
+int hist[{hist_slots}];
+int localhist[{hist_slots}];
+int globalhist[{RADIX}];
+int rankbase[{hist_slots}];
+int smallcount[32];
+
+barrier phase;
+
+@init func setup() {{
+    for (var p: int = 0; p < numthreads(); p = p + 1) {{
+        keybeg[p] = p * nkeys / numthreads();
+        keyend[p] = (p + 1) * nkeys / numthreads();
+        histbeg[p] = 0;
+        histend[p] = radix;
+    }}
+    for (var i: int = 0; i < nkeys; i = i + 1) {{
+        keys[i] = rand({max_key});
+    }}
+}}
+
+func digit_of(key: int, pass: int) -> int {{
+    var d: int = key;
+    for (var s: int = 0; s < pass; s = s + 1) {{
+        d = d / radix;
+    }}
+    return d % radix;
+}}
+
+@spmd func slave() {{
+    var procid: int = threadid();
+    var first: int = keybeg[procid];
+    // The per-thread chunk length is a shared value (nkeys/p), as in the
+    // original's `for (i = key_start; i < key_start + num_keys/p; i++)`.
+    var chunk: int = nkeys / numthreads();
+
+    for (var pass: int = 0; pass < npasses; pass = pass + 1) {{
+        // Clear own histogram (digit range from the per-process tables:
+        // a partial-category loop, like the original's rank arrays).
+        for (var d: int = histbeg[procid]; d < histend[procid]; d = d + 1) {{
+            hist[procid * radix + d] = 0;
+        }}
+        // Count digits of own keys; also track small keys (data branch).
+        var small: int = 0;
+        for (var k: int = 0; k < chunk; k = k + 1) {{
+            var i: int = first + k;
+            var d: int = digit_of(keys[i], pass);
+            hist[procid * radix + d] = hist[procid * radix + d] + 1;
+            if (d < radix / 2) {{
+                small = small + 1;
+            }}
+        }}
+        smallcount[procid] = small;
+        for (var d: int = histbeg[procid]; d < histend[procid]; d = d + 1) {{
+            localhist[procid * radix + d] = hist[procid * radix + d];
+        }}
+        barrier(phase);
+
+        // Logarithmic reduction tree over the per-thread histograms,
+        // staged by thread ID (the SPLASH radix prefix phase).
+        for (var stride: int = 1; stride < numthreads(); stride = stride * 2) {{
+            if (procid % (stride * 2) == 0) {{
+                if (procid + stride < numthreads()) {{
+                    for (var d: int = 0; d < radix; d = d + 1) {{
+                        hist[procid * radix + d] =
+                            hist[procid * radix + d] + hist[(procid + stride) * radix + d];
+                    }}
+                }}
+            }}
+            barrier(phase);
+        }}
+
+        // Thread 0 turns the folded histogram into global offsets and
+        // per-(thread, digit) rank bases from the original counts.
+        if (procid == 0) {{
+            var offset: int = 0;
+            for (var d: int = 0; d < radix; d = d + 1) {{
+                globalhist[d] = offset;
+                offset = offset + hist[d];
+            }}
+        }}
+        barrier(phase);
+        if (procid == 0) {{
+            for (var d: int = 0; d < radix; d = d + 1) {{
+                var base: int = globalhist[d];
+                for (var p: int = 0; p < numthreads(); p = p + 1) {{
+                    rankbase[p * radix + d] = base;
+                    base = base + localhist[p * radix + d];
+                }}
+            }}
+        }}
+        barrier(phase);
+
+        // Permute own keys to their ranked positions.
+        for (var k: int = 0; k < chunk; k = k + 1) {{
+            var i: int = first + k;
+            var d: int = digit_of(keys[i], pass);
+            var dest: int = rankbase[procid * radix + d];
+            rankbase[procid * radix + d] = dest + 1;
+            sorted[dest] = keys[i];
+        }}
+        barrier(phase);
+
+        // Copy back over the thread's range.
+        for (var k: int = 0; k < chunk; k = k + 1) {{
+            keys[first + k] = sorted[first + k];
+        }}
+        barrier(phase);
+    }}
+
+    // Verify local sortedness of the chunk (data branch) and checksum;
+    // the verify pass walks the per-thread key range (partial bounds).
+    var inversions: int = 0;
+    var sum: int = 0;
+    for (var i: int = first; i < keyend[procid]; i = i + 1) {{
+        sum = sum + keys[i] * (i - first + 1);
+        if (i > first) {{
+            if (keys[i] < keys[i - 1]) {{
+                inversions = inversions + 1;
+            }}
+        }}
+    }}
+    output(sum);
+    output(inversions);
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_for_all_sizes() {
+        for size in [Size::Test, Size::Small, Size::Reference] {
+            bw_ir::frontend::compile(&source(size)).expect("radix compiles");
+        }
+    }
+}

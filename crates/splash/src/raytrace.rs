@@ -1,0 +1,211 @@
+//! Port of SPLASH-2 **raytrace**.
+//!
+//! The original renders a scene by tracing rays through a spatial grid,
+//! dispatching per-object intersection and shading code through *function
+//! pointers*, inside loop nests well over six levels deep. Those two
+//! features make it the paper's outlier: function pointers mean different
+//! threads execute different functions (few cross-thread reporters), and
+//! the loop-nesting cutoff leaves the deepest branches unchecked — its
+//! coverage with BLOCKWATCH (~85 %) barely beats the unprotected program.
+//! Statically, half its branches are `none` (intersection tests on scene
+//! data) and most of the rest `partial` (tile tables, material indices).
+//!
+//! The port keeps the deep nest (tile → row → column → sample → bounce →
+//! object → shadow = 7 loop levels), a shader function table indexed by
+//! the hit object's type, and per-thread tile partitions.
+
+use crate::size::Size;
+
+/// Image dimension (square) per size.
+fn image_dim(size: Size) -> u64 {
+    match size {
+        Size::Test => 8,
+        Size::Small => 12,
+        Size::Reference => 20,
+    }
+}
+
+/// Number of scene objects.
+const NOBJECTS: u64 = 6;
+
+/// Returns the mini-language source of the port.
+pub fn source(size: Size) -> String {
+    let dim = image_dim(size);
+    let pixels = dim * dim;
+    format!(
+        r#"
+module raytrace;
+
+shared int dim = {dim};
+shared int nobjects = {NOBJECTS};
+// Per-thread rendering options (antialiasing samples, bounce depth,
+// shadow rays), as the original's per-process ray options structure.
+shared int nsamples[33];
+shared int nbounces[33];
+shared int nshadow[33];
+shared int tilebeg[33];
+shared int tileend[33];
+// Material table: read-only shader parameters per material id.
+shared float matdiffuse[4];
+shared float matspec[4];
+
+// Scene arrays are rebuilt per frame by worker threads elsewhere in the
+// original; they are not statically shared.
+float objx[{NOBJECTS}];
+float objy[{NOBJECTS}];
+float objr[{NOBJECTS}];
+int objtype[{NOBJECTS}];
+int objmat[{NOBJECTS}];
+int gridocc[16];
+float image[{pixels}];
+
+table shaders = {{ shade_flat, shade_phong, shade_mirror }};
+
+barrier frame;
+
+@init func setup() {{
+    for (var p: int = 0; p < numthreads(); p = p + 1) {{
+        tilebeg[p] = p * dim / numthreads();
+        tileend[p] = (p + 1) * dim / numthreads();
+        nsamples[p] = 2;
+        nbounces[p] = 2;
+        nshadow[p] = 2;
+    }}
+    matdiffuse[0] = 0.4; matdiffuse[1] = 0.6; matdiffuse[2] = 0.8; matdiffuse[3] = 0.2;
+    matspec[0] = 0.1; matspec[1] = 0.3; matspec[2] = 0.7; matspec[3] = 0.9;
+    for (var o: int = 0; o < nobjects; o = o + 1) {{
+        objx[o] = float(rand(1000)) / 100.0;
+        objy[o] = float(rand(1000)) / 100.0;
+        objr[o] = 0.5 + float(rand(200)) / 100.0;
+        objtype[o] = rand(3);
+        objmat[o] = rand(4);
+    }}
+    for (var c: int = 0; c < 16; c = c + 1) {{
+        gridocc[c] = rand(3);
+    }}
+}}
+
+// Shaders share a signature: (object, intensity) -> contribution.
+func shade_flat(obj: int, intensity: float) -> float {{
+    var m: int = objmat[obj];
+    return matdiffuse[m] * intensity;
+}}
+
+func shade_phong(obj: int, intensity: float) -> float {{
+    var m: int = objmat[obj];
+    var s: float = matspec[m];
+    var d: float = matdiffuse[m];
+    if (s > 0.5) {{
+        return (d + s * s) * intensity;
+    }}
+    return d * intensity + s * 0.1;
+}}
+
+func shade_mirror(obj: int, intensity: float) -> float {{
+    var m: int = objmat[obj];
+    if (matspec[m] > 0.2) {{
+        return matspec[m] * intensity * 0.9;
+    }}
+    return 0.05 * intensity;
+}}
+
+@spmd func slave() {{
+    var procid: int = threadid();
+    var tfirst: int = tilebeg[procid];
+    var tlast: int = tileend[procid];
+    var samples: int = nsamples[procid];
+    var bounces: int = nbounces[procid];
+    var shadows: int = nshadow[procid];
+
+    // 7-deep loop nest: tile rows / rows / cols / samples / bounces /
+    // objects / shadow rays.
+    for (var tile: int = tfirst; tile < tlast; tile = tile + 1) {{
+        for (var row: int = tile; row < tile + 1; row = row + 1) {{
+            for (var col: int = 0; col < dim; col = col + 1) {{
+                var pixel: float = 0.0;
+                for (var s: int = 0; s < samples; s = s + 1) {{
+                    var rx: float = float(col) + float(s) * 0.5;
+                    var ry: float = float(row) + float(s) * 0.25;
+                    var weight: float = 1.0;
+                    for (var bounce: int = 0; bounce < bounces; bounce = bounce + 1) {{
+                        // March the spatial grid to the first occupied cell
+                        // (data-dependent: the paper's grid traversal).
+                        var cell: int = int(rx + ry);
+                        if (cell < 0) {{ cell = 0 - cell; }}
+                        cell = cell % 16;
+                        var marches: int = 0;
+                        while (gridocc[cell] == 0) {{
+                            cell = (cell + 1) % 16;
+                            marches = marches + 1;
+                            if (marches > 16) {{ break; }}
+                        }}
+                        if (gridocc[cell] > 1) {{
+                            weight = weight * 0.95;
+                        }}
+                        var best: int = 0 - 1;
+                        var bestd: float = 1000000.0;
+                        for (var o: int = 0; o < nobjects; o = o + 1) {{
+                            var dx: float = objx[o] - rx;
+                            var dy: float = objy[o] - ry;
+                            // Bounding tests before the exact hit test, as
+                            // in the original's hierarchical intersection.
+                            if (objr[o] > 0.1) {{
+                                if (dx * dx < 64.0) {{
+                                    var d2: float = dx * dx + dy * dy;
+                                    if (d2 < objr[o] * objr[o] * 4.0) {{
+                                        if (d2 < bestd) {{
+                                            bestd = d2;
+                                            best = o;
+                                        }}
+                                    }}
+                                }}
+                            }}
+                        }}
+                        if (best >= 0) {{
+                            var lit: float = 1.0;
+                            for (var sh: int = 0; sh < shadows; sh = sh + 1) {{
+                                var ox: float = objx[best] + float(sh);
+                                if (ox > rx) {{
+                                    lit = lit - 0.2;
+                                }}
+                            }}
+                            pixel = pixel + weight * shaders[objtype[best]](best, lit);
+                            weight = weight * 0.5;
+                            rx = objx[best] + 0.1;
+                            ry = objy[best] - 0.1;
+                        }} else {{
+                            pixel = pixel + weight * 0.02;
+                            weight = 0.0;
+                        }}
+                    }}
+                }}
+                image[row * dim + col] = pixel;
+            }}
+        }}
+    }}
+    barrier(frame);
+
+    // Per-thread image checksum over owned rows.
+    var sum: float = 0.0;
+    for (var row: int = tfirst; row < tlast; row = row + 1) {{
+        for (var col: int = 0; col < dim; col = col + 1) {{
+            sum = sum + image[row * dim + col];
+        }}
+    }}
+    output(int(sum));
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_for_all_sizes() {
+        for size in [Size::Test, Size::Small, Size::Reference] {
+            bw_ir::frontend::compile(&source(size)).expect("raytrace compiles");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Port of SPLASH-2 **water-nsquared** (molecular dynamics, O(n²) pairs).
+//!
+//! The original simulates liquid water with an O(n²) pairwise force
+//! computation, a predictor-corrector integrator and periodic energy
+//! reductions. The paper's mix: `shared` 33 % (timestep, dimension and
+//! whole-set pair loops), `threadID` 12 % (reduction / leader phases),
+//! `partial` 25 % (per-thread molecule ranges), `none` 30 % (cutoff tests
+//! on coordinates).
+
+use crate::size::Size;
+
+/// Number of molecules.
+fn molecules(size: Size) -> u64 {
+    match size {
+        Size::Test => 32,
+        Size::Small => 96,
+        Size::Reference => 288,
+    }
+}
+
+/// Returns the mini-language source of the port.
+pub fn source(size: Size) -> String {
+    let nmol = molecules(size);
+    let steps = size.scale();
+    format!(
+        r#"
+module water_nsquared;
+
+shared int nmol = {nmol};
+shared int nsteps = {steps};
+shared int ndims = 3;
+shared int molbeg[33];
+shared int molend[33];
+shared float boxsize = 10.0;
+shared float cutoff2 = 6.25;
+shared float dt = 0.002;
+
+// pos[m * 3 + d], concurrently updated.
+float pos[{pos_len}];
+float vel[{pos_len}];
+float force[{pos_len}];
+float kinetic[32];
+
+barrier phase;
+mutex energy_lock;
+float potential = 0.0;
+
+@init func setup() {{
+    for (var p: int = 0; p < numthreads(); p = p + 1) {{
+        molbeg[p] = p * nmol / numthreads();
+        molend[p] = (p + 1) * nmol / numthreads();
+    }}
+    for (var i: int = 0; i < nmol * 3; i = i + 1) {{
+        pos[i] = float(rand(1000)) / 100.0;
+        vel[i] = float(rand(200)) / 1000.0 - 0.1;
+        force[i] = 0.0;
+    }}
+}}
+
+// Minimum-image displacement along one axis (data-dependent folding).
+func minimg(d: float) -> float {{
+    var r: float = d;
+    if (r > boxsize / 2.0) {{ r = r - boxsize; }}
+    if (r < 0.0 - boxsize / 2.0) {{ r = r + boxsize; }}
+    return r;
+}}
+
+@spmd func slave() {{
+    var procid: int = threadid();
+    var first: int = molbeg[procid];
+    var last: int = molend[procid];
+
+    for (var step: int = 0; step < nsteps; step = step + 1) {{
+        // Predictor: advance own molecules along all dimensions.
+        for (var m: int = first; m < last; m = m + 1) {{
+            for (var d: int = 0; d < ndims; d = d + 1) {{
+                pos[m * 3 + d] = pos[m * 3 + d] + vel[m * 3 + d] * dt;
+                force[m * 3 + d] = 0.0;
+            }}
+        }}
+        barrier(phase);
+
+        // O(n²) pair forces: own molecules against the whole set. The
+        // inner loop bound is shared; the cutoff test is data-dependent.
+        var pot: float = 0.0;
+        for (var m: int = first; m < last; m = m + 1) {{
+            for (var j: int = 0; j < nmol; j = j + 1) {{
+                if (j != m) {{
+                    var dx: float = minimg(pos[j * 3] - pos[m * 3]);
+                    var dy: float = minimg(pos[j * 3 + 1] - pos[m * 3 + 1]);
+                    var dz: float = minimg(pos[j * 3 + 2] - pos[m * 3 + 2]);
+                    var r2: float = dx * dx + dy * dy + dz * dz;
+                    if (r2 < cutoff2) {{
+                        var inv: float = 1.0 / (r2 + 0.01);
+                        var lj: float = inv * inv * inv - inv * inv;
+                        force[m * 3] = force[m * 3] + lj * dx;
+                        force[m * 3 + 1] = force[m * 3 + 1] + lj * dy;
+                        force[m * 3 + 2] = force[m * 3 + 2] + lj * dz;
+                        pot = pot + lj;
+                    }}
+                }}
+            }}
+        }}
+        lock(energy_lock);
+        potential = potential + pot;
+        unlock(energy_lock);
+        barrier(phase);
+
+        // Corrector: integrate forces; wrap positions (data-dependent).
+        var kin: float = 0.0;
+        for (var m: int = first; m < last; m = m + 1) {{
+            for (var d: int = 0; d < ndims; d = d + 1) {{
+                vel[m * 3 + d] = vel[m * 3 + d] + force[m * 3 + d] * dt;
+                pos[m * 3 + d] = pos[m * 3 + d] + vel[m * 3 + d] * dt;
+                if (pos[m * 3 + d] < 0.0) {{
+                    pos[m * 3 + d] = pos[m * 3 + d] + boxsize;
+                }}
+                if (pos[m * 3 + d] > boxsize) {{
+                    pos[m * 3 + d] = pos[m * 3 + d] - boxsize;
+                }}
+                kin = kin + vel[m * 3 + d] * vel[m * 3 + d];
+            }}
+        }}
+        kinetic[procid] = kin;
+        barrier(phase);
+
+        // The leader folds the kinetic energies (threadID phase).
+        if (procid == 0) {{
+            var total: float = 0.0;
+            for (var p: int = 0; p < numthreads(); p = p + 1) {{
+                total = total + kinetic[p];
+            }}
+            output(int(total * 100.0));
+        }}
+        barrier(phase);
+    }}
+
+    // Chunk checksum.
+    var sum: float = 0.0;
+    for (var m: int = first; m < last; m = m + 1) {{
+        sum = sum + pos[m * 3] + pos[m * 3 + 1] + pos[m * 3 + 2];
+    }}
+    output(int(sum * 10.0));
+}}
+
+@fini func report() {{
+    output(int(potential * 10.0));
+}}
+"#,
+        pos_len = nmol * 3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_for_all_sizes() {
+        for size in [Size::Test, Size::Small, Size::Reference] {
+            bw_ir::frontend::compile(&source(size)).expect("water compiles");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Regression net for the ports' similarity-category mixes: each port must
+//! keep the qualitative Table V shape the paper reports for its original.
+//! (Exact counts may drift when ports are edited; these bounds are the
+//! properties the evaluation depends on.)
+
+use bw_analysis::ModuleAnalysis;
+use bw_splash::{Benchmark, Size};
+
+fn fractions(bench: Benchmark) -> (f64, f64, f64, f64) {
+    let module = bench.module(Size::Reference).expect("port compiles");
+    let h = ModuleAnalysis::run(&module).category_histogram();
+    let t = h.total().max(1) as f64;
+    (
+        h.shared as f64 / t,
+        h.thread_id as f64 / t,
+        h.partial as f64 / t,
+        h.none as f64 / t,
+    )
+}
+
+#[test]
+fn ocean_contig_is_partial_dominated() {
+    let (_, _, partial, none) = fractions(Benchmark::OceanContig);
+    assert!(partial >= 0.7, "paper: 92% partial; got {partial}");
+    assert!(none <= 0.1, "paper: 2.5% none; got {none}");
+}
+
+#[test]
+fn ocean_noncontig_has_the_most_threadid() {
+    let (_, tid_nc, partial, _) = fractions(Benchmark::OceanNoncontig);
+    assert!(tid_nc >= 0.2, "paper: 24% threadID; got {tid_nc}");
+    assert!(partial >= 0.4, "paper: 69% partial; got {partial}");
+    for other in [Benchmark::OceanContig, Benchmark::Fmm, Benchmark::WaterNsquared] {
+        let (_, tid_other, _, _) = fractions(other);
+        assert!(tid_nc > tid_other, "{}: {tid_other} >= {tid_nc}", other.name());
+    }
+}
+
+#[test]
+fn fmm_and_raytrace_are_none_heaviest() {
+    let (_, _, _, fmm_none) = fractions(Benchmark::Fmm);
+    let (_, _, _, ray_none) = fractions(Benchmark::Raytrace);
+    assert!(fmm_none >= 0.4, "paper: 51% none; got {fmm_none}");
+    assert!(ray_none >= 0.3, "paper: 50% none; got {ray_none}");
+    let max_other = [
+        Benchmark::OceanContig,
+        Benchmark::Fft,
+        Benchmark::OceanNoncontig,
+        Benchmark::Radix,
+    ]
+    .into_iter()
+    .map(|b| fractions(b).3)
+    .fold(0.0f64, f64::max);
+    assert!(fmm_none > max_other && ray_none > max_other);
+}
+
+#[test]
+fn fft_and_radix_are_balanced_with_strong_shared() {
+    for bench in [Benchmark::Fft, Benchmark::Radix] {
+        let (shared, tid, _, _) = fractions(bench);
+        assert!(shared >= 0.2, "{}: paper ~31% shared; got {shared}", bench.name());
+        assert!(tid >= 0.15, "{}: paper ~25% threadID; got {tid}", bench.name());
+    }
+}
+
+#[test]
+fn every_port_is_at_least_half_similar_except_fmm() {
+    // Paper: 49–98% similar; FMM is the minimum at 48.9%.
+    for bench in Benchmark::ALL {
+        let (shared, tid, partial, _) = fractions(bench);
+        let similar = shared + tid + partial;
+        let floor = if bench == Benchmark::Fmm { 0.45 } else { 0.5 };
+        assert!(similar >= floor, "{}: similar {similar}", bench.name());
+    }
+}
+
+#[test]
+fn raytrace_has_deep_loops_beyond_the_cutoff() {
+    let module = Benchmark::Raytrace.module(Size::Test).expect("compiles");
+    let analysis = ModuleAnalysis::run(&module);
+    let deepest = analysis.branches.iter().map(|b| b.loop_depth).max().unwrap();
+    assert!(deepest >= 6, "raytrace must exercise the nesting cutoff; deepest {deepest}");
+}
+
+#[test]
+fn table_iv_sanity() {
+    for bench in Benchmark::ALL {
+        let module = bench.module(Size::Small).expect("compiles");
+        let analysis = ModuleAnalysis::run(&module);
+        let parallel = analysis.parallel_branches().count();
+        assert!(parallel >= 10, "{}: {parallel} parallel branches", bench.name());
+        assert!(module.num_branches() >= parallel);
+    }
+}

@@ -1,0 +1,126 @@
+//! Preprocessed program image: everything the interpreter needs per
+//! instruction, resolved once before execution.
+
+use std::collections::HashMap;
+
+use bw_analysis::{AnalysisConfig, CheckPlan, ConditionInfo, ModuleAnalysis};
+use bw_ir::{BlockId, BranchId, Cfg, DomTree, FuncId, LoopForest, LoopId, Module, ValueId};
+
+/// Static per-function metadata used at runtime.
+#[derive(Debug)]
+pub struct FuncMeta {
+    /// Loop chain (outermost first) of every block.
+    pub chains: Vec<Vec<LoopId>>,
+    /// The loop each block is the header of, if any.
+    pub header_of: Vec<Option<LoopId>>,
+}
+
+/// Per-branch runtime info.
+#[derive(Debug)]
+pub struct BranchRuntime {
+    /// Witness values to hash and send, when the branch is instrumented.
+    pub witnesses: Option<Vec<ValueId>>,
+    /// Condition structure used by fault injection (the branch's
+    /// "condition data" and how to recompute the outcome after corrupting
+    /// it).
+    pub cond_info: ConditionInfo,
+}
+
+/// A fully analyzed, instrumented program ready to execute.
+#[derive(Debug)]
+pub struct ProgramImage {
+    /// The IR module.
+    pub module: Module,
+    /// Similarity analysis results.
+    pub analysis: ModuleAnalysis,
+    /// Instrumentation plan.
+    pub plan: CheckPlan,
+    /// Per-function runtime metadata.
+    pub func_meta: Vec<FuncMeta>,
+    /// Per-function map from block to the id of its terminating branch.
+    pub branch_at: Vec<HashMap<BlockId, BranchId>>,
+    /// Per-branch runtime info, indexed by [`BranchId`].
+    pub branch_runtime: Vec<BranchRuntime>,
+}
+
+impl ProgramImage {
+    /// Analyzes and instruments `module` with `config`.
+    ///
+    /// The module must pass [`bw_ir::verify_module`]; the front-end
+    /// guarantees this for compiled sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module fails verification (construct modules through
+    /// the builder or front-end to avoid this).
+    pub fn prepare(module: Module, config: AnalysisConfig) -> ProgramImage {
+        bw_ir::verify_module(&module).expect("module must verify before execution");
+        let analysis = ModuleAnalysis::run(&module);
+        let plan = CheckPlan::build(&module, &analysis, config);
+
+        let mut func_meta = Vec::with_capacity(module.funcs.len());
+        for func in &module.funcs {
+            let cfg = Cfg::new(func);
+            let dom = DomTree::new(&cfg, func.entry());
+            let loops = LoopForest::new(&cfg, &dom);
+            let chains: Vec<Vec<LoopId>> = (0..func.blocks.len())
+                .map(|i| loops.loop_chain(BlockId::from_index(i)))
+                .collect();
+            let header_of: Vec<Option<LoopId>> = (0..func.blocks.len())
+                .map(|i| loops.loop_with_header(BlockId::from_index(i)))
+                .collect();
+            func_meta.push(FuncMeta { chains, header_of });
+        }
+
+        let mut branch_at: Vec<HashMap<BlockId, BranchId>> =
+            vec![HashMap::new(); module.funcs.len()];
+        let mut branch_runtime = Vec::with_capacity(analysis.branches.len());
+        for b in &analysis.branches {
+            branch_at[b.func.index()].insert(b.block, b.id);
+            let func = module.func(b.func);
+            let cond_info = ConditionInfo::extract(func, b.cond);
+            let witnesses = plan.check(b.id).map(|c| c.witnesses.clone());
+            branch_runtime.push(BranchRuntime { witnesses, cond_info });
+        }
+
+        ProgramImage { module, analysis, plan, func_meta, branch_at, branch_runtime }
+    }
+
+    /// Prepares with the default (paper) configuration.
+    pub fn prepare_default(module: Module) -> ProgramImage {
+        Self::prepare(module, AnalysisConfig::default())
+    }
+
+    /// The branch id terminating `(func, block)`, if any.
+    pub fn branch_id(&self, func: FuncId, block: BlockId) -> Option<BranchId> {
+        self.branch_at[func.index()].get(&block).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepares_compiled_program() {
+        let module = bw_ir::frontend::compile(
+            r#"
+            shared int n = 4;
+            @spmd func f() {
+                for (var i: int = 0; i < n; i = i + 1) { output(i); }
+            }
+            "#,
+        )
+        .unwrap();
+        let image = ProgramImage::prepare_default(module);
+        assert_eq!(image.branch_runtime.len(), 1);
+        assert!(image.branch_runtime[0].witnesses.is_some());
+        let f = image.module.spmd_entry.unwrap();
+        let b = &image.analysis.branches[0];
+        assert_eq!(image.branch_id(f, b.block), Some(b.id));
+        // The loop body block is inside one loop.
+        let meta = &image.func_meta[f.index()];
+        assert!(meta.chains.iter().any(|c| c.len() == 1));
+        assert!(meta.header_of.iter().flatten().count() == 1);
+    }
+}

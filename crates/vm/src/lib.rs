@@ -1,0 +1,60 @@
+//! # bw-vm — execution engines for BLOCKWATCH programs
+//!
+//! Runs the SPMD IR of [`bw_ir`] with the instrumentation planned by
+//! [`bw_analysis`], reporting to the [`bw_monitor`] runtime monitor. Two
+//! engines share one interpreter core:
+//!
+//! * **Deterministic simulated engine** ([`run_sim`]): all threads are
+//!   interpreted under a discrete-event scheduler with an explicit
+//!   [`MachineModel`] (the paper's 4-socket, 32-core Opteron testbed).
+//!   Execution is a deterministic function of program, thread count and
+//!   seed — the substrate for the fault-injection campaigns (which need
+//!   golden-run comparison) and the performance figures (which need a
+//!   32-core machine this reproduction does not have).
+//! * **Real-threads engine** ([`run_real`]): one OS thread per SPMD
+//!   thread plus the asynchronous monitor thread of the paper, with the
+//!   lock-free queues actually crossing threads. Used to validate the
+//!   monitor machinery under true concurrency.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_vm::{run_sim, ProgramImage, SimConfig, RunOutcome};
+//!
+//! let module = bw_ir::frontend::compile(r#"
+//!     shared int n = 8;
+//!     @spmd func slave() {
+//!         var t: int = threadid();
+//!         for (var i: int = 0; i < n; i = i + 1) { output(t * n + i); }
+//!     }
+//! "#).unwrap();
+//! let image = ProgramImage::prepare_default(module);
+//! let result = run_sim(&image, &SimConfig::new(4));
+//! assert_eq!(result.outcome, RunOutcome::Completed);
+//! assert_eq!(result.outputs.len(), 32);
+//! assert!(!result.detected());
+//! ```
+
+#![warn(missing_docs)]
+
+mod image;
+mod machine;
+mod memory;
+mod real;
+mod sim;
+mod thread;
+mod trap;
+
+pub use image::{BranchRuntime, FuncMeta, ProgramImage};
+pub use machine::MachineModel;
+pub use memory::{AtomicMemory, LocalMemory, SharedMemory, SimMemory};
+pub use real::{run_real, RealConfig, RealResult};
+pub use sim::{
+    run_module, run_sim, run_sim_with_hook, ExecMode, MonitorMode, RunOutcome, RunResult,
+    SimConfig,
+};
+pub use thread::{
+    BranchHook, CostClass, FaultAction, Frame, NoHook, SplitMix64, StepOutcome, ThreadState,
+    MAX_CALL_DEPTH,
+};
+pub use trap::TrapKind;

@@ -1,0 +1,387 @@
+//! The real-threads engine: one OS thread per SPMD thread, atomic shared
+//! memory, OS mutexes/barriers, per-thread lock-free queues and the
+//! asynchronous monitor thread — the paper's actual runtime architecture.
+//!
+//! This engine has no cost model (wall-clock on the host is meaningless for
+//! the paper's 32-core numbers; that is the simulator's job) but it
+//! exercises the concurrency for real: queue pushes race with the monitor's
+//! drains, and memory is genuinely shared. Used for the false-positive
+//! experiments and as a sanity check that the lock-free machinery works.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use bw_monitor::{
+    spsc_queue, CheckTable, EventSender, HierarchicalMonitorThread, MonitorThread, Violation,
+};
+use bw_ir::Val;
+
+use crate::image::ProgramImage;
+use crate::memory::AtomicMemory;
+use crate::sim::RunOutcome;
+use crate::thread::{NoHook, StepOutcome, ThreadState};
+use crate::trap::TrapKind;
+
+/// Configuration of a real-threads run.
+#[derive(Clone, Debug)]
+pub struct RealConfig {
+    /// Number of SPMD threads.
+    pub nthreads: u32,
+    /// Per-thread queue capacity (events).
+    pub queue_capacity: usize,
+    /// Seed for the per-thread PRNGs.
+    pub seed: u64,
+    /// Per-thread step limit (hang cutoff).
+    pub max_steps_per_thread: u64,
+    /// When set, use the hierarchical monitor tree of the paper's
+    /// Section VI with this many threads per sub-monitor, instead of one
+    /// flat monitor thread.
+    pub hierarchy_fanout: Option<usize>,
+}
+
+impl RealConfig {
+    /// A default configuration for `nthreads` threads.
+    pub fn new(nthreads: u32) -> Self {
+        RealConfig {
+            nthreads,
+            queue_capacity: 1 << 14,
+            seed: 0xb10c_0000,
+            max_steps_per_thread: 500_000_000,
+            hierarchy_fanout: None,
+        }
+    }
+}
+
+/// Result of a real-threads run.
+#[derive(Debug)]
+pub struct RealResult {
+    /// How the run ended (first trap wins; hangs are per-thread step-limit
+    /// exhaustion).
+    pub outcome: RunOutcome,
+    /// Program output (init, threads in id order, fini).
+    pub outputs: Vec<Val>,
+    /// Violations the monitor (flat or hierarchical) reported.
+    pub violations: Vec<Violation>,
+    /// Events the monitor side processed.
+    pub events_processed: u64,
+    /// Events dropped because a queue stayed full.
+    pub events_dropped: u64,
+}
+
+impl RealResult {
+    /// Whether the monitor flagged a violation.
+    pub fn detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+enum AnyMonitor {
+    Flat(MonitorThread),
+    Tree(HierarchicalMonitorThread),
+}
+
+impl AnyMonitor {
+    fn join(self) -> (Vec<Violation>, u64) {
+        match self {
+            AnyMonitor::Flat(m) => {
+                let monitor = m.join();
+                let events = monitor.events_processed();
+                (monitor.violations().to_vec(), events)
+            }
+            AnyMonitor::Tree(t) => {
+                let (root, events) = t.join();
+                (root.violations().to_vec(), events)
+            }
+        }
+    }
+}
+
+/// A mutex usable with unpaired lock/unlock coming from interpreted code.
+struct RawMutex {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl RawMutex {
+    fn new() -> Self {
+        RawMutex { state: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn lock(&self) {
+        let mut held = self.state.lock().expect("mutex poisoned");
+        while *held {
+            held = self.cv.wait(held).expect("mutex poisoned");
+        }
+        *held = true;
+    }
+
+    /// Returns `false` if the mutex was not held (interpreter bug or
+    /// fault-corrupted control flow).
+    fn unlock(&self) -> bool {
+        let mut held = self.state.lock().expect("mutex poisoned");
+        if !*held {
+            return false;
+        }
+        *held = false;
+        self.cv.notify_one();
+        true
+    }
+}
+
+/// Runs `image` on real OS threads with the asynchronous monitor.
+pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
+    let n = config.nthreads;
+    let mem = Arc::new(AtomicMemory::new(&image.module));
+    let mut outputs = Vec::new();
+
+    // Phase 1: init, single-threaded.
+    if let Some(init) = image.module.init {
+        let mut t = ThreadState::new(0, init, image, config.seed ^ 0xfeed);
+        loop {
+            match t.step(image, &*mem, n, &mut NoHook) {
+                StepOutcome::Ran { .. }
+                | StepOutcome::Lock(_)
+                | StepOutcome::Unlock(_)
+                | StepOutcome::Barrier(_) => {}
+                StepOutcome::Done => break,
+                StepOutcome::Trap(k) => {
+                    return RealResult {
+                        outcome: RunOutcome::Crashed(k),
+                        outputs,
+                        violations: Vec::new(),
+                        events_processed: 0,
+                        events_dropped: 0,
+                    }
+                }
+            }
+            if t.steps > config.max_steps_per_thread {
+                return RealResult {
+                    outcome: RunOutcome::Hung,
+                    outputs,
+                    violations: Vec::new(),
+                    events_processed: 0,
+                    events_dropped: 0,
+                };
+            }
+        }
+        outputs.append(&mut t.outputs);
+    }
+
+    // Phase 2: parallel section with monitor thread.
+    let mutexes: Arc<Vec<RawMutex>> =
+        Arc::new((0..image.module.num_mutexes).map(|_| RawMutex::new()).collect());
+    let barriers: Arc<Vec<std::sync::Barrier>> = Arc::new(
+        (0..image.module.num_barriers).map(|_| std::sync::Barrier::new(n as usize)).collect(),
+    );
+
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for _ in 0..n {
+        let (p, c) = spsc_queue(config.queue_capacity);
+        producers.push(EventSender::new(p));
+        consumers.push(c);
+    }
+    let monitor = match config.hierarchy_fanout {
+        Some(fanout) => AnyMonitor::Tree(HierarchicalMonitorThread::spawn(
+            CheckTable::from_plan(&image.plan),
+            n as usize,
+            consumers,
+            fanout,
+        )),
+        None => AnyMonitor::Flat(MonitorThread::spawn(
+            CheckTable::from_plan(&image.plan),
+            n as usize,
+            consumers,
+        )),
+    };
+
+    let entry = image.module.spmd_entry;
+    let handles: Vec<_> = producers
+        .into_iter()
+        .enumerate()
+        .map(|(tid, mut sender)| {
+            let image = Arc::clone(image);
+            let mem = Arc::clone(&mem);
+            let mutexes = Arc::clone(&mutexes);
+            let barriers = Arc::clone(&barriers);
+            let max_steps = config.max_steps_per_thread;
+            let seed = config.seed;
+            std::thread::Builder::new()
+                .name(format!("bw-worker-{tid}"))
+                .spawn(move || -> (Vec<Val>, Result<(), TrapKind>, u64, bool) {
+                    let Some(entry) = entry else {
+                        return (Vec::new(), Ok(()), 0, false);
+                    };
+                    let mut t = ThreadState::new(tid as u32, entry, &image, seed);
+                    let mut hung = false;
+                    let result = loop {
+                        if t.steps > max_steps {
+                            hung = true;
+                            break Ok(());
+                        }
+                        match t.step(&image, &*mem, n, &mut NoHook) {
+                            StepOutcome::Ran { event, .. } => {
+                                if let Some(event) = event {
+                                    sender.send(event);
+                                }
+                            }
+                            StepOutcome::Lock(m) => mutexes[m.index()].lock(),
+                            StepOutcome::Unlock(m) => {
+                                if !mutexes[m.index()].unlock() {
+                                    break Err(TrapKind::BadUnlock);
+                                }
+                            }
+                            StepOutcome::Barrier(b) => {
+                                barriers[b.index()].wait();
+                            }
+                            StepOutcome::Done => break Ok(()),
+                            StepOutcome::Trap(k) => break Err(k),
+                        }
+                    };
+                    (t.outputs, result, sender.dropped(), hung)
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let mut outcome = RunOutcome::Completed;
+    let mut events_dropped = 0;
+    for handle in handles {
+        let (mut thread_outputs, result, dropped, hung) =
+            handle.join().expect("worker panicked");
+        outputs.append(&mut thread_outputs);
+        events_dropped += dropped;
+        match result {
+            Ok(()) if hung && outcome == RunOutcome::Completed => outcome = RunOutcome::Hung,
+            Ok(()) => {}
+            Err(k) => {
+                if outcome == RunOutcome::Completed {
+                    outcome = RunOutcome::Crashed(k);
+                }
+            }
+        }
+    }
+    let (violations, events_processed) = monitor.join();
+
+    // Phase 3: fini.
+    if outcome == RunOutcome::Completed {
+        if let Some(fini) = image.module.fini {
+            let mut t = ThreadState::new(0, fini, image, config.seed ^ 0xf1f1);
+            loop {
+                match t.step(image, &*mem, n, &mut NoHook) {
+                    StepOutcome::Ran { .. }
+                    | StepOutcome::Lock(_)
+                    | StepOutcome::Unlock(_)
+                    | StepOutcome::Barrier(_) => {}
+                    StepOutcome::Done => break,
+                    StepOutcome::Trap(k) => {
+                        outcome = RunOutcome::Crashed(k);
+                        break;
+                    }
+                }
+                if t.steps > config.max_steps_per_thread {
+                    outcome = RunOutcome::Hung;
+                    break;
+                }
+            }
+            outputs.append(&mut t.outputs);
+        }
+    }
+
+    RealResult { outcome, outputs, violations, events_processed, events_dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(src: &str) -> Arc<ProgramImage> {
+        Arc::new(ProgramImage::prepare_default(bw_ir::frontend::compile(src).expect("compile")))
+    }
+
+    #[test]
+    fn real_engine_runs_clean_program_without_violations() {
+        let image = image(
+            r#"
+            shared int n = 16;
+            int acc = 0;
+            mutex m;
+            barrier b;
+            @spmd func f() {
+                var t: int = threadid();
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i == t) { output(i); }
+                }
+                lock(m);
+                acc = acc + 1;
+                unlock(m);
+                barrier(b);
+            }
+            @fini func done() { output(acc); }
+            "#,
+        );
+        let result = run_real(&image, &RealConfig::new(4));
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert!(!result.detected(), "{:?}", result.violations);
+        assert_eq!(result.outputs.last(), Some(&Val::I64(4)));
+        assert_eq!(result.events_dropped, 0);
+        assert!(result.events_processed > 0);
+    }
+
+    #[test]
+    fn real_engine_reports_crash() {
+        let image = image(
+            r#"
+            float grid[4];
+            @spmd func f() { grid[100] = 1.0; }
+            "#,
+        );
+        let result = run_real(&image, &RealConfig::new(2));
+        assert_eq!(result.outcome, RunOutcome::Crashed(TrapKind::OutOfBounds));
+    }
+
+    #[test]
+    fn hierarchical_monitor_is_clean_on_real_program() {
+        let image = image(
+            r#"
+            shared int n = 24;
+            barrier b;
+            @spmd func f() {
+                var t: int = threadid();
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i == t) { output(i); }
+                }
+                barrier(b);
+            }
+            "#,
+        );
+        let mut config = RealConfig::new(8);
+        config.hierarchy_fanout = Some(4);
+        let result = run_real(&image, &config);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert!(!result.detected(), "{:?}", result.violations);
+        assert!(result.events_processed > 0);
+    }
+
+    #[test]
+    fn real_engine_matches_sim_outputs() {
+        let src = r#"
+            shared int n = 32;
+            int data[256];
+            @init func setup() {
+                for (var i: int = 0; i < 256; i = i + 1) { data[i] = i * 3; }
+            }
+            @spmd func f() {
+                var t: int = threadid();
+                var sum: int = 0;
+                for (var i: int = 0; i < n; i = i + 1) {
+                    sum = sum + data[t * n + i];
+                }
+                output(sum);
+            }
+        "#;
+        let img = image(src);
+        let real = run_real(&img, &RealConfig::new(4));
+        let sim = crate::sim::run_sim(&img, &crate::sim::SimConfig::new(4));
+        assert_eq!(real.outputs, sim.outputs);
+    }
+}

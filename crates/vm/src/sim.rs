@@ -1,0 +1,749 @@
+//! The deterministic simulated-machine engine.
+//!
+//! All threads are interpreted within one OS thread; a discrete-event
+//! scheduler always advances the runnable thread with the smallest local
+//! clock, so execution (including lock acquisition order) is a
+//! deterministic function of the program, the thread count, the seed and
+//! the cost model. Cycle accounting follows [`MachineModel`]; the parallel
+//! section's simulated time is the maximum thread clock at completion —
+//! the quantity the paper reports in Figures 6 and 7.
+//!
+//! The monitor runs *inline* (its processing is not charged to application
+//! threads, matching the paper's measurement methodology, which excludes
+//! the asynchronous monitor's checking time); only the queue-push cost of
+//! each event is charged to the sending thread. `SendOnly` mode reproduces
+//! the paper's 32-thread setup where the monitor thread is disabled but
+//! the sends still happen.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bw_monitor::{CheckTable, Monitor, Violation};
+use bw_ir::Val;
+use serde::{Deserialize, Serialize};
+
+use crate::image::ProgramImage;
+use crate::machine::MachineModel;
+use crate::memory::SimMemory;
+use crate::thread::{BranchHook, CostClass, NoHook, StepOutcome, ThreadState};
+use crate::trap::TrapKind;
+
+/// What the monitor does with events in a simulated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorMode {
+    /// Events are charged and checked (normal operation).
+    Enabled,
+    /// Events are charged but dropped — the paper's methodology for the
+    /// 32-thread performance runs on the 32-core machine.
+    SendOnly,
+    /// No instrumentation at all: the baseline program.
+    Off,
+}
+
+/// How the program executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Normal execution.
+    Normal,
+    /// Software duplication (DMR) baseline: every thread re-executes its
+    /// computation and compares (2× instruction cost, as in SWIFT/DAFT-style
+    /// software duplication), and every shared access additionally pays a
+    /// determinism-enforcement tax proportional to the thread count —
+    /// replica pairs must observe identical memory orders, and "forcing
+    /// execution order among threads incurs communication and waiting
+    /// overheads that are proportional to the number of threads" (paper
+    /// Section VI). Used for the Section VI comparison.
+    Duplicated,
+}
+
+/// Configuration of one simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of SPMD threads.
+    pub nthreads: u32,
+    /// Machine cost model.
+    pub machine: MachineModel,
+    /// Monitor behaviour.
+    pub monitor: MonitorMode,
+    /// Execution mode (normal or duplicated baseline).
+    pub exec: ExecMode,
+    /// Seed for the per-thread PRNGs.
+    pub seed: u64,
+    /// Total interpreted instructions before the run is declared hung.
+    pub max_steps: u64,
+    /// Instructions executed per scheduler slot.
+    pub quantum: u32,
+    /// Determinism-enforcement cycles per shared access *per thread* in
+    /// duplicated mode (the non-scaling term of Section VI).
+    pub dup_tax: u64,
+}
+
+impl SimConfig {
+    /// A default configuration for `nthreads` threads.
+    pub fn new(nthreads: u32) -> Self {
+        SimConfig {
+            nthreads,
+            machine: MachineModel::opteron_6128(),
+            monitor: MonitorMode::Enabled,
+            exec: ExecMode::Normal,
+            seed: 0xb10c_0000,
+            max_steps: 2_000_000_000,
+            quantum: 64,
+            dup_tax: 12,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// All phases completed.
+    Completed,
+    /// A thread trapped (the process crashes, as a segfault would).
+    Crashed(TrapKind),
+    /// The step budget was exhausted or the threads deadlocked.
+    Hung,
+}
+
+/// Result of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Program output: init outputs, then each thread's outputs in thread
+    /// order, then fini outputs. The basis for SDC comparison.
+    pub outputs: Vec<Val>,
+    /// Simulated cycles of the parallel section (max over thread clocks).
+    pub parallel_cycles: u64,
+    /// Monitor violations (detections).
+    pub violations: Vec<Violation>,
+    /// Total interpreted instructions.
+    pub total_steps: u64,
+    /// Total monitor events sent by all threads.
+    pub events_sent: u64,
+    /// Dynamic branches executed per thread (used by the fault injector's
+    /// profiling phase).
+    pub branches_per_thread: Vec<u64>,
+}
+
+impl RunResult {
+    /// Whether the monitor flagged a violation.
+    pub fn detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+struct MutexState {
+    owner: Option<u32>,
+    waiters: Vec<u32>, // FIFO
+}
+
+struct BarrierState {
+    arrivals: Vec<(u32, u64)>, // (tid, arrival clock)
+}
+
+/// Runs `image` on the simulated machine.
+pub fn run_sim(image: &ProgramImage, config: &SimConfig) -> RunResult {
+    run_sim_with_hook(image, config, &mut NoHook)
+}
+
+/// Runs `image` with a fault-injection hook.
+pub fn run_sim_with_hook(
+    image: &ProgramImage,
+    config: &SimConfig,
+    hook: &mut dyn BranchHook,
+) -> RunResult {
+    Sim::new(image, config).run(hook)
+}
+
+struct Sim<'a> {
+    image: &'a ProgramImage,
+    config: &'a SimConfig,
+    mem: SimMemory,
+    monitor: Option<Monitor>,
+    outputs: Vec<Val>,
+    total_steps: u64,
+    events_sent: u64,
+    /// Oversubscription factor in duplicated mode.
+    dup_factor: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(image: &'a ProgramImage, config: &'a SimConfig) -> Self {
+        let monitor = match config.monitor {
+            MonitorMode::Enabled => Some(Monitor::new(
+                CheckTable::from_plan(&image.plan),
+                config.nthreads as usize,
+            )),
+            _ => None,
+        };
+        // Instruction-level duplication re-executes everything: 2x.
+        let dup_factor = match config.exec {
+            ExecMode::Normal => 1,
+            ExecMode::Duplicated => 2,
+        };
+        Sim {
+            image,
+            config,
+            mem: SimMemory::new(&image.module),
+            monitor,
+            outputs: Vec::new(),
+            total_steps: 0,
+            events_sent: 0,
+            dup_factor,
+        }
+    }
+
+    fn cost(&self, tid: u32, class: CostClass) -> u64 {
+        let m = &self.config.machine;
+        let n = self.config.nthreads;
+        let base = match class {
+            CostClass::Free => 0,
+            CostClass::Alu => m.alu,
+            CostClass::Mul => m.mul,
+            CostClass::Div => m.div,
+            CostClass::LocalMem => m.mem_local,
+            CostClass::Shared(region) => {
+                m.shared_access(tid, region, n) + self.determinism_tax()
+            }
+            CostClass::Atomic(region) => {
+                m.shared_access(tid, region, n) + m.atomic + self.determinism_tax()
+            }
+            CostClass::Call => m.call,
+            CostClass::Output => m.output,
+        };
+        base * self.dup_factor
+    }
+
+    /// The per-shared-access determinism-enforcement cost of duplicated
+    /// mode, proportional to the thread count (Section VI's scaling
+    /// argument). Note it is inside the ×2 duplication factor: both
+    /// replicas pay it.
+    fn determinism_tax(&self) -> u64 {
+        match self.config.exec {
+            ExecMode::Normal => 0,
+            ExecMode::Duplicated => self.config.dup_tax * u64::from(self.config.nthreads) / 2,
+        }
+    }
+
+    fn event_cost(&self, tid: u32) -> u64 {
+        let m = &self.config.machine;
+        (m.event_build + m.event_push(tid, self.config.nthreads)) * self.dup_factor
+    }
+
+    /// Runs a single-threaded phase (init / fini) on thread 0 state.
+    fn run_serial(&mut self, func: bw_ir::FuncId, hook: &mut dyn BranchHook) -> Result<(), RunOutcome> {
+        let mut thread = ThreadState::new(0, func, self.image, self.config.seed ^ 0xfeed);
+        loop {
+            self.total_steps += 1;
+            if self.total_steps > self.config.max_steps {
+                return Err(RunOutcome::Hung);
+            }
+            match thread.step(self.image, &self.mem, self.config.nthreads, hook) {
+                StepOutcome::Ran { .. } => {}
+                // Sync ops are no-ops single-threaded (a barrier with
+                // nthreads participants in init would deadlock a real
+                // program; our ports never do this).
+                StepOutcome::Lock(_) | StepOutcome::Unlock(_) | StepOutcome::Barrier(_) => {}
+                StepOutcome::Done => {
+                    self.outputs.append(&mut thread.outputs);
+                    return Ok(());
+                }
+                StepOutcome::Trap(k) => return Err(RunOutcome::Crashed(k)),
+            }
+        }
+    }
+
+    fn run(mut self, hook: &mut dyn BranchHook) -> RunResult {
+        // Phase 1: init.
+        if let Some(init) = self.image.module.init {
+            if let Err(outcome) = self.run_serial(init, hook) {
+                return self.finish(outcome, 0, Vec::new());
+            }
+        }
+
+        // Phase 2: parallel section.
+        let (outcome, parallel_cycles, threads) = self.run_parallel(hook);
+        if outcome != RunOutcome::Completed {
+            let branches = threads.iter().map(|t| t.dyn_branches).collect();
+            return self.finish(outcome, parallel_cycles, branches);
+        }
+        let branches: Vec<u64> = threads.iter().map(|t| t.dyn_branches).collect();
+        for mut t in threads {
+            self.outputs.append(&mut t.outputs);
+        }
+
+        // Phase 3: fini.
+        if let Some(fini) = self.image.module.fini {
+            if let Err(o) = self.run_serial(fini, hook) {
+                return self.finish(o, parallel_cycles, branches);
+            }
+        }
+
+        self.finish(RunOutcome::Completed, parallel_cycles, branches)
+    }
+
+    fn finish(
+        mut self,
+        outcome: RunOutcome,
+        parallel_cycles: u64,
+        branches_per_thread: Vec<u64>,
+    ) -> RunResult {
+        let violations = match self.monitor.as_mut() {
+            Some(m) => {
+                // The end-of-run flush only happens if the program survived:
+                // a crash or hang kills the real monitor thread along with
+                // the process, so only eagerly detected violations count.
+                if outcome == RunOutcome::Completed {
+                    m.flush();
+                }
+                m.violations().to_vec()
+            }
+            None => Vec::new(),
+        };
+        RunResult {
+            outcome,
+            outputs: self.outputs,
+            parallel_cycles,
+            violations,
+            total_steps: self.total_steps,
+            events_sent: self.events_sent,
+            branches_per_thread,
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_parallel(
+        &mut self,
+        hook: &mut dyn BranchHook,
+    ) -> (RunOutcome, u64, Vec<ThreadState>) {
+        let n = self.config.nthreads;
+        let Some(entry) = self.image.module.spmd_entry else {
+            return (RunOutcome::Completed, 0, Vec::new());
+        };
+
+        let mut threads: Vec<ThreadState> =
+            (0..n).map(|tid| ThreadState::new(tid, entry, self.image, self.config.seed)).collect();
+        let mut clocks = vec![0u64; n as usize];
+        let mut blocked = vec![false; n as usize];
+        let mut finish_clock = vec![0u64; n as usize];
+
+        let mut mutexes: Vec<MutexState> = (0..self.image.module.num_mutexes)
+            .map(|_| MutexState { owner: None, waiters: Vec::new() })
+            .collect();
+        let mut barriers: Vec<BarrierState> = (0..self.image.module.num_barriers)
+            .map(|_| BarrierState { arrivals: Vec::new() })
+            .collect();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+            (0..n).map(|tid| Reverse((0u64, tid))).collect();
+
+        while let Some(Reverse((clock, tid))) = heap.pop() {
+            let t = tid as usize;
+            if threads[t].finished.is_some() || blocked[t] {
+                continue; // stale heap entry
+            }
+            let mut clock = clock.max(clocks[t]);
+
+            let mut requeue = true;
+            for _ in 0..self.config.quantum {
+                self.total_steps += 1;
+                if self.total_steps > self.config.max_steps {
+                    clocks[t] = clock;
+                    let max_clock = clocks.iter().copied().max().unwrap_or(0);
+                    return (RunOutcome::Hung, max_clock, threads);
+                }
+
+                let outcome = {
+                    let thread = &mut threads[t];
+                    thread.step(self.image, &self.mem, n, hook)
+                };
+                match outcome {
+                    StepOutcome::Ran { cost, event } => {
+                        clock += self.cost(tid, cost);
+                        if let Some(event) = event {
+                            match self.config.monitor {
+                                MonitorMode::Enabled => {
+                                    clock += self.event_cost(tid);
+                                    self.events_sent += 1;
+                                    self.monitor
+                                        .as_mut()
+                                        .expect("enabled monitor exists")
+                                        .process(event);
+                                }
+                                MonitorMode::SendOnly => {
+                                    clock += self.event_cost(tid);
+                                    self.events_sent += 1;
+                                }
+                                MonitorMode::Off => {}
+                            }
+                        }
+                    }
+                    StepOutcome::Lock(m) => {
+                        clock += self.cost(tid, CostClass::Alu) + self.config.machine.lock;
+                        let ms = &mut mutexes[m.index()];
+                        if ms.owner.is_none() {
+                            ms.owner = Some(tid);
+                        } else {
+                            ms.waiters.push(tid);
+                            blocked[t] = true;
+                            requeue = false;
+                            break;
+                        }
+                    }
+                    StepOutcome::Unlock(m) => {
+                        clock += self.config.machine.lock;
+                        let ms = &mut mutexes[m.index()];
+                        if ms.owner != Some(tid) {
+                            // Control flow corrupted into an unlock the
+                            // thread does not own: crash, like glibc would.
+                            let max_clock = clocks.iter().copied().max().unwrap_or(0);
+                            clocks[t] = clock;
+                            return (
+                                RunOutcome::Crashed(TrapKind::BadUnlock),
+                                max_clock.max(clock),
+                                threads,
+                            );
+                        }
+                        ms.owner = None;
+                        if !ms.waiters.is_empty() {
+                            let next = ms.waiters.remove(0);
+                            ms.owner = Some(next);
+                            let nt = next as usize;
+                            clocks[nt] =
+                                clocks[nt].max(clock) + self.config.machine.lock_handoff;
+                            blocked[nt] = false;
+                            heap.push(Reverse((clocks[nt], next)));
+                        }
+                    }
+                    StepOutcome::Barrier(b) => {
+                        let bs = &mut barriers[b.index()];
+                        bs.arrivals.push((tid, clock));
+                        // Barriers are sized to the full thread count, like
+                        // the pthread barriers in SPLASH-2: if a fault makes
+                        // a thread exit early, the remaining threads
+                        // deadlock here and the run is classified as hung.
+                        if bs.arrivals.len() == n as usize {
+                            // Release everyone at the max arrival clock.
+                            let release = bs
+                                .arrivals
+                                .iter()
+                                .map(|&(_, c)| c)
+                                .max()
+                                .expect("nonempty arrivals")
+                                + self.config.machine.barrier_latency(n);
+                            for &(other, _) in &bs.arrivals {
+                                let ot = other as usize;
+                                clocks[ot] = release;
+                                if other != tid {
+                                    blocked[ot] = false;
+                                    heap.push(Reverse((release, other)));
+                                }
+                            }
+                            bs.arrivals.clear();
+                            clock = release;
+                        } else {
+                            blocked[t] = true;
+                            requeue = false;
+                            break;
+                        }
+                    }
+                    StepOutcome::Done => {
+                        finish_clock[t] = clock;
+                        requeue = false;
+                        break;
+                    }
+                    StepOutcome::Trap(k) => {
+                        clocks[t] = clock;
+                        let max_clock = clocks.iter().copied().max().unwrap_or(0).max(clock);
+                        return (RunOutcome::Crashed(k), max_clock, threads);
+                    }
+                }
+            }
+
+            clocks[t] = clock;
+            if requeue {
+                heap.push(Reverse((clock, tid)));
+            }
+        }
+
+        if threads.iter().any(|t| t.finished.is_none()) {
+            // Heap empty with unfinished threads: deadlock (e.g. a barrier
+            // missing an arrival after a fault diverted control flow).
+            let max_clock = clocks.iter().copied().max().unwrap_or(0);
+            return (RunOutcome::Hung, max_clock, threads);
+        }
+
+        let parallel_cycles = finish_clock.iter().copied().max().unwrap_or(0);
+        (RunOutcome::Completed, parallel_cycles, threads)
+    }
+}
+
+/// Convenience: prepare and run a module with default analysis config.
+pub fn run_module(module: bw_ir::Module, config: &SimConfig) -> RunResult {
+    let image = ProgramImage::prepare(module, bw_analysis::AnalysisConfig::default());
+    run_sim(&image, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> ProgramImage {
+        ProgramImage::prepare_default(bw_ir::frontend::compile(src).expect("compile"))
+    }
+
+    #[test]
+    fn runs_simple_program_and_collects_outputs() {
+        let image = compile(
+            r#"
+            @spmd func f() {
+                output(threadid());
+            }
+            "#,
+        );
+        let result = run_sim(&image, &SimConfig::new(4));
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert_eq!(
+            result.outputs,
+            vec![Val::I64(0), Val::I64(1), Val::I64(2), Val::I64(3)]
+        );
+        assert!(!result.detected());
+    }
+
+    #[test]
+    fn init_and_fini_run_single_threaded() {
+        let image = compile(
+            r#"
+            shared int n = 0;
+            int acc = 0;
+            @init func setup() { n = 5; output(100); }
+            @spmd func f() {
+                lock_free_add();
+            }
+            func lock_free_add() {
+                var i: int = fetch_add(acc, 1);
+                output(i);
+            }
+            @fini func teardown() { output(acc); }
+            "#,
+        );
+        let result = run_sim(&image, &SimConfig::new(2));
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert_eq!(result.outputs.first(), Some(&Val::I64(100)));
+        assert_eq!(result.outputs.last(), Some(&Val::I64(2)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let image = compile(
+            r#"
+            shared int n = 64;
+            float grid[256];
+            mutex m;
+            int counter = 0;
+            @spmd func f() {
+                var t: int = threadid();
+                for (var i: int = 0; i < n; i = i + 1) {
+                    grid[t * n / numthreads() + i / numthreads()] = float(i * t);
+                }
+                lock(m);
+                counter = counter + 1;
+                unlock(m);
+                output(rand(1000));
+            }
+            "#,
+        );
+        let a = run_sim(&image, &SimConfig::new(4));
+        let b = run_sim(&image, &SimConfig::new(4));
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.parallel_cycles, b.parallel_cycles);
+        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.branches_per_thread, b.branches_per_thread);
+    }
+
+    #[test]
+    fn mutexes_serialize_critical_sections() {
+        let image = compile(
+            r#"
+            mutex m;
+            int counter = 0;
+            @spmd func f() {
+                lock(m);
+                counter = counter + 1;
+                unlock(m);
+            }
+            @fini func done() { output(counter); }
+            "#,
+        );
+        let result = run_sim(&image, &SimConfig::new(8));
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert_eq!(result.outputs, vec![Val::I64(8)]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let image = compile(
+            r#"
+            barrier b;
+            int phase1[32];
+            @spmd func f() {
+                var t: int = threadid();
+                phase1[t] = t + 1;
+                barrier(b);
+                // After the barrier every slot written by phase 1 is visible.
+                var sum: int = 0;
+                for (var i: int = 0; i < numthreads(); i = i + 1) {
+                    sum = sum + phase1[i];
+                }
+                output(sum);
+            }
+            "#,
+        );
+        let result = run_sim(&image, &SimConfig::new(4));
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        // 1+2+3+4 = 10 from every thread.
+        assert_eq!(result.outputs, vec![Val::I64(10); 4]);
+    }
+
+    #[test]
+    fn divide_by_zero_crashes_the_program() {
+        let image = compile(
+            r#"
+            shared int zero = 0;
+            @spmd func f() {
+                output(10 / zero);
+            }
+            "#,
+        );
+        let result = run_sim(&image, &SimConfig::new(2));
+        assert_eq!(result.outcome, RunOutcome::Crashed(TrapKind::DivideByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_crashes() {
+        let image = compile(
+            r#"
+            float grid[4];
+            @spmd func f() {
+                grid[9] = 1.0;
+            }
+            "#,
+        );
+        let result = run_sim(&image, &SimConfig::new(1));
+        assert_eq!(result.outcome, RunOutcome::Crashed(TrapKind::OutOfBounds));
+    }
+
+    #[test]
+    fn infinite_loop_hangs() {
+        let image = compile(
+            r#"
+            @spmd func f() {
+                var i: int = 0;
+                while (true) { i = i + 1; }
+            }
+            "#,
+        );
+        let mut config = SimConfig::new(2);
+        config.max_steps = 100_000;
+        let result = run_sim(&image, &config);
+        assert_eq!(result.outcome, RunOutcome::Hung);
+    }
+
+    #[test]
+    fn fault_free_runs_have_no_violations() {
+        let image = compile(
+            r#"
+            shared int n = 32;
+            int data[512];
+            @init func setup() {
+                for (var i: int = 0; i < 512; i = i + 1) { data[i] = rand(100); }
+            }
+            @spmd func f() {
+                var t: int = threadid();
+                if (t == 0) { output(1); }
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (data[t * n + i] > 50) { output(i); }
+                }
+            }
+            "#,
+        );
+        for nthreads in [1, 2, 4, 8] {
+            let result = run_sim(&image, &SimConfig::new(nthreads));
+            assert_eq!(result.outcome, RunOutcome::Completed, "n={nthreads}");
+            assert!(!result.detected(), "false positive at n={nthreads}");
+            assert!(result.events_sent > 0 || nthreads == 0);
+        }
+    }
+
+    #[test]
+    fn instrumentation_costs_cycles() {
+        let image = compile(
+            r#"
+            shared int n = 256;
+            @spmd func f() {
+                var acc: int = 0;
+                for (var i: int = 0; i < n; i = i + 1) { acc = acc + i; }
+                output(acc);
+            }
+            "#,
+        );
+        let mut on = SimConfig::new(4);
+        on.monitor = MonitorMode::Enabled;
+        let mut off = SimConfig::new(4);
+        off.monitor = MonitorMode::Off;
+        let with = run_sim(&image, &on);
+        let without = run_sim(&image, &off);
+        assert_eq!(with.outputs, without.outputs);
+        assert!(
+            with.parallel_cycles > without.parallel_cycles,
+            "instrumented {} !> baseline {}",
+            with.parallel_cycles,
+            without.parallel_cycles
+        );
+    }
+
+    #[test]
+    fn send_only_mode_costs_like_enabled_but_checks_nothing() {
+        let image = compile(
+            r#"
+            shared int n = 64;
+            @spmd func f() {
+                for (var i: int = 0; i < n; i = i + 1) { output(i); }
+            }
+            "#,
+        );
+        let mut enabled = SimConfig::new(4);
+        enabled.monitor = MonitorMode::Enabled;
+        let mut send_only = SimConfig::new(4);
+        send_only.monitor = MonitorMode::SendOnly;
+        let a = run_sim(&image, &enabled);
+        let b = run_sim(&image, &send_only);
+        assert_eq!(a.parallel_cycles, b.parallel_cycles);
+        assert_eq!(b.violations.len(), 0);
+        assert_eq!(a.events_sent, b.events_sent);
+    }
+
+    #[test]
+    fn duplication_mode_is_slower() {
+        let image = compile(
+            r#"
+            shared int n = 128;
+            float grid[512];
+            @spmd func f() {
+                var t: int = threadid();
+                for (var i: int = 0; i < n; i = i + 1) {
+                    grid[t * 4 + i / 32] = float(i);
+                }
+            }
+            "#,
+        );
+        let mut base = SimConfig::new(32);
+        base.monitor = MonitorMode::Off;
+        let mut dup = base.clone();
+        dup.exec = ExecMode::Duplicated;
+        let a = run_sim(&image, &base);
+        let b = run_sim(&image, &dup);
+        assert!(b.parallel_cycles > a.parallel_cycles * 3 / 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Shape tests for the Figure 6/7 performance results on the simulated
+//! 32-core machine: the geomean overhead rises from 1 to 2 threads (the
+//! NUMA placement effect), then falls monotonically, ending well below the
+//! 4-thread value at 32 threads — and duplication does not amortize.
+
+use blockwatch::reports::{duplication_comparison, geomean_at, overhead_series};
+use blockwatch::{Benchmark, Size};
+
+#[test]
+fn figure7_shape_bump_then_amortize() {
+    let threads = [1u32, 2, 4, 32];
+    let series = overhead_series(Size::Test, &threads);
+    let g1 = geomean_at(&series, 1);
+    let g2 = geomean_at(&series, 2);
+    let g4 = geomean_at(&series, 4);
+    let g32 = geomean_at(&series, 32);
+
+    assert!(g2 > g1, "1→2 thread bump missing: {g1} vs {g2}");
+    assert!(g4 > g32, "no amortization: 4t {g4} vs 32t {g32}");
+    // Paper magnitudes: ~2.15x at 4 threads, ~1.16x at 32.
+    assert!(g4 > 1.5 && g4 < 3.5, "4-thread geomean {g4} out of range");
+    assert!(g32 > 1.0 && g32 < 1.45, "32-thread geomean {g32} out of range");
+}
+
+#[test]
+fn every_benchmark_amortizes_from_4_to_32_threads() {
+    let threads = [4u32, 32];
+    for s in overhead_series(Size::Test, &threads) {
+        let r4 = s.points[0].ratio();
+        let r32 = s.points[1].ratio();
+        assert!(
+            r32 < r4,
+            "{}: 32-thread overhead {r32} not below 4-thread {r4}",
+            s.name
+        );
+        assert!(r32 >= 1.0, "{}: overhead below baseline?", s.name);
+    }
+}
+
+#[test]
+fn duplication_does_not_amortize() {
+    // Section VI: duplication re-executes everything and pays a
+    // determinism-enforcement cost that grows with the thread count, so it
+    // stays at >= 2x (and rises) while BLOCKWATCH keeps falling.
+    let points = duplication_comparison(Benchmark::Fft, Size::Test, &[8, 32]);
+    let (bw8, dup8) = (points[0].blockwatch, points[0].duplication);
+    let (bw32, dup32) = (points[1].blockwatch, points[1].duplication);
+    assert!(dup32 >= 2.0, "duplication should cost at least 2x, got {dup32}");
+    assert!(dup32 >= dup8 * 0.95, "duplication must not amortize: {dup8} -> {dup32}");
+    assert!(bw32 < bw8, "BLOCKWATCH must amortize: {bw8} -> {bw32}");
+    assert!(
+        dup32 > bw32 * 1.5,
+        "at 32 threads duplication ({dup32}) should far exceed BLOCKWATCH ({bw32})"
+    );
+}
