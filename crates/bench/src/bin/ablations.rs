@@ -52,9 +52,9 @@ fn main() {
                 bench.module(Size::Small).expect("port compiles"),
                 v.config,
             );
-            let mut cfg = CampaignConfig::new(injections, FaultModel::BranchFlip, nthreads);
-            cfg.seed = 0xab1a;
-            let campaign = run_campaign(&image, &cfg);
+            let cfg =
+                CampaignConfig::new(injections, FaultModel::BranchFlip, nthreads).seed(0xab1a);
+            let campaign = run_campaign(&image, &cfg).expect("golden run completes");
             let overhead = overhead_point(&image, nthreads);
             rows.push(vec![
                 v.name.to_string(),

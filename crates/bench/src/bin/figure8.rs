@@ -1,24 +1,47 @@
 //! Regenerates Figure 8: SDC coverage with and without BLOCKWATCH under
 //! branch-flip faults, at 4 and 32 threads.
+//!
+//! Usage: `figure8 [injections] [--workers N]` — `N` campaign worker
+//! threads (default: available parallelism); results are bitwise identical
+//! for any worker count.
 
-use blockwatch::reports::coverage_row;
-use blockwatch::{Benchmark, FaultModel, Size};
-use bw_bench::{pct, render_table};
+use blockwatch::reports::coverage_row_on;
+use blockwatch::{Benchmark, Blockwatch, FaultModel, Size};
+use bw_bench::{parse_injections, parse_workers, pct, render_table};
 
 fn main() {
-    let injections: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let injections = parse_injections(&args, 1000);
+    let workers = parse_workers(&args);
     let size = Size::Small;
     println!("Figure 8: coverage under branch-flip faults ({injections} injections per cell)");
     println!("(coverage = 1 - SDC fraction of activated faults; higher is better)");
     println!();
+    // One prepared image per benchmark, shared by the 4- and 32-thread
+    // campaigns; golden runs are cached per configuration on each program.
+    let programs: Vec<(&str, Blockwatch)> = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let bw = Blockwatch::from_module(bench.module(size).expect("port compiles"))
+                .expect("port verifies");
+            (bench.name(), bw)
+        })
+        .collect();
     for nthreads in [4u32, 32] {
         let mut rows = Vec::new();
         let mut orig_cov = Vec::new();
         let mut prot_cov = Vec::new();
-        for bench in Benchmark::ALL {
-            let row =
-                coverage_row(bench, size, FaultModel::BranchFlip, nthreads, injections, 0xf168);
+        for (name, bw) in &programs {
+            let row = coverage_row_on(
+                bw,
+                name,
+                FaultModel::BranchFlip,
+                nthreads,
+                injections,
+                0xf168,
+                workers,
+            )
+            .expect("campaign runs");
             orig_cov.push(row.coverage_original());
             prot_cov.push(row.coverage_protected());
             rows.push(vec![

@@ -56,6 +56,35 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// Parses the leading positional injection count (e.g. `figure8 300`),
+/// falling back to `default` when absent or non-numeric.
+pub fn parse_injections(args: &[String], default: usize) -> usize {
+    let mut i = 0;
+    while i < args.len() {
+        // `--workers` consumes the next argument as its value.
+        if args[i] == "--workers" {
+            i += 2;
+            continue;
+        }
+        if args[i].starts_with("--") {
+            i += 1;
+            continue;
+        }
+        return args[i].parse().unwrap_or(default);
+    }
+    default
+}
+
+/// Parses a `--workers N` flag (campaign worker threads); `0` — the
+/// default — means available parallelism.
+pub fn parse_workers(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +102,15 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.975), "97.5%");
+    }
+
+    #[test]
+    fn parses_campaign_args() {
+        let args: Vec<String> =
+            ["--workers", "3", "250"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_workers(&args), 3);
+        assert_eq!(parse_injections(&args, 100), 250);
+        assert_eq!(parse_injections(&[], 100), 100);
+        assert_eq!(parse_workers(&[]), 0);
     }
 }

@@ -8,7 +8,8 @@ fn main() {
         let mut orig_sum = 0.0;
         let mut prot_sum = 0.0;
         for bench in Benchmark::ALL {
-            let row = coverage_row(bench, Size::Test, model, 4, injections, 0xc0ffee);
+            let row = coverage_row(bench, Size::Test, model, 4, injections, 0xc0ffee)
+                .expect("campaign runs");
             println!(
                 "{:22} orig {:5.1}%  bw {:5.1}%  | prot: det {:3} crash {:3} hung {:3} mask {:3} sdc {:3} | orig: crash {:3} sdc {:3}",
                 row.name,

@@ -7,16 +7,16 @@
 //! bw run      <file> [--threads N]   run under the monitor (simulated machine)
 //! bw ir       <file>                 dump the SSA IR
 //! bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
+//!             [--workers W] [--progress]
 //!                                    fault-injection campaign with and
 //!                                    without BLOCKWATCH
 //! ```
 
 use std::process::ExitCode;
 
-use blockwatch::fault::CampaignConfig;
 use blockwatch::ir::ModulePrinter;
 use blockwatch::vm::MonitorMode;
-use blockwatch::{Blockwatch, FaultModel, RunOutcome};
+use blockwatch::{Blockwatch, CampaignProgress, FaultModel, RunOutcome};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,7 +48,8 @@ const USAGE: &str = "usage:
   bw analyze  <file>                  print per-branch similarity categories
   bw run      <file> [--threads N]    run under the monitor
   bw ir       <file>                  dump the SSA IR
-  bw campaign <file> [--threads N] [--injections K] [--model flip|cond]";
+  bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
+              [--workers W] [--progress]";
 
 fn load(path: &str) -> Result<Blockwatch, String> {
     let source =
@@ -143,11 +144,31 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown model `{other}` (use flip|cond)")),
     };
 
-    let cfg = CampaignConfig::new(injections, model, n);
-    let protected = bw.campaign(&cfg);
-    let mut base_cfg = cfg.clone();
-    base_cfg.sim.monitor = MonitorMode::Off;
-    let baseline = bw.campaign(&base_cfg);
+    let workers = flag(rest, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let show_progress = rest.iter().any(|a| a == "--progress");
+    let progress = |label: &'static str| {
+        move |p: CampaignProgress| {
+            eprint!("\r{label}: {}/{}", p.completed, p.total);
+            if p.completed == p.total {
+                eprintln!();
+            }
+        }
+    };
+
+    let run = |monitor: MonitorMode, label: &'static str| {
+        let mut runner = bw
+            .campaign_runner(injections, model, n)
+            .workers(workers)
+            .monitor(monitor);
+        let callback = progress(label);
+        if show_progress {
+            runner = runner.on_progress(callback);
+        }
+        runner.run().map_err(|e| e.to_string())
+    };
+
+    let protected = run(MonitorMode::Enabled, "with BLOCKWATCH")?;
+    let baseline = run(MonitorMode::Off, "without BLOCKWATCH")?;
 
     println!("{model:?}, {injections} injections, {n} threads");
     println!("  without BLOCKWATCH: {:?}", baseline.counts);

@@ -24,25 +24,31 @@
 //!
 //! # Examples
 //!
-//! Detect an injected control-data fault in FFT:
+//! Detect an injected control-data fault in FFT. Campaigns run on a
+//! sharded worker pool (here 2 threads) and are bitwise deterministic for
+//! any worker count; every failure mode is an [`Error`], not a panic:
 //!
 //! ```
-//! use blockwatch::fault::{CampaignConfig, FaultModel};
 //! use blockwatch::splash::{Benchmark, Size};
-//! use blockwatch::Blockwatch;
+//! use blockwatch::{Blockwatch, FaultModel};
 //!
-//! let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test)?);
-//! let campaign = bw.campaign(&CampaignConfig::new(25, FaultModel::BranchFlip, 4));
+//! let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test)?)?;
+//! let campaign = bw
+//!     .campaign_runner(25, FaultModel::BranchFlip, 4)
+//!     .workers(2)
+//!     .run()?;
 //! assert!(campaign.counts.detected > 0);
-//! # Ok::<(), bw_ir::frontend::FrontendError>(())
+//! # Ok::<(), blockwatch::Error>(())
 //! ```
 
 #![warn(missing_docs)]
 
+mod error;
 mod pipeline;
 pub mod reports;
 
-pub use pipeline::Blockwatch;
+pub use error::Error;
+pub use pipeline::{Blockwatch, CampaignRunner};
 
 pub use bw_analysis as analysis;
 pub use bw_fault as fault;
@@ -52,6 +58,9 @@ pub use bw_splash as splash;
 pub use bw_vm as vm;
 
 pub use bw_analysis::{AnalysisConfig, Category, CategoryHistogram, CheckKind, CheckPlan};
-pub use bw_fault::{CampaignConfig, FaultModel, FaultOutcome, OutcomeCounts};
+pub use bw_fault::{
+    CampaignConfig, CampaignError, CampaignProgress, CampaignResult, FaultModel, FaultOutcome,
+    OutcomeCounts,
+};
 pub use bw_splash::{Benchmark, Size};
 pub use bw_vm::{MachineModel, MonitorMode, RunOutcome, RunResult, SimConfig};

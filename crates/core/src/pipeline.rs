@@ -2,14 +2,20 @@
 //! execute (with the monitor) — the paper's two-step implementation
 //! (Section III) behind one facade.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use bw_analysis::{AnalysisConfig, CategoryHistogram, CheckPlan, ModuleAnalysis};
-use bw_fault::{run_campaign, CampaignConfig, CampaignResult};
-use bw_ir::frontend::FrontendError;
+use bw_fault::{
+    run_campaign_with_golden, CampaignConfig, CampaignError, CampaignProgress, CampaignResult,
+    FaultModel, ProgressFn,
+};
 use bw_ir::Module;
 use bw_vm::{
-    run_real, run_sim, ProgramImage, RealConfig, RealResult, RunResult, SimConfig,
+    run_real, run_sim, MonitorMode, ProgramImage, RealConfig, RealResult, RunResult, SimConfig,
 };
-use std::sync::Arc;
+
+use crate::error::Error;
 
 /// A compiled, analyzed and instrumented SPMD program.
 ///
@@ -27,11 +33,15 @@ use std::sync::Arc;
 /// "#)?;
 /// let result = bw.run(4);
 /// assert!(!result.detected());
-/// # Ok::<(), bw_ir::frontend::FrontendError>(())
+/// # Ok::<(), blockwatch::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct Blockwatch {
     image: Arc<ProgramImage>,
+    /// Golden (fault-free) runs per simulation configuration, so repeated
+    /// campaigns on one image — different fault models, worker counts or
+    /// seeds — profile the program only once per configuration.
+    golden_cache: Mutex<HashMap<SimConfig, Arc<RunResult>>>,
 }
 
 impl Blockwatch {
@@ -40,8 +50,8 @@ impl Blockwatch {
     ///
     /// # Errors
     ///
-    /// Returns the front-end error on syntax or semantic problems.
-    pub fn compile(source: &str) -> Result<Self, FrontendError> {
+    /// Returns [`Error::Frontend`] on syntax or semantic problems.
+    pub fn compile(source: &str) -> Result<Self, Error> {
         Self::compile_with(source, AnalysisConfig::default())
     }
 
@@ -49,20 +59,29 @@ impl Blockwatch {
     ///
     /// # Errors
     ///
-    /// Returns the front-end error on syntax or semantic problems.
-    pub fn compile_with(source: &str, config: AnalysisConfig) -> Result<Self, FrontendError> {
+    /// Returns [`Error::Frontend`] on syntax or semantic problems.
+    pub fn compile_with(source: &str, config: AnalysisConfig) -> Result<Self, Error> {
         let module = bw_ir::frontend::compile(source)?;
-        Ok(Self::from_module_with(module, config))
+        Self::from_module_with(module, config)
     }
 
-    /// Wraps an already-built (verified) module with the default config.
-    pub fn from_module(module: Module) -> Self {
+    /// Wraps an already-built module with the default config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the module fails SSA verification.
+    pub fn from_module(module: Module) -> Result<Self, Error> {
         Self::from_module_with(module, AnalysisConfig::default())
     }
 
-    /// Wraps an already-built (verified) module.
-    pub fn from_module_with(module: Module, config: AnalysisConfig) -> Self {
-        Blockwatch { image: Arc::new(ProgramImage::prepare(module, config)) }
+    /// Wraps an already-built module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the module fails SSA verification.
+    pub fn from_module_with(module: Module, config: AnalysisConfig) -> Result<Self, Error> {
+        let image = ProgramImage::try_prepare(module, config)?;
+        Ok(Blockwatch { image: Arc::new(image), golden_cache: Mutex::new(HashMap::new()) })
     }
 
     /// The prepared program image.
@@ -100,9 +119,143 @@ impl Blockwatch {
         run_real(&self.image, &RealConfig::new(nthreads))
     }
 
+    /// The golden (fault-free) run under `config`, cached per
+    /// configuration: campaigns that share a simulation configuration also
+    /// share one profiling run.
+    pub fn golden(&self, config: &SimConfig) -> Arc<RunResult> {
+        let mut cache = self.golden_cache.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            cache
+                .entry(config.clone())
+                .or_insert_with(|| Arc::new(run_sim(&self.image, config))),
+        )
+    }
+
     /// Runs a fault-injection campaign.
-    pub fn campaign(&self, config: &CampaignConfig) -> CampaignResult {
-        run_campaign(&self.image, config)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Campaign`] when the campaign cannot run — e.g. the
+    /// golden run does not complete, or zero threads are configured.
+    pub fn campaign(&self, config: &CampaignConfig) -> Result<CampaignResult, Error> {
+        self.campaign_with(config, None)
+    }
+
+    /// [`Blockwatch::campaign`] with a streaming progress callback.
+    pub fn campaign_with(
+        &self,
+        config: &CampaignConfig,
+        progress: Option<&ProgressFn<'_>>,
+    ) -> Result<CampaignResult, Error> {
+        if config.sim.nthreads == 0 {
+            return Err(Error::Campaign(CampaignError::NoThreads));
+        }
+        let golden = self.golden(&config.sim);
+        run_campaign_with_golden(&self.image, config, &golden, progress).map_err(Error::Campaign)
+    }
+
+    /// Starts a builder-style campaign on this program.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blockwatch::{Blockwatch, FaultModel};
+    ///
+    /// let bw = Blockwatch::compile(r#"
+    ///     shared int n = 8;
+    ///     @spmd func slave() {
+    ///         for (var i: int = 0; i < n; i = i + 1) { output(i); }
+    ///     }
+    /// "#)?;
+    /// let result = bw
+    ///     .campaign_runner(50, FaultModel::BranchFlip, 4)
+    ///     .seed(42)
+    ///     .workers(2)
+    ///     .run()?;
+    /// assert_eq!(result.records.len(), 50);
+    /// # Ok::<(), blockwatch::Error>(())
+    /// ```
+    pub fn campaign_runner(
+        &self,
+        injections: usize,
+        model: FaultModel,
+        nthreads: u32,
+    ) -> CampaignRunner<'_> {
+        CampaignRunner {
+            bw: self,
+            config: CampaignConfig::new(injections, model, nthreads),
+            progress: None,
+        }
+    }
+}
+
+/// A builder for campaigns on one [`Blockwatch`] program: configure, attach
+/// an optional progress callback, and [`run`](CampaignRunner::run). The
+/// golden run is cached on the `Blockwatch`, so successive runners with the
+/// same simulation configuration profile the program only once.
+pub struct CampaignRunner<'a> {
+    bw: &'a Blockwatch,
+    config: CampaignConfig,
+    progress: Option<Box<dyn Fn(CampaignProgress) + Sync + 'a>>,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// Sets the target-selection seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.seed(seed);
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config = self.config.workers(workers);
+        self
+    }
+
+    /// Sets the monitor mode of both the golden and the faulty runs
+    /// (`MonitorMode::Off` gives the paper's "original program" baseline).
+    pub fn monitor(mut self, monitor: MonitorMode) -> Self {
+        self.config.sim.monitor = monitor;
+        self
+    }
+
+    /// Replaces the simulation configuration wholesale.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.config = self.config.sim(sim);
+        self
+    }
+
+    /// Stops the campaign once `n` SDCs have been observed.
+    pub fn abort_after_sdc(mut self, n: usize) -> Self {
+        self.config = self.config.abort_after_sdc(n);
+        self
+    }
+
+    /// Stops the campaign at the first monitor detection.
+    pub fn abort_on_detection(mut self, yes: bool) -> Self {
+        self.config = self.config.abort_on_detection(yes);
+        self
+    }
+
+    /// Streams per-injection progress to `callback` (called from worker
+    /// threads, in completion order).
+    pub fn on_progress(mut self, callback: impl Fn(CampaignProgress) + Sync + 'a) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// The campaign configuration built so far.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Campaign`] when the campaign cannot run.
+    pub fn run(self) -> Result<CampaignResult, Error> {
+        self.bw.campaign_with(&self.config, self.progress.as_deref())
     }
 }
 
@@ -132,5 +285,67 @@ mod tests {
     #[test]
     fn pipeline_rejects_bad_source() {
         assert!(Blockwatch::compile("@spmd func f() { nope; }").is_err());
+    }
+
+    #[test]
+    fn golden_cache_is_shared_between_campaigns() {
+        let bw = Blockwatch::compile(
+            r#"
+            shared int n = 4;
+            @spmd func slave() {
+                for (var i: int = 0; i < n; i = i + 1) { output(i); }
+            }
+            "#,
+        )
+        .unwrap();
+        let sim = SimConfig::new(2);
+        let first = bw.golden(&sim);
+        let second = bw.golden(&sim);
+        assert!(Arc::ptr_eq(&first, &second), "same config must hit the cache");
+        // A different configuration gets its own entry.
+        let other = bw.golden(&SimConfig::new(3));
+        assert!(!Arc::ptr_eq(&first, &other));
+    }
+
+    #[test]
+    fn zero_thread_campaign_is_an_error_not_a_panic() {
+        let bw = Blockwatch::compile(
+            r#"
+            shared int n = 4;
+            @spmd func slave() { output(n); }
+            "#,
+        )
+        .unwrap();
+        let config = CampaignConfig::new(5, FaultModel::BranchFlip, 0);
+        assert!(matches!(
+            bw.campaign(&config),
+            Err(Error::Campaign(CampaignError::NoThreads))
+        ));
+    }
+
+    #[test]
+    fn runner_streams_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let bw = Blockwatch::compile(
+            r#"
+            shared int n = 4;
+            @spmd func slave() {
+                for (var i: int = 0; i < n; i = i + 1) { output(i); }
+            }
+            "#,
+        )
+        .unwrap();
+        let seen = AtomicUsize::new(0);
+        let result = bw
+            .campaign_runner(10, FaultModel::BranchFlip, 2)
+            .workers(2)
+            .on_progress(|p| {
+                assert_eq!(p.total, 10);
+                seen.fetch_add(1, Ordering::Relaxed);
+            })
+            .run()
+            .unwrap();
+        assert_eq!(result.records.len(), 10);
+        assert_eq!(seen.load(Ordering::Relaxed), 10);
     }
 }

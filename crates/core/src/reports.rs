@@ -14,6 +14,8 @@ use bw_vm::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::{Blockwatch, Error};
+
 /// A row of Table IV: benchmark characteristics.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CharacteristicsRow {
@@ -223,6 +225,10 @@ impl CoverageRow {
 /// one benchmark — one bar pair of Figure 8 (`BranchFlip`) or Figure 9
 /// (`ConditionBitFlip`). The same seed drives both campaigns, so the
 /// injection targets are identical.
+///
+/// Prepares a fresh image per call; use [`coverage_row_on`] to amortize
+/// one prepared program (and its cached golden runs) across thread counts
+/// and fault models.
 pub fn coverage_row(
     bench: Benchmark,
     size: Size,
@@ -230,25 +236,41 @@ pub fn coverage_row(
     nthreads: u32,
     injections: usize,
     seed: u64,
-) -> CoverageRow {
-    let image = ProgramImage::prepare_default(bench.module(size).expect("port compiles"));
+) -> Result<CoverageRow, Error> {
+    let bw = Blockwatch::from_module(bench.module(size)?)?;
+    coverage_row_on(&bw, bench.name(), model, nthreads, injections, seed, 0)
+}
 
-    let mut protected_cfg = CampaignConfig::new(injections, model, nthreads);
-    protected_cfg.seed = seed;
-    let protected = bw_fault::run_campaign(&image, &protected_cfg);
+/// [`coverage_row`] on an already-prepared program: the 4- and 32-thread
+/// campaigns of Figures 8/9 (and both fault models) reuse one image, and
+/// golden runs are cached per simulation configuration on `bw`. Campaign
+/// experiments run on `workers` threads (`0` = available parallelism);
+/// results are identical for any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn coverage_row_on(
+    bw: &Blockwatch,
+    name: &str,
+    model: FaultModel,
+    nthreads: u32,
+    injections: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<CoverageRow, Error> {
+    let protected_cfg =
+        CampaignConfig::new(injections, model, nthreads).seed(seed).workers(workers);
+    let protected = bw.campaign(&protected_cfg)?;
 
-    let mut original_cfg = CampaignConfig::new(injections, model, nthreads);
-    original_cfg.seed = seed;
+    let mut original_cfg = protected_cfg.clone();
     original_cfg.sim.monitor = MonitorMode::Off;
-    let original = bw_fault::run_campaign(&image, &original_cfg);
+    let original = bw.campaign(&original_cfg)?;
 
-    CoverageRow {
-        name: bench.name().to_string(),
+    Ok(CoverageRow {
+        name: name.to_string(),
         nthreads,
         model,
         original: original.counts,
         protected: protected.counts,
-    }
+    })
 }
 
 /// One point of the Section VI duplication comparison.

@@ -1,6 +1,25 @@
 //! Fault-injection campaigns: golden run, N randomized injections,
 //! outcome classification and coverage statistics — the experimental
 //! procedure of the paper's Section IV.
+//!
+//! A campaign runs in three explicit stages:
+//!
+//! 1. **Plan** ([`plan_campaign`]): every [`InjectionPlan`] is derived up
+//!    front from a per-injection PRNG stream keyed on
+//!    `(campaign_seed, injection_index)`, so the set of planned faults is
+//!    a pure function of the configuration — independent of how the
+//!    experiments are later scheduled.
+//! 2. **Execute**: a `std::thread` worker pool shares the immutable
+//!    [`ProgramImage`] and claims injection indices from an atomic
+//!    counter. Claimed indices always form a contiguous prefix of the
+//!    plan list, which is what makes early abort deterministic.
+//! 3. **Reduce**: records are merged in injection-index order and the
+//!    abort cut (stop after N SDCs, stop on first detection) is
+//!    recomputed over that deterministic order. The result is therefore
+//!    **bitwise identical for any worker count**.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use bw_vm::{
     run_sim, run_sim_with_hook, ProgramImage, RunOutcome, RunResult, SimConfig, SplitMix64,
@@ -8,6 +27,16 @@ use bw_vm::{
 use serde::{Deserialize, Serialize};
 
 use crate::injector::{FaultModel, InjectionHook, InjectionPlan};
+
+// The campaign engine shares `&ProgramImage` (and the golden `RunResult`)
+// across worker threads; fail the build loudly if either ever grows
+// interior mutability that would make that unsound.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<ProgramImage>();
+    assert_sync::<RunResult>();
+    assert_sync::<SimConfig>();
+};
 
 /// Classification of one injection experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -94,18 +123,98 @@ pub struct InjectionRecord {
     pub outcome: FaultOutcome,
 }
 
+/// Why a campaign could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The golden (fault-free) run did not complete: the program must be
+    /// correct before faults are injected into it.
+    GoldenRunFailed {
+        /// How the golden run actually ended.
+        outcome: RunOutcome,
+    },
+    /// The campaign was configured with zero threads — there is nothing to
+    /// inject into.
+    NoThreads,
+    /// A cached golden run was provided (see `run_campaign_with_golden`)
+    /// but does not match the campaign's thread count.
+    GoldenMismatch {
+        /// Threads the campaign configuration asks for.
+        expected: usize,
+        /// Threads the supplied golden run actually profiled.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::GoldenRunFailed { outcome } => {
+                write!(f, "golden run did not complete (ended {outcome:?}); refusing to inject faults into an already-failing program")
+            }
+            CampaignError::NoThreads => {
+                write!(f, "campaign configured with zero threads; nothing to inject into")
+            }
+            CampaignError::GoldenMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "cached golden run profiled {actual} thread(s) but the campaign is configured for {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A streaming progress report, delivered once per finished injection.
+///
+/// With more than one worker, reports arrive in completion order (which is
+/// nondeterministic); `completed`/`total` are still monotonic and exact.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct CampaignProgress {
+    /// Index of the injection that just finished.
+    pub index: usize,
+    /// Its classification.
+    pub outcome: FaultOutcome,
+    /// Number of injections finished so far (including this one).
+    pub completed: usize,
+    /// Number of injections planned.
+    pub total: usize,
+}
+
+/// The progress-callback type accepted by the `*_with` campaign entry
+/// points. Called from worker threads, hence `Sync`.
+pub type ProgressFn<'a> = dyn Fn(CampaignProgress) + Sync + 'a;
+
 /// Campaign configuration.
+///
+/// Construct with [`CampaignConfig::new`] and refine with the builder-style
+/// setters; the struct is `#[non_exhaustive]`, so literal construction is
+/// reserved for this crate.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct CampaignConfig {
     /// Number of injection experiments.
     pub injections: usize,
     /// Fault model for every experiment.
     pub model: FaultModel,
-    /// RNG seed for target selection.
+    /// RNG seed for target selection. Each injection derives its own PRNG
+    /// stream from `(seed, injection_index)`, so results do not depend on
+    /// worker scheduling.
     pub seed: u64,
     /// The simulation configuration (thread count, monitor mode, …). The
     /// golden run uses the same configuration with no fault.
     pub sim: SimConfig,
+    /// Worker threads for the execution stage; `0` means
+    /// `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Stop early once this many SDCs have been observed. The surviving
+    /// record prefix is identical at any worker count.
+    pub abort_after_sdc: Option<usize>,
+    /// Stop early at the first monitor detection.
+    pub abort_on_detection: bool,
 }
 
 impl CampaignConfig {
@@ -116,21 +225,59 @@ impl CampaignConfig {
             model,
             seed: 0xfa_017,
             sim: SimConfig::new(nthreads),
+            workers: 0,
+            abort_after_sdc: None,
+            abort_on_detection: false,
         }
+    }
+
+    /// Sets the target-selection seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the simulation configuration wholesale.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Stops the campaign once `n` SDCs have been observed.
+    pub fn abort_after_sdc(mut self, n: usize) -> Self {
+        self.abort_after_sdc = Some(n);
+        self
+    }
+
+    /// Stops the campaign at the first monitor detection.
+    pub fn abort_on_detection(mut self, yes: bool) -> Self {
+        self.abort_on_detection = yes;
+        self
     }
 }
 
 /// Results of a campaign.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct CampaignResult {
-    /// Per-injection records.
+    /// Per-injection records, in injection-index order. When the campaign
+    /// aborted early this is the exact prefix up to (and including) the
+    /// injection that tripped the abort condition.
     pub records: Vec<InjectionRecord>,
-    /// Aggregate counts.
+    /// Aggregate counts over `records`.
     pub counts: OutcomeCounts,
     /// The golden (fault-free) run the experiments were compared against.
     pub golden_outputs_len: usize,
     /// Dynamic branches per thread in the golden run.
     pub branches_per_thread: Vec<u64>,
+    /// Whether an early-abort condition was reached.
+    pub aborted: bool,
 }
 
 impl CampaignResult {
@@ -163,66 +310,226 @@ pub fn classify(result: &RunResult, golden: &RunResult, activated: bool) -> Faul
     }
 }
 
+/// SplitMix64's output finalizer, used to key per-injection streams.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The independent PRNG stream of injection `index` under `seed`.
+fn injection_rng(seed: u64, index: usize) -> SplitMix64 {
+    let lane = (index as u64).wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    SplitMix64::new(mix64(seed ^ lane))
+}
+
+/// Stage 1: derives the full list of injection plans from the golden run's
+/// per-thread dynamic branch counts (the paper's PIN profiling output).
+///
+/// Plan `i` is drawn from a PRNG stream keyed on `(config.seed, i)`, so
+/// the list is a pure function of `(branches_per_thread, config)` — no
+/// state is threaded between injections and no scheduling decision can
+/// perturb it.
+pub fn plan_campaign(branches_per_thread: &[u64], config: &CampaignConfig) -> Vec<InjectionPlan> {
+    let nthreads = branches_per_thread.len().min(config.sim.nthreads as usize);
+    (0..config.injections)
+        .map(|index| {
+            let mut rng = injection_rng(config.seed, index);
+            // Pick a random thread, then a random dynamic branch of it.
+            let tid = rng.below(nthreads as i64) as u32;
+            let nbranches = branches_per_thread[tid as usize];
+            InjectionPlan {
+                tid,
+                dyn_index: if nbranches == 0 { 1 } else { 1 + rng.below(nbranches as i64) as u64 },
+                model: config.model,
+                value_choice: rng.below(1 << 16) as u32,
+                bit: rng.below(64) as u8,
+            }
+        })
+        .collect()
+}
+
+/// Whether `counts` satisfies one of the configured early-abort
+/// conditions. Both conditions are monotone in the counts, which is what
+/// lets the reducer recompute the abort cut deterministically.
+fn abort_reached(config: &CampaignConfig, counts: &OutcomeCounts) -> bool {
+    config.abort_after_sdc.is_some_and(|n| counts.sdc >= n)
+        || (config.abort_on_detection && counts.detected > 0)
+}
+
+fn effective_workers(config: &CampaignConfig, njobs: usize) -> usize {
+    let requested = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.workers
+    };
+    requested.clamp(1, njobs.max(1))
+}
+
+/// Stage 2: runs every plan, claiming injection indices monotonically from
+/// a shared counter. Because a worker checks the stop flag only *before*
+/// claiming, the set of executed indices is always a contiguous prefix of
+/// the plan list — with or without early abort, at any worker count.
+fn execute_campaign(
+    image: &ProgramImage,
+    faulty_sim: &SimConfig,
+    golden: &RunResult,
+    plans: &[InjectionPlan],
+    config: &CampaignConfig,
+    progress: Option<&ProgressFn<'_>>,
+) -> Vec<(usize, InjectionRecord)> {
+    let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // Completion-order counts, used only to decide *when* to raise the stop
+    // flag; the authoritative counts are recomputed in index order by the
+    // reducer.
+    let live_counts = Mutex::new(OutcomeCounts::default());
+    let collected: Mutex<Vec<(usize, InjectionRecord)>> =
+        Mutex::new(Vec::with_capacity(plans.len()));
+
+    let worker = || {
+        while !stop.load(Ordering::Relaxed) {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= plans.len() {
+                break;
+            }
+            let plan = plans[index];
+            let mut hook = InjectionHook::new(plan);
+            let result = run_sim_with_hook(image, faulty_sim, &mut hook);
+            let outcome = classify(&result, golden, hook.activated());
+            {
+                let mut counts = live_counts.lock().unwrap();
+                counts.add(outcome);
+                if abort_reached(config, &counts) {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+            let record =
+                InjectionRecord { plan, branch: hook.injected_branch.map(|b| b.0), outcome };
+            collected.lock().unwrap().push((index, record));
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(callback) = progress {
+                callback(CampaignProgress {
+                    index,
+                    outcome,
+                    completed: done,
+                    total: plans.len(),
+                });
+            }
+        }
+    };
+
+    let nworkers = effective_workers(config, plans.len());
+    if nworkers <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            // The closure captures only shared references, so it is `Copy`:
+            // every spawn gets its own copy of the same borrows.
+            for _ in 0..nworkers {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    collected.into_inner().unwrap()
+}
+
+/// Stage 3: merges execution results in injection-index order and applies
+/// the deterministic abort cut: records are kept up to (and including) the
+/// first index at which an abort condition holds over the *prefix* counts.
+/// Executed indices form a contiguous prefix at least as long as that cut,
+/// so the surviving records — and every derived statistic — are identical
+/// at any worker count.
+fn reduce_campaign(
+    mut pairs: Vec<(usize, InjectionRecord)>,
+    config: &CampaignConfig,
+) -> (Vec<InjectionRecord>, OutcomeCounts, bool) {
+    pairs.sort_unstable_by_key(|&(index, _)| index);
+    let mut counts = OutcomeCounts::default();
+    let mut records = Vec::with_capacity(pairs.len());
+    for (index, record) in pairs {
+        debug_assert_eq!(index, records.len(), "executed indices must form a prefix");
+        counts.add(record.outcome);
+        records.push(record);
+        if abort_reached(config, &counts) {
+            return (records, counts, true);
+        }
+    }
+    (records, counts, false)
+}
+
 /// Runs a full campaign: one golden run, then `config.injections`
 /// experiments with uniformly random (thread, dynamic-branch) targets,
 /// exactly as the paper's three-step procedure prescribes.
 ///
-/// # Panics
-///
-/// Panics if the golden run does not complete (the program itself must be
-/// correct before injecting faults into it).
-pub fn run_campaign(image: &ProgramImage, config: &CampaignConfig) -> CampaignResult {
+/// Experiments run on `config.workers` threads (`0` = available
+/// parallelism); the result is bitwise identical for any worker count.
+pub fn run_campaign(
+    image: &ProgramImage,
+    config: &CampaignConfig,
+) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with(image, config, None)
+}
+
+/// [`run_campaign`] with a streaming progress callback.
+pub fn run_campaign_with(
+    image: &ProgramImage,
+    config: &CampaignConfig,
+    progress: Option<&ProgressFn<'_>>,
+) -> Result<CampaignResult, CampaignError> {
+    if config.sim.nthreads == 0 {
+        return Err(CampaignError::NoThreads);
+    }
     // Step 1: profile — the golden run records per-thread dynamic branch
     // counts (the paper's PIN profiling run).
     let golden = run_sim(image, &config.sim);
-    assert_eq!(
-        golden.outcome,
-        RunOutcome::Completed,
-        "golden run must complete before injecting faults"
-    );
+    run_campaign_with_golden(image, config, &golden, progress)
+}
+
+/// Runs a campaign against an already-computed golden run (which must come
+/// from `run_sim(image, &config.sim)`). Lets callers amortize one golden
+/// run across several campaigns on the same image and configuration.
+pub fn run_campaign_with_golden(
+    image: &ProgramImage,
+    config: &CampaignConfig,
+    golden: &RunResult,
+    progress: Option<&ProgressFn<'_>>,
+) -> Result<CampaignResult, CampaignError> {
+    if config.sim.nthreads == 0 {
+        return Err(CampaignError::NoThreads);
+    }
+    if golden.outcome != RunOutcome::Completed {
+        return Err(CampaignError::GoldenRunFailed { outcome: golden.outcome });
+    }
+    if golden.branches_per_thread.len() != config.sim.nthreads as usize {
+        return Err(CampaignError::GoldenMismatch {
+            expected: config.sim.nthreads as usize,
+            actual: golden.branches_per_thread.len(),
+        });
+    }
 
     // Faulty runs get a step budget derived from the golden run: a fault
     // that corrupts a loop bound can otherwise spin for billions of steps
     // before the generic cutoff declares a hang (the paper's injector uses
     // a timeout for the same reason).
-    let mut faulty_sim = config.sim.clone();
-    faulty_sim.max_steps = golden.total_steps.saturating_mul(8).saturating_add(100_000);
+    let faulty_sim = config
+        .sim
+        .clone()
+        .max_steps(golden.total_steps.saturating_mul(8).saturating_add(100_000));
 
-    let mut rng = SplitMix64::new(config.seed);
-    let n = config.sim.nthreads;
-    let mut records = Vec::with_capacity(config.injections);
-    let mut counts = OutcomeCounts::default();
+    let plans = plan_campaign(&golden.branches_per_thread, config);
+    let pairs = execute_campaign(image, &faulty_sim, golden, &plans, config, progress);
+    let (records, counts, aborted) = reduce_campaign(pairs, config);
 
-    for _ in 0..config.injections {
-        // Step 2: pick a random thread, then a random dynamic branch of it.
-        let tid = rng.below(i64::from(n)) as u32;
-        let nbranches = golden.branches_per_thread[tid as usize];
-        let plan = InjectionPlan {
-            tid,
-            dyn_index: if nbranches == 0 { 1 } else { 1 + rng.below(nbranches as i64) as u64 },
-            model: config.model,
-            value_choice: rng.below(1 << 16) as u32,
-            bit: rng.below(64) as u8,
-        };
-
-        // Step 3: inject and classify.
-        let mut hook = InjectionHook::new(plan);
-        let result = run_sim_with_hook(image, &faulty_sim, &mut hook);
-        let outcome = classify(&result, &golden, hook.activated());
-        counts.add(outcome);
-        records.push(InjectionRecord {
-            plan,
-            branch: hook.injected_branch.map(|b| b.0),
-            outcome,
-        });
-    }
-
-    CampaignResult {
+    Ok(CampaignResult {
         records,
         counts,
         golden_outputs_len: golden.outputs.len(),
-        branches_per_thread: golden.branches_per_thread,
-    }
+        branches_per_thread: golden.branches_per_thread.clone(),
+        aborted,
+    })
 }
 
 /// Runs `runs` fault-free executions and returns the number that reported
@@ -231,8 +538,9 @@ pub fn run_campaign(image: &ProgramImage, config: &CampaignConfig) -> CampaignRe
 pub fn false_positive_runs(image: &ProgramImage, config: &SimConfig, runs: usize) -> usize {
     let mut fps = 0;
     for i in 0..runs {
-        let mut cfg = config.clone();
-        cfg.seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1);
+        let cfg = config
+            .clone()
+            .seed(config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1));
         let result = run_sim(image, &cfg);
         if result.detected() {
             fps += 1;
@@ -265,5 +573,66 @@ mod tests {
         let counts = OutcomeCounts::default();
         assert_eq!(counts.coverage(), 1.0);
         assert_eq!(counts.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn injection_streams_are_decorrelated() {
+        // Adjacent indices under one seed, and one index under adjacent
+        // seeds, must produce unrelated first draws.
+        let a: Vec<u64> = (0..32).map(|i| injection_rng(0xfa_017, i).next_u64()).collect();
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "collisions across injection indices");
+        assert_ne!(injection_rng(1, 0).next_u64(), injection_rng(2, 0).next_u64());
+    }
+
+    #[test]
+    fn plans_are_a_pure_function_of_inputs() {
+        let config = CampaignConfig::new(50, FaultModel::BranchFlip, 4).seed(7);
+        let branches = [10, 0, 1_000_000, 3];
+        let a = plan_campaign(&branches, &config);
+        let b = plan_campaign(&branches, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for plan in &a {
+            assert!(plan.tid < 4);
+            assert!(plan.dyn_index >= 1);
+            let n = branches[plan.tid as usize];
+            if n > 0 {
+                assert!(plan.dyn_index <= n);
+            }
+            assert!(plan.bit < 64);
+        }
+    }
+
+    #[test]
+    fn abort_cut_is_prefix_deterministic() {
+        let config = CampaignConfig::new(6, FaultModel::BranchFlip, 1).abort_after_sdc(2);
+        let record = |outcome| InjectionRecord {
+            plan: InjectionPlan {
+                tid: 0,
+                dyn_index: 1,
+                model: FaultModel::BranchFlip,
+                value_choice: 0,
+                bit: 0,
+            },
+            branch: None,
+            outcome,
+        };
+        // Completion order scrambled; indices 1 and 3 are SDCs, so the cut
+        // must land after index 3 regardless of arrival order.
+        let pairs = vec![
+            (4, record(FaultOutcome::Masked)),
+            (1, record(FaultOutcome::Sdc)),
+            (0, record(FaultOutcome::Masked)),
+            (3, record(FaultOutcome::Sdc)),
+            (2, record(FaultOutcome::Detected)),
+        ];
+        let (records, counts, aborted) = reduce_campaign(pairs, &config);
+        assert!(aborted);
+        assert_eq!(records.len(), 4);
+        assert_eq!(counts.sdc, 2);
+        assert_eq!(records.last().unwrap().outcome, FaultOutcome::Sdc);
     }
 }

@@ -16,6 +16,11 @@
 //! [`OutcomeCounts::coverage`] computes the paper's metric
 //! `coverage = 1 − SDC_fraction` over activated faults.
 //!
+//! Campaigns run in three stages — plan, parallel execute, deterministic
+//! reduce (see [`run_campaign`]'s module) — so the result is bitwise
+//! identical for any [`CampaignConfig::workers`] setting, and the whole
+//! path is panic-free: misconfigurations surface as [`CampaignError`].
+//!
 //! # Examples
 //!
 //! ```
@@ -29,7 +34,10 @@
 //!     }
 //! "#).unwrap();
 //! let image = ProgramImage::prepare_default(module);
-//! let campaign = run_campaign(&image, &CampaignConfig::new(20, FaultModel::BranchFlip, 4));
+//! let config = CampaignConfig::new(20, FaultModel::BranchFlip, 4)
+//!     .seed(0xfa_017)
+//!     .workers(2);
+//! let campaign = run_campaign(&image, &config).expect("golden run completes");
 //! assert_eq!(campaign.records.len(), 20);
 //! assert!(campaign.coverage() >= 0.0 && campaign.coverage() <= 1.0);
 //! ```
@@ -40,7 +48,8 @@ mod campaign;
 mod injector;
 
 pub use campaign::{
-    classify, false_positive_runs, run_campaign, CampaignConfig, CampaignResult, FaultOutcome,
-    InjectionRecord, OutcomeCounts,
+    classify, false_positive_runs, plan_campaign, run_campaign, run_campaign_with,
+    run_campaign_with_golden, CampaignConfig, CampaignError, CampaignProgress, CampaignResult,
+    FaultOutcome, InjectionRecord, OutcomeCounts, ProgressFn,
 };
 pub use injector::{FaultModel, InjectionHook, InjectionPlan};

@@ -202,14 +202,12 @@ fn unprotected_program_lets_sdc_through() {
 fn campaign_improves_coverage_over_baseline() {
     let image = shared_branch_program();
 
-    let mut protected = CampaignConfig::new(60, FaultModel::BranchFlip, 4);
-    protected.seed = 7;
-    let with = run_campaign(&image, &protected);
+    let protected = CampaignConfig::new(60, FaultModel::BranchFlip, 4).seed(7);
+    let with = run_campaign(&image, &protected).expect("golden run completes");
 
-    let mut baseline = CampaignConfig::new(60, FaultModel::BranchFlip, 4);
-    baseline.seed = 7;
+    let mut baseline = CampaignConfig::new(60, FaultModel::BranchFlip, 4).seed(7);
     baseline.sim.monitor = bw_vm::MonitorMode::Off;
-    let without = run_campaign(&image, &baseline);
+    let without = run_campaign(&image, &baseline).expect("golden run completes");
 
     assert!(with.counts.detected > 0, "{:?}", with.counts);
     assert_eq!(without.counts.detected, 0);
@@ -227,8 +225,8 @@ fn campaign_improves_coverage_over_baseline() {
 fn campaign_is_reproducible() {
     let image = shared_branch_program();
     let config = CampaignConfig::new(30, FaultModel::ConditionBitFlip, 4);
-    let a = run_campaign(&image, &config);
-    let b = run_campaign(&image, &config);
+    let a = run_campaign(&image, &config).expect("golden run completes");
+    let b = run_campaign(&image, &config).expect("golden run completes");
     assert_eq!(a.counts, b.counts);
     assert_eq!(a.records, b.records);
 }

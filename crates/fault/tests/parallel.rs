@@ -1,0 +1,103 @@
+//! Determinism and error-path tests for the sharded campaign engine: the
+//! same configuration must produce bitwise-identical results at any worker
+//! count, and misconfigurations must surface as errors, not panics.
+
+use bw_fault::{run_campaign, CampaignConfig, CampaignError, FaultModel, FaultOutcome};
+use bw_splash::{Benchmark, Size};
+use bw_vm::{MonitorMode, ProgramImage, RunOutcome};
+
+fn image(bench: Benchmark) -> ProgramImage {
+    ProgramImage::prepare_default(bench.module(Size::Test).expect("port compiles"))
+}
+
+#[test]
+fn results_identical_at_any_worker_count() {
+    for bench in [Benchmark::Fft, Benchmark::Radix] {
+        let image = image(bench);
+        for model in [FaultModel::BranchFlip, FaultModel::ConditionBitFlip] {
+            let base = CampaignConfig::new(32, model, 4).seed(0xd00d);
+            let reference = run_campaign(&image, &base.clone().workers(1))
+                .expect("golden run completes");
+            // `0` exercises the available-parallelism default.
+            for workers in [0usize, 2, 8] {
+                let result = run_campaign(&image, &base.clone().workers(workers))
+                    .expect("golden run completes");
+                assert_eq!(
+                    reference.records, result.records,
+                    "{} {model:?}: records diverge at {workers} workers",
+                    bench.name()
+                );
+                assert_eq!(reference.counts, result.counts);
+                assert_eq!(reference.branches_per_thread, result.branches_per_thread);
+                assert_eq!(reference.aborted, result.aborted);
+            }
+        }
+    }
+}
+
+#[test]
+fn early_abort_cut_is_identical_at_any_worker_count() {
+    let image = image(Benchmark::Fft);
+    // Detections are frequent with the monitor on, so the abort trips well
+    // inside the campaign; the surviving prefix must not depend on which
+    // worker saw the detection first.
+    let base = CampaignConfig::new(64, FaultModel::BranchFlip, 4)
+        .seed(0xab0)
+        .abort_on_detection(true);
+    let reference =
+        run_campaign(&image, &base.clone().workers(1)).expect("golden run completes");
+    assert!(reference.aborted, "expected at least one detection in 64 injections");
+    assert!(reference.records.len() < 64);
+    assert_eq!(reference.records.last().unwrap().outcome, FaultOutcome::Detected);
+    for workers in [2usize, 8] {
+        let result =
+            run_campaign(&image, &base.clone().workers(workers)).expect("golden run completes");
+        assert_eq!(reference.records, result.records, "{workers} workers");
+        assert_eq!(reference.counts, result.counts);
+        assert!(result.aborted);
+    }
+}
+
+#[test]
+fn abort_after_sdc_stops_on_the_exact_injection() {
+    let image = image(Benchmark::Radix);
+    // The unprotected program accumulates SDCs; stop at the second one.
+    let base = CampaignConfig::new(200, FaultModel::BranchFlip, 4)
+        .seed(0x5dc)
+        .abort_after_sdc(2);
+    let mut config = base.clone();
+    config.sim.monitor = MonitorMode::Off;
+    let reference =
+        run_campaign(&image, &config.clone().workers(1)).expect("golden run completes");
+    if reference.aborted {
+        assert_eq!(reference.counts.sdc, 2);
+        assert_eq!(reference.records.last().unwrap().outcome, FaultOutcome::Sdc);
+    }
+    for workers in [2usize, 8] {
+        let result =
+            run_campaign(&image, &config.clone().workers(workers)).expect("golden run completes");
+        assert_eq!(reference.records, result.records, "{workers} workers");
+        assert_eq!(reference.aborted, result.aborted);
+    }
+}
+
+#[test]
+fn non_completing_golden_run_is_an_error_not_a_panic() {
+    let image = image(Benchmark::Fft);
+    let mut config = CampaignConfig::new(10, FaultModel::BranchFlip, 4);
+    // A step budget no golden run can satisfy.
+    config.sim.max_steps = 10;
+    match run_campaign(&image, &config) {
+        Err(CampaignError::GoldenRunFailed { outcome }) => {
+            assert_eq!(outcome, RunOutcome::Hung);
+        }
+        other => panic!("expected GoldenRunFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_threads_is_an_error_not_a_panic() {
+    let image = image(Benchmark::Fft);
+    let config = CampaignConfig::new(10, FaultModel::BranchFlip, 0);
+    assert_eq!(run_campaign(&image, &config).unwrap_err(), CampaignError::NoThreads);
+}

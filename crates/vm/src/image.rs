@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 
 use bw_analysis::{AnalysisConfig, CheckPlan, ConditionInfo, ModuleAnalysis};
-use bw_ir::{BlockId, BranchId, Cfg, DomTree, FuncId, LoopForest, LoopId, Module, ValueId};
+use bw_ir::{
+    BlockId, BranchId, Cfg, DomTree, FuncId, LoopForest, LoopId, Module, ValueId, VerifyError,
+};
 
 /// Static per-function metadata used at runtime.
 #[derive(Debug)]
@@ -52,9 +54,16 @@ impl ProgramImage {
     /// # Panics
     ///
     /// Panics if the module fails verification (construct modules through
-    /// the builder or front-end to avoid this).
+    /// the builder or front-end to avoid this, or use
+    /// [`ProgramImage::try_prepare`] for a fallible variant).
     pub fn prepare(module: Module, config: AnalysisConfig) -> ProgramImage {
-        bw_ir::verify_module(&module).expect("module must verify before execution");
+        Self::try_prepare(module, config).expect("module must verify before execution")
+    }
+
+    /// Analyzes and instruments `module` with `config`, returning the
+    /// verifier's error instead of panicking when the module is malformed.
+    pub fn try_prepare(module: Module, config: AnalysisConfig) -> Result<ProgramImage, VerifyError> {
+        bw_ir::verify_module(&module)?;
         let analysis = ModuleAnalysis::run(&module);
         let plan = CheckPlan::build(&module, &analysis, config);
 
@@ -83,7 +92,7 @@ impl ProgramImage {
             branch_runtime.push(BranchRuntime { witnesses, cond_info });
         }
 
-        ProgramImage { module, analysis, plan, func_meta, branch_at, branch_runtime }
+        Ok(ProgramImage { module, analysis, plan, func_meta, branch_at, branch_runtime })
     }
 
     /// Prepares with the default (paper) configuration.

@@ -22,7 +22,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Cycle costs and topology of the simulated machine.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineModel {
     /// Number of sockets (NUMA domains).
     pub sockets: u32,

@@ -29,7 +29,7 @@ use crate::thread::{BranchHook, CostClass, NoHook, StepOutcome, ThreadState};
 use crate::trap::TrapKind;
 
 /// What the monitor does with events in a simulated run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MonitorMode {
     /// Events are charged and checked (normal operation).
     Enabled,
@@ -41,7 +41,7 @@ pub enum MonitorMode {
 }
 
 /// How the program executes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecMode {
     /// Normal execution.
     Normal,
@@ -57,7 +57,12 @@ pub enum ExecMode {
 }
 
 /// Configuration of one simulated run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Construct with [`SimConfig::new`] and refine with the builder-style
+/// setters; the struct is `#[non_exhaustive]`, so literal construction is
+/// reserved for this crate (fields may be added without a breaking change).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Number of SPMD threads.
     pub nthreads: u32,
@@ -91,6 +96,42 @@ impl SimConfig {
             quantum: 64,
             dup_tax: 12,
         }
+    }
+
+    /// Sets the monitor behaviour.
+    pub fn monitor(mut self, monitor: MonitorMode) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets the machine cost model.
+    pub fn machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the per-thread PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hang-detection step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the scheduler quantum (instructions per slot).
+    pub fn quantum(mut self, quantum: u32) -> Self {
+        self.quantum = quantum;
+        self
     }
 }
 

@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release -p blockwatch --example heat_solver`
 
-use blockwatch::fault::CampaignConfig;
 use blockwatch::reports::overhead_point;
 use blockwatch::vm::MonitorMode;
 use blockwatch::{Blockwatch, FaultModel};
@@ -89,12 +88,17 @@ fn main() {
     }
 
     println!("\nfault campaign (300 branch-flip faults, 8 threads):");
-    let mut cfg = CampaignConfig::new(300, FaultModel::BranchFlip, 8);
-    cfg.seed = 2024;
-    let protected = bw.campaign(&cfg);
-    let mut baseline_cfg = cfg.clone();
-    baseline_cfg.sim.monitor = MonitorMode::Off;
-    let baseline = bw.campaign(&baseline_cfg);
+    let protected = bw
+        .campaign_runner(300, FaultModel::BranchFlip, 8)
+        .seed(2024)
+        .run()
+        .expect("campaign runs");
+    let baseline = bw
+        .campaign_runner(300, FaultModel::BranchFlip, 8)
+        .seed(2024)
+        .monitor(MonitorMode::Off)
+        .run()
+        .expect("campaign runs");
     println!("  without BLOCKWATCH: {:?}", baseline.counts);
     println!("  with    BLOCKWATCH: {:?}", protected.counts);
     println!(

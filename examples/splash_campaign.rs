@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use blockwatch::fault::{CampaignConfig, FaultOutcome};
+use blockwatch::fault::FaultOutcome;
 use blockwatch::{Benchmark, Blockwatch, FaultModel, Size};
 
 fn main() {
@@ -20,12 +20,17 @@ fn main() {
         .unwrap_or(Benchmark::Fft);
 
     println!("campaign: {} / {injections} injections of each fault model / 4 threads", bench.name());
-    let bw = Blockwatch::from_module(bench.module(Size::Small).expect("port compiles"));
+    let bw = Blockwatch::from_module(bench.module(Size::Small).expect("port compiles"))
+        .expect("port verifies");
 
+    // Both models share the benchmark's cached golden run; the worker pool
+    // shards injections but the results are deterministic.
     for model in [FaultModel::BranchFlip, FaultModel::ConditionBitFlip] {
-        let mut cfg = CampaignConfig::new(injections, model, 4);
-        cfg.seed = 77;
-        let result = bw.campaign(&cfg);
+        let result = bw
+            .campaign_runner(injections, model, 4)
+            .seed(77)
+            .run()
+            .expect("campaign runs");
         println!("\n== {model:?} ==");
         println!("  {:?}", result.counts);
         println!("  coverage: {:.1}%", 100.0 * result.coverage());

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The repo's CI gate: release build, full test suite, and a zero-warning
+# clippy pass over every target. Run from the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -14,7 +14,8 @@ const SEED: u64 = 0x5eed;
 fn blockwatch_never_hurts_and_detects_flips() {
     let mut total_detected = 0;
     for bench in [Benchmark::OceanContig, Benchmark::Fft, Benchmark::Radix] {
-        let row = coverage_row(bench, Size::Test, FaultModel::BranchFlip, 4, INJECTIONS, SEED);
+        let row = coverage_row(bench, Size::Test, FaultModel::BranchFlip, 4, INJECTIONS, SEED)
+            .expect("campaign runs");
         assert!(
             row.coverage_protected() + 1e-9 >= row.coverage_original(),
             "{}: protected {} < original {}",
@@ -40,9 +41,11 @@ fn condition_fault_baseline_coverage_exceeds_branch_flip_baseline() {
     for bench in [Benchmark::Fft, Benchmark::Radix, Benchmark::WaterNsquared] {
         flip_sum +=
             coverage_row(bench, Size::Test, FaultModel::BranchFlip, 4, INJECTIONS, SEED)
+                .expect("campaign runs")
                 .coverage_original();
         cond_sum +=
             coverage_row(bench, Size::Test, FaultModel::ConditionBitFlip, 4, INJECTIONS, SEED)
+                .expect("campaign runs")
                 .coverage_original();
     }
     assert!(
@@ -55,9 +58,18 @@ fn condition_fault_baseline_coverage_exceeds_branch_flip_baseline() {
 fn raytrace_gains_least_from_blockwatch() {
     // Paper Figure 8: raytrace is the exception — function pointers and
     // deep loop nests leave it barely better than unprotected.
-    let ray = coverage_row(Benchmark::Raytrace, Size::Test, FaultModel::BranchFlip, 4, INJECTIONS, SEED);
-    let ocean =
-        coverage_row(Benchmark::OceanContig, Size::Test, FaultModel::BranchFlip, 4, INJECTIONS, SEED);
+    let ray =
+        coverage_row(Benchmark::Raytrace, Size::Test, FaultModel::BranchFlip, 4, INJECTIONS, SEED)
+            .expect("campaign runs");
+    let ocean = coverage_row(
+        Benchmark::OceanContig,
+        Size::Test,
+        FaultModel::BranchFlip,
+        4,
+        INJECTIONS,
+        SEED,
+    )
+    .expect("campaign runs");
     let ray_gain = ray.coverage_protected() - ray.coverage_original();
     let ocean_gain = ocean.coverage_protected() - ocean.coverage_original();
     assert!(
@@ -74,8 +86,10 @@ fn raytrace_gains_least_from_blockwatch() {
 
 #[test]
 fn campaigns_with_same_seed_share_targets() {
-    let a = coverage_row(Benchmark::Fft, Size::Test, FaultModel::BranchFlip, 2, 20, 42);
-    let b = coverage_row(Benchmark::Fft, Size::Test, FaultModel::BranchFlip, 2, 20, 42);
+    let a = coverage_row(Benchmark::Fft, Size::Test, FaultModel::BranchFlip, 2, 20, 42)
+        .expect("campaign runs");
+    let b = coverage_row(Benchmark::Fft, Size::Test, FaultModel::BranchFlip, 2, 20, 42)
+        .expect("campaign runs");
     assert_eq!(a.protected, b.protected);
     assert_eq!(a.original, b.original);
 }

@@ -10,7 +10,8 @@ use blockwatch::{Benchmark, Blockwatch, Size};
 #[test]
 fn all_ports_complete_cleanly_at_many_thread_counts() {
     for bench in Benchmark::ALL {
-        let bw = Blockwatch::from_module(bench.module(Size::Test).expect("compiles"));
+        let bw = Blockwatch::from_module(bench.module(Size::Test).expect("compiles"))
+            .expect("verifies");
         for nthreads in [1u32, 2, 4, 8, 16, 32] {
             let result = bw.run(nthreads);
             assert_eq!(

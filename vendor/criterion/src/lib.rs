@@ -1,0 +1,183 @@
+//! Minimal offline stub of `criterion`, covering the subset this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`measurement_time`/`throughput`,
+//! and `Bencher::iter`. The build environment has no crates.io access, so
+//! the real crate cannot be fetched.
+//!
+//! Measurement model: each `bench_function` first calibrates an iteration
+//! count so one sample lasts roughly `measurement_time / sample_size`,
+//! then takes `sample_size` wall-clock samples and reports the median,
+//! minimum and maximum time per iteration (plus throughput when
+//! configured). No statistical outlier analysis, no HTML reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (stub).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; the stub takes no
+    /// command-line configuration.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default group settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of wall-clock samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f` and prints per-iteration timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+
+        // Calibrate: how many iterations fit in one sample slot?
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.as_secs_f64().max(1e-9);
+        let iters = ((budget / per_iter).round() as u64).clamp(1, 1_000_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+
+        let mut line = format!(
+            "{}/{name}: median {}  [min {}, max {}]  ({} samples x {iters} iters)",
+            self.name,
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+            self.sample_size,
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / median;
+            line.push_str(&format!("  {:.3e} {unit}/s", rate));
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

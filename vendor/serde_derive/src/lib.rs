@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! stub (see `vendor/serde`). They accept any item and expand to nothing:
+//! the attributes stay valid, no trait impls are generated, and no code
+//! in this workspace requires the impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
