@@ -4,19 +4,29 @@
 //!
 //! ```text
 //! bw analyze  <file>                 print per-branch similarity categories
-//! bw run      <file> [--threads N]   run under the monitor (simulated machine)
+//! bw run      <file> [--threads N] [--real] [--stats] [--telemetry T.jsonl]
+//!                                    run under the monitor
 //! bw ir       <file>                 dump the SSA IR
 //! bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
-//!             [--workers W] [--progress]
+//!             [--workers W] [--progress] [--stats] [--telemetry T.jsonl]
 //!                                    fault-injection campaign with and
 //!                                    without BLOCKWATCH
+//! bw stats    <trace.jsonl>          summarize a JSONL telemetry trace
 //! ```
+//!
+//! `<file>` is a mini-language source path, or `splash:<name>` for a
+//! built-in SPLASH-2 port (`splash:fft`, `splash:radix`, …) sized with
+//! `--size test|small|reference`.
 
 use std::process::ExitCode;
 
 use blockwatch::ir::ModulePrinter;
+use blockwatch::reports::{render_telemetry, TraceSummary};
+use blockwatch::telemetry::{JsonlRecorder, Recorder};
 use blockwatch::vm::MonitorMode;
-use blockwatch::{Blockwatch, CampaignProgress, FaultModel, RunOutcome};
+use blockwatch::{
+    Benchmark, Blockwatch, CampaignProgress, FaultModel, RunOutcome, Size, TelemetrySnapshot,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +39,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "ir" => cmd_ir(rest),
         "campaign" => cmd_campaign(rest),
+        "stats" => cmd_stats(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -46,15 +57,64 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   bw analyze  <file>                  print per-branch similarity categories
-  bw run      <file> [--threads N]    run under the monitor
+  bw run      <file> [--threads N] [--real] [--stats] [--telemetry T.jsonl]
+                                      run under the monitor
   bw ir       <file>                  dump the SSA IR
   bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
-              [--workers W] [--progress]";
+              [--workers W] [--progress] [--stats] [--telemetry T.jsonl]
+  bw stats    <trace.jsonl>           summarize a JSONL telemetry trace
 
-fn load(path: &str) -> Result<Blockwatch, String> {
+  <file> is a source path or splash:<name> (fft, fmm, radix, raytrace,
+  water, ocean-contig, ocean-noncontig) sized with --size test|small|reference";
+
+fn load(spec: &str, rest: &[String]) -> Result<Blockwatch, String> {
+    if let Some(name) = spec.strip_prefix("splash:") {
+        let bench = match name {
+            "ocean-contig" | "ocean" => Benchmark::OceanContig,
+            "fft" => Benchmark::Fft,
+            "fmm" => Benchmark::Fmm,
+            "ocean-noncontig" => Benchmark::OceanNoncontig,
+            "radix" => Benchmark::Radix,
+            "raytrace" => Benchmark::Raytrace,
+            "water" | "water-nsquared" => Benchmark::WaterNsquared,
+            other => return Err(format!("unknown SPLASH benchmark `{other}`")),
+        };
+        let size = match flag(rest, "--size").as_deref() {
+            None | Some("test") => Size::Test,
+            Some("small") => Size::Small,
+            Some("reference") => Size::Reference,
+            Some(other) => {
+                return Err(format!("unknown size `{other}` (use test|small|reference)"))
+            }
+        };
+        let module = bench.module(size).map_err(|e| format!("{e}"))?;
+        return Blockwatch::from_module(module).map_err(|e| format!("{e}"));
+    }
     let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))?;
     Blockwatch::compile(&source).map_err(|e| format!("{e}"))
+}
+
+/// Opens the JSONL recorder named by `--telemetry`, if the flag is given.
+fn telemetry_recorder(rest: &[String]) -> Result<Option<JsonlRecorder>, String> {
+    match flag(rest, "--telemetry") {
+        Some(path) => JsonlRecorder::create(std::path::Path::new(&path))
+            .map(Some)
+            .map_err(|e| format!("cannot create `{path}`: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Warns on stderr when the monitor lost events to full queues.
+fn warn_dropped(telemetry: &TelemetrySnapshot) {
+    if let Some(dropped) = telemetry.counter("monitor.events_dropped") {
+        if dropped > 0 {
+            eprintln!(
+                "warning: {dropped} event(s) dropped on full queues; \
+                 detection coverage may be reduced"
+            );
+        }
+    }
 }
 
 fn flag(rest: &[String], name: &str) -> Option<String> {
@@ -73,7 +133,7 @@ fn threads(rest: &[String]) -> u32 {
 }
 
 fn cmd_analyze(rest: &[String]) -> Result<(), String> {
-    let bw = load(&file_arg(rest)?)?;
+    let bw = load(&file_arg(rest)?, rest)?;
     println!("{:<8} {:<20} {:<10} {:<6} check", "branch", "function", "category", "depth");
     for b in bw.analysis().branches.iter() {
         let func = &bw.image().module.func(b.func).name;
@@ -107,35 +167,72 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(rest: &[String]) -> Result<(), String> {
-    let bw = load(&file_arg(rest)?)?;
+    let bw = load(&file_arg(rest)?, rest)?;
     let n = threads(rest);
-    let result = bw.run(n);
-    println!("outcome: {:?}", result.outcome);
-    println!("outputs: {:?}", result.outputs);
-    println!(
-        "parallel cycles: {} | events: {} | violations: {}",
-        result.parallel_cycles,
-        result.events_sent,
-        result.violations.len()
-    );
-    for v in &result.violations {
+    let recorder = telemetry_recorder(rest)?;
+
+    // The pipeline's own telemetry plus the run's: one merged snapshot.
+    let mut telemetry = bw.telemetry();
+    let (outcome, violations) = if rest.iter().any(|a| a == "--real") {
+        let result = bw.run_real(n);
+        println!("outcome: {:?} (real threads)", result.outcome);
+        println!(
+            "events processed: {} | dropped: {} | violations: {}",
+            result.events_processed,
+            result.events_dropped,
+            result.violations.len()
+        );
+        telemetry.merge(&result.telemetry);
+        (result.outcome, result.violations)
+    } else {
+        let result = bw.run(n);
+        println!("outcome: {:?}", result.outcome);
+        println!("outputs: {:?}", result.outputs);
+        println!(
+            "parallel cycles: {} | events: {} | violations: {}",
+            result.parallel_cycles,
+            result.events_sent,
+            result.violations.len()
+        );
+        telemetry.merge(&result.telemetry);
+        (result.outcome, result.violations)
+    };
+    for v in &violations {
         println!("  violation: branch {} {:?} ({} reporters)", v.branch, v.kind, v.reporters);
     }
-    if result.outcome != RunOutcome::Completed {
+    warn_dropped(&telemetry);
+    if let Some(recorder) = &recorder {
+        telemetry.record_to(recorder);
+        recorder.flush();
+    }
+    if rest.iter().any(|a| a == "--stats") {
+        print!("{}", render_telemetry(&telemetry));
+    }
+    if outcome != RunOutcome::Completed {
         return Err("program did not complete".into());
     }
     Ok(())
 }
 
 fn cmd_ir(rest: &[String]) -> Result<(), String> {
-    let bw = load(&file_arg(rest)?)?;
+    let bw = load(&file_arg(rest)?, rest)?;
     println!("{}", ModulePrinter(&bw.image().module));
     Ok(())
 }
 
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let path = file_arg(rest)?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let summary = TraceSummary::parse(&text)?;
+    print!("{}", summary.render());
+    Ok(())
+}
+
 fn cmd_campaign(rest: &[String]) -> Result<(), String> {
-    let bw = load(&file_arg(rest)?)?;
+    let bw = load(&file_arg(rest)?, rest)?;
     let n = threads(rest);
+    let recorder = telemetry_recorder(rest)?;
     let injections =
         flag(rest, "--injections").and_then(|s| s.parse().ok()).unwrap_or(200);
     let model = match flag(rest, "--model").as_deref() {
@@ -155,7 +252,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         }
     };
 
-    let run = |monitor: MonitorMode, label: &'static str| {
+    let run = |monitor: MonitorMode, label: &'static str, traced: bool| {
         let mut runner = bw
             .campaign_runner(injections, model, n)
             .workers(workers)
@@ -164,11 +261,18 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         if show_progress {
             runner = runner.on_progress(callback);
         }
+        if traced {
+            if let Some(recorder) = &recorder {
+                runner = runner.recorder(recorder);
+            }
+        }
         runner.run().map_err(|e| e.to_string())
     };
 
-    let protected = run(MonitorMode::Enabled, "with BLOCKWATCH")?;
-    let baseline = run(MonitorMode::Off, "without BLOCKWATCH")?;
+    // Only the protected campaign is traced: the JSONL file then describes
+    // one campaign, not two interleaved ones.
+    let protected = run(MonitorMode::Enabled, "with BLOCKWATCH", true)?;
+    let baseline = run(MonitorMode::Off, "without BLOCKWATCH", false)?;
 
     println!("{model:?}, {injections} injections, {n} threads");
     println!("  without BLOCKWATCH: {:?}", baseline.counts);
@@ -178,5 +282,21 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         100.0 * baseline.coverage(),
         100.0 * protected.coverage()
     );
+    for w in &protected.worker_stats {
+        println!(
+            "  worker {:<3} {} injections, {:.1} inj/s",
+            w.worker,
+            w.injections,
+            w.throughput()
+        );
+    }
+    warn_dropped(&protected.telemetry);
+    if let Some(recorder) = &recorder {
+        protected.telemetry.record_to(recorder);
+        recorder.flush();
+    }
+    if rest.iter().any(|a| a == "--stats") {
+        print!("{}", render_telemetry(&protected.telemetry));
+    }
     Ok(())
 }

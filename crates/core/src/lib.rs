@@ -55,12 +55,14 @@ pub use bw_fault as fault;
 pub use bw_ir as ir;
 pub use bw_monitor as monitor;
 pub use bw_splash as splash;
+pub use bw_telemetry as telemetry;
 pub use bw_vm as vm;
 
 pub use bw_analysis::{AnalysisConfig, Category, CategoryHistogram, CheckKind, CheckPlan};
 pub use bw_fault::{
     CampaignConfig, CampaignError, CampaignProgress, CampaignResult, FaultModel, FaultOutcome,
-    OutcomeCounts,
+    OutcomeCounts, WorkerStats,
 };
 pub use bw_splash::{Benchmark, Size};
+pub use bw_telemetry::{JsonlRecorder, Recorder, TelemetrySnapshot, NULL_RECORDER};
 pub use bw_vm::{MachineModel, MonitorMode, RunOutcome, RunResult, SimConfig};

@@ -4,15 +4,18 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use bw_analysis::{AnalysisConfig, CategoryHistogram, CheckPlan, ModuleAnalysis};
 use bw_fault::{
-    run_campaign_with_golden, CampaignConfig, CampaignError, CampaignProgress, CampaignResult,
-    FaultModel, ProgressFn,
+    run_campaign_with_golden_recorded, CampaignConfig, CampaignError, CampaignProgress,
+    CampaignResult, FaultModel, ProgressFn,
 };
 use bw_ir::Module;
+use bw_telemetry::{Histogram, Recorder, TelemetrySnapshot, NULL_RECORDER};
 use bw_vm::{
-    run_real, run_sim, MonitorMode, ProgramImage, RealConfig, RealResult, RunResult, SimConfig,
+    run_real, run_sim, MonitorMode, PrepareTimings, ProgramImage, RealConfig, RealResult,
+    RunResult, SimConfig,
 };
 
 use crate::error::Error;
@@ -42,6 +45,11 @@ pub struct Blockwatch {
     /// campaigns on one image — different fault models, worker counts or
     /// seeds — profile the program only once per configuration.
     golden_cache: Mutex<HashMap<SimConfig, Arc<RunResult>>>,
+    /// Wall-clock time of the front-end (parse + lower) stage; zero when
+    /// the program was built from an existing module.
+    parse_us: u64,
+    /// Wall-clock times of the preparation stages.
+    prepare: PrepareTimings,
 }
 
 impl Blockwatch {
@@ -61,8 +69,10 @@ impl Blockwatch {
     ///
     /// Returns [`Error::Frontend`] on syntax or semantic problems.
     pub fn compile_with(source: &str, config: AnalysisConfig) -> Result<Self, Error> {
+        let started = Instant::now();
         let module = bw_ir::frontend::compile(source)?;
-        Self::from_module_with(module, config)
+        let parse_us = started.elapsed().as_micros() as u64;
+        Self::build(module, config, parse_us)
     }
 
     /// Wraps an already-built module with the default config.
@@ -80,13 +90,55 @@ impl Blockwatch {
     ///
     /// Returns [`Error::Verify`] when the module fails SSA verification.
     pub fn from_module_with(module: Module, config: AnalysisConfig) -> Result<Self, Error> {
-        let image = ProgramImage::try_prepare(module, config)?;
-        Ok(Blockwatch { image: Arc::new(image), golden_cache: Mutex::new(HashMap::new()) })
+        Self::build(module, config, 0)
+    }
+
+    fn build(module: Module, config: AnalysisConfig, parse_us: u64) -> Result<Self, Error> {
+        let (image, prepare) = ProgramImage::try_prepare_timed(module, config)?;
+        Ok(Blockwatch {
+            image: Arc::new(image),
+            golden_cache: Mutex::new(HashMap::new()),
+            parse_us,
+            prepare,
+        })
     }
 
     /// The prepared program image.
     pub fn image(&self) -> &ProgramImage {
         &self.image
+    }
+
+    /// Wall-clock times of the preparation stages (verify, analyze,
+    /// instrument, link).
+    pub fn prepare_timings(&self) -> PrepareTimings {
+        self.prepare
+    }
+
+    /// The pipeline's own telemetry: deterministic counters describing the
+    /// instrumented program plus one single-observation histogram per
+    /// pipeline stage (parse / verify / analyze / instrument / link, in
+    /// wall-clock microseconds). Merge a run's
+    /// [`RunResult::telemetry`](bw_vm::RunResult) into this to get a full
+    /// compile-to-execution picture.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("pipeline.branches", self.image.analysis.branches.len() as u64);
+        s.push_counter(
+            "pipeline.instrumented_checks",
+            self.image.plan.num_instrumented() as u64,
+        );
+        for (name, us) in [
+            ("pipeline.parse_us", self.parse_us),
+            ("pipeline.verify_us", self.prepare.verify_us),
+            ("pipeline.analyze_us", self.prepare.analyze_us),
+            ("pipeline.instrument_us", self.prepare.instrument_us),
+            ("pipeline.link_us", self.prepare.link_us),
+        ] {
+            let h = Histogram::new();
+            h.observe(us);
+            s.push_histogram(name, h.snapshot());
+        }
+        s
     }
 
     /// The static analysis results.
@@ -147,11 +199,24 @@ impl Blockwatch {
         config: &CampaignConfig,
         progress: Option<&ProgressFn<'_>>,
     ) -> Result<CampaignResult, Error> {
+        self.campaign_recorded(config, progress, &NULL_RECORDER)
+    }
+
+    /// [`Blockwatch::campaign_with`] plus a structured-event
+    /// [`Recorder`] receiving the campaign's stage spans and per-injection
+    /// trace (see [`bw_fault::run_campaign_recorded`]).
+    pub fn campaign_recorded(
+        &self,
+        config: &CampaignConfig,
+        progress: Option<&ProgressFn<'_>>,
+        recorder: &dyn Recorder,
+    ) -> Result<CampaignResult, Error> {
         if config.sim.nthreads == 0 {
             return Err(Error::Campaign(CampaignError::NoThreads));
         }
         let golden = self.golden(&config.sim);
-        run_campaign_with_golden(&self.image, config, &golden, progress).map_err(Error::Campaign)
+        run_campaign_with_golden_recorded(&self.image, config, &golden, progress, recorder)
+            .map_err(Error::Campaign)
     }
 
     /// Starts a builder-style campaign on this program.
@@ -185,6 +250,7 @@ impl Blockwatch {
             bw: self,
             config: CampaignConfig::new(injections, model, nthreads),
             progress: None,
+            recorder: None,
         }
     }
 }
@@ -197,6 +263,7 @@ pub struct CampaignRunner<'a> {
     bw: &'a Blockwatch,
     config: CampaignConfig,
     progress: Option<Box<dyn Fn(CampaignProgress) + Sync + 'a>>,
+    recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a> CampaignRunner<'a> {
@@ -244,6 +311,13 @@ impl<'a> CampaignRunner<'a> {
         self
     }
 
+    /// Traces the campaign's stage spans, injections and worker statistics
+    /// to `recorder` (e.g. a [`bw_telemetry::JsonlRecorder`]).
+    pub fn recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// The campaign configuration built so far.
     pub fn config(&self) -> &CampaignConfig {
         &self.config
@@ -255,7 +329,11 @@ impl<'a> CampaignRunner<'a> {
     ///
     /// Returns [`Error::Campaign`] when the campaign cannot run.
     pub fn run(self) -> Result<CampaignResult, Error> {
-        self.bw.campaign_with(&self.config, self.progress.as_deref())
+        self.bw.campaign_recorded(
+            &self.config,
+            self.progress.as_deref(),
+            self.recorder.unwrap_or(&NULL_RECORDER),
+        )
     }
 }
 

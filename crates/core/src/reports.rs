@@ -6,9 +6,12 @@
 //! where the crossovers fall — absolute numbers come from a cost-model
 //! simulator, not the authors' 32-core testbed).
 
+use std::fmt::Write as _;
+
 use bw_analysis::ModuleAnalysis;
 use bw_fault::{CampaignConfig, FaultModel, OutcomeCounts};
 use bw_splash::{Benchmark, Size};
+use bw_telemetry::{parse_flat_object, TelemetrySnapshot, Value};
 use bw_vm::{
     run_sim, ExecMode, MonitorMode, ProgramImage, RunOutcome, SimConfig,
 };
@@ -329,9 +332,370 @@ pub fn false_positive_sweep(size: Size, nthreads: u32, runs: usize) -> Vec<(Stri
         .collect()
 }
 
+/// Renders a [`TelemetrySnapshot`] as a human-readable summary table:
+/// counters, gauges, then histogram aggregates (count / mean / max).
+pub fn render_telemetry(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let width = snapshot
+        .counters()
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snapshot.gauges().iter().map(|(n, _)| n.len()))
+        .chain(snapshot.histograms().iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0);
+    if !snapshot.counters().is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in snapshot.counters() {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !snapshot.gauges().is_empty() {
+        out.push_str("gauges (high-water marks):\n");
+        for (name, value) in snapshot.gauges() {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !snapshot.histograms().is_empty() {
+        out.push_str("histograms (wall-clock, nondeterministic):\n");
+        for (name, h) in snapshot.histograms() {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  count {}  mean {:.1}  max {}",
+                h.count,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+/// Aggregate duration statistics (microseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurStat {
+    /// Observations.
+    pub count: u64,
+    /// Sum of all durations.
+    pub total_us: u64,
+    /// Largest single duration.
+    pub max_us: u64,
+}
+
+impl DurStat {
+    fn observe(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Mean duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_us as f64 / self.count as f64
+    }
+}
+
+/// Aggregated timings of one span name across a trace.
+#[derive(Clone, Debug, Default)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Duration aggregate.
+    pub dur: DurStat,
+}
+
+/// One worker's statistics reconstructed from a trace's `worker` records.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceWorker {
+    /// Worker index.
+    pub worker: u64,
+    /// Injections the worker executed.
+    pub injections: u64,
+    /// Worker wall-clock microseconds.
+    pub wall_us: u64,
+    /// Microseconds inside injection runs.
+    pub busy_us: u64,
+}
+
+impl TraceWorker {
+    /// Injections per second over the worker's wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.injections as f64 * 1e6 / self.wall_us as f64
+    }
+}
+
+/// Histogram aggregate reconstructed from a trace's `histogram` records.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// An aggregated view of a JSONL telemetry trace — what `bw stats` prints.
+///
+/// The trace is the output of a [`bw_telemetry::JsonlRecorder`]: one flat
+/// JSON object per line, each with an `ev` field naming the record type.
+/// Counter records accumulate, gauges keep their maximum, spans and
+/// injections aggregate durations per name.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Total records parsed.
+    pub records: u64,
+    /// Record counts per `ev` type, sorted by name.
+    pub events: Vec<(String, u64)>,
+    /// Span timings per span name, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Final counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge values (maxima), sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram aggregates, sorted by name.
+    pub histograms: Vec<TraceHistogram>,
+    /// Injection counts per outcome name, sorted by name.
+    pub injections: Vec<(String, u64)>,
+    /// Injection duration aggregate.
+    pub injection_us: DurStat,
+    /// Per-worker statistics, sorted by worker index.
+    pub workers: Vec<TraceWorker>,
+}
+
+fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn field_u64(fields: &[(String, Value)], name: &str) -> u64 {
+    field(fields, name).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn bump(list: &mut Vec<(String, u64)>, name: &str, value: u64, accumulate: bool) {
+    match list.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) if accumulate => *v += value,
+        Some((_, v)) => *v = (*v).max(value),
+        None => list.push((name.to_string(), value)),
+    }
+}
+
+impl TraceSummary {
+    /// Parses a JSONL trace. Blank lines are skipped; a malformed line
+    /// fails the whole parse with its line number.
+    pub fn parse(text: &str) -> Result<TraceSummary, String> {
+        let mut summary = TraceSummary::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_flat_object(line)
+                .map_err(|e| format!("line {}: {} (offset {})", lineno + 1, e.message, e.offset))?;
+            let ev = field(&fields, "ev")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: record has no `ev` field", lineno + 1))?
+                .to_string();
+            summary.records += 1;
+            bump(&mut summary.events, &ev, 1, true);
+            match ev.as_str() {
+                "span" => {
+                    let name = field(&fields, "name").and_then(Value::as_str).unwrap_or("?");
+                    let dur = field_u64(&fields, "dur_us");
+                    match summary.spans.iter_mut().find(|s| s.name == name) {
+                        Some(s) => s.dur.observe(dur),
+                        None => {
+                            let mut s = SpanStat { name: name.to_string(), dur: DurStat::default() };
+                            s.dur.observe(dur);
+                            summary.spans.push(s);
+                        }
+                    }
+                }
+                "counter" | "gauge" => {
+                    let name = field(&fields, "name").and_then(Value::as_str).unwrap_or("?");
+                    let value = field_u64(&fields, "value");
+                    if ev == "counter" {
+                        bump(&mut summary.counters, name, value, true);
+                    } else {
+                        bump(&mut summary.gauges, name, value, false);
+                    }
+                }
+                "histogram" => {
+                    let name = field(&fields, "name").and_then(Value::as_str).unwrap_or("?");
+                    let (count, sum, max) = (
+                        field_u64(&fields, "count"),
+                        field_u64(&fields, "sum"),
+                        field_u64(&fields, "max"),
+                    );
+                    match summary.histograms.iter_mut().find(|h| h.name == name) {
+                        Some(h) => {
+                            h.count += count;
+                            h.sum += sum;
+                            h.max = h.max.max(max);
+                        }
+                        None => summary.histograms.push(TraceHistogram {
+                            name: name.to_string(),
+                            count,
+                            sum,
+                            max,
+                        }),
+                    }
+                }
+                "injection" => {
+                    let outcome =
+                        field(&fields, "outcome").and_then(Value::as_str).unwrap_or("?");
+                    bump(&mut summary.injections, outcome, 1, true);
+                    summary.injection_us.observe(field_u64(&fields, "dur_us"));
+                }
+                "worker" => summary.workers.push(TraceWorker {
+                    worker: field_u64(&fields, "worker"),
+                    injections: field_u64(&fields, "injections"),
+                    wall_us: field_u64(&fields, "wall_us"),
+                    busy_us: field_u64(&fields, "busy_us"),
+                }),
+                _ => {}
+            }
+        }
+        summary.events.sort();
+        summary.spans.sort_by(|a, b| a.name.cmp(&b.name));
+        summary.counters.sort();
+        summary.gauges.sort();
+        summary.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        summary.injections.sort();
+        summary.workers.sort_by_key(|w| w.worker);
+        Ok(summary)
+    }
+
+    /// Renders the summary as the human-readable `bw stats` report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} records", self.records);
+        if !self.events.is_empty() {
+            out.push_str("events:");
+            for (name, count) in &self.events {
+                let _ = write!(out, "  {name}={count}");
+            }
+            out.push('\n');
+        }
+        let mut snapshot = TelemetrySnapshot::new();
+        for (name, value) in &self.counters {
+            snapshot.push_counter(name.as_str(), *value);
+        }
+        for (name, value) in &self.gauges {
+            snapshot.push_gauge(name.as_str(), *value);
+        }
+        out.push_str(&render_telemetry(&snapshot));
+        if !self.histograms.is_empty() {
+            out.push_str("histogram aggregates:\n");
+            for h in &self.histograms {
+                let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+                let _ = writeln!(
+                    out,
+                    "  {:<28}  count {}  mean {mean:.1}  max {}",
+                    h.name, h.count, h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<28}  count {}  total {} us  mean {:.1} us  max {} us",
+                    s.name, s.dur.count, s.dur.total_us, s.dur.mean_us(), s.dur.max_us
+                );
+            }
+        }
+        if !self.injections.is_empty() {
+            out.push_str("injections:");
+            for (outcome, count) in &self.injections {
+                let _ = write!(out, "  {outcome}={count}");
+            }
+            let _ = writeln!(
+                out,
+                "\n  duration: mean {:.1} us, max {} us over {} runs",
+                self.injection_us.mean_us(),
+                self.injection_us.max_us,
+                self.injection_us.count
+            );
+        }
+        if !self.workers.is_empty() {
+            out.push_str("workers:\n");
+            for w in &self.workers {
+                let _ = writeln!(
+                    out,
+                    "  worker {:<3}  {} injections  wall {} us  busy {} us  {:.1} inj/s",
+                    w.worker, w.injections, w.wall_us, w.busy_us, w.throughput()
+                );
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_summary_aggregates_records() {
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"span","name":"campaign.plan","dur_us":10}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"injection","index":0,"worker":0,"outcome":"sdc","dur_us":100}"#, "\n",
+            r#"{"seq":2,"t_us":3,"ev":"injection","index":1,"worker":0,"outcome":"detected","dur_us":300}"#, "\n",
+            r#"{"seq":3,"t_us":4,"ev":"worker","worker":0,"injections":2,"wall_us":500,"busy_us":400}"#, "\n",
+            r#"{"seq":4,"t_us":5,"ev":"counter","name":"monitor.violations","value":3}"#, "\n",
+            r#"{"seq":5,"t_us":6,"ev":"counter","name":"monitor.violations","value":2}"#, "\n",
+            r#"{"seq":6,"t_us":7,"ev":"gauge","name":"monitor.queue_high_water","value":7}"#, "\n",
+            r#"{"seq":7,"t_us":8,"ev":"histogram","name":"campaign.injection_us","count":2,"sum":400,"max":300}"#, "\n",
+        );
+        let s = TraceSummary::parse(trace).unwrap();
+        assert_eq!(s.records, 8);
+        assert_eq!(s.counters, vec![("monitor.violations".to_string(), 5)]);
+        assert_eq!(s.gauges, vec![("monitor.queue_high_water".to_string(), 7)]);
+        assert_eq!(s.injection_us.count, 2);
+        assert_eq!(s.injection_us.max_us, 300);
+        assert_eq!(s.workers.len(), 1);
+        assert!((s.workers[0].throughput() - 4000.0).abs() < 1e-9);
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].dur.total_us, 10);
+        let rendered = s.render();
+        assert!(rendered.contains("monitor.violations"));
+        assert!(rendered.contains("sdc=1"));
+        assert!(rendered.contains("worker 0"));
+    }
+
+    #[test]
+    fn trace_summary_rejects_garbage_with_line_numbers() {
+        let err = TraceSummary::parse("{\"ev\":\"x\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = TraceSummary::parse("{\"seq\":1}\n").unwrap_err();
+        assert!(err.contains("no `ev`"), "{err}");
+    }
+
+    #[test]
+    fn render_telemetry_lists_all_metric_kinds() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("vm.instructions", 42);
+        s.push_gauge("monitor.queue_high_water", 9);
+        let h = bw_telemetry::Histogram::new();
+        h.observe(5);
+        s.push_histogram("campaign.injection_us", h.snapshot());
+        let text = render_telemetry(&s);
+        assert!(text.contains("vm.instructions"));
+        assert!(text.contains("monitor.queue_high_water"));
+        assert!(text.contains("campaign.injection_us"));
+        assert_eq!(render_telemetry(&TelemetrySnapshot::new()), "(no telemetry recorded)\n");
+    }
 
     #[test]
     fn geomean_basics() {

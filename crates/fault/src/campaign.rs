@@ -20,7 +20,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use bw_telemetry::{
+    tm_event, tm_observe, tm_span, Histogram, Recorder, TelemetrySnapshot, Value, NULL_RECORDER,
+};
 use bw_vm::{
     run_sim, run_sim_with_hook, ProgramImage, RunOutcome, RunResult, SimConfig, SplitMix64,
 };
@@ -55,6 +59,20 @@ pub enum FaultOutcome {
     Masked,
     /// Silent data corruption: completed with wrong output.
     Sdc,
+}
+
+impl FaultOutcome {
+    /// Stable lowercase name, used in telemetry records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::NotActivated => "not_activated",
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::Crashed => "crashed",
+            FaultOutcome::Hung => "hung",
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Sdc => "sdc",
+        }
+    }
 }
 
 /// Aggregate counts of a campaign.
@@ -262,6 +280,34 @@ impl CampaignConfig {
     }
 }
 
+/// Execution statistics of one campaign worker thread.
+///
+/// Which injections land on which worker depends on OS scheduling, so
+/// these statistics (unlike the records and counts) are **not**
+/// deterministic across runs with more than one worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index, `0..nworkers`.
+    pub worker: usize,
+    /// Injections this worker executed.
+    pub injections: u64,
+    /// Wall-clock microseconds from worker start to exit.
+    pub wall_us: u64,
+    /// Microseconds spent inside injection runs (excludes claiming and
+    /// bookkeeping); `wall_us - busy_us` is coordination overhead.
+    pub busy_us: u64,
+}
+
+impl WorkerStats {
+    /// Injections per second over the worker's wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.injections as f64 * 1e6 / self.wall_us as f64
+    }
+}
+
 /// Results of a campaign.
 #[derive(Clone, Debug)]
 #[non_exhaustive]
@@ -278,6 +324,13 @@ pub struct CampaignResult {
     pub branches_per_thread: Vec<u64>,
     /// Whether an early-abort condition was reached.
     pub aborted: bool,
+    /// Per-worker execution statistics, sorted by worker index. Wall-clock
+    /// based, hence nondeterministic (see [`WorkerStats`]).
+    pub worker_stats: Vec<WorkerStats>,
+    /// Telemetry: deterministic `campaign.*` outcome counters, the golden
+    /// run's instruments under a `golden.` prefix, and (with the
+    /// `telemetry` feature) wall-time histograms.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl CampaignResult {
@@ -370,6 +423,15 @@ fn effective_workers(config: &CampaignConfig, njobs: usize) -> usize {
 /// a shared counter. Because a worker checks the stop flag only *before*
 /// claiming, the set of executed indices is always a contiguous prefix of
 /// the plan list — with or without early abort, at any worker count.
+/// Wall-time instruments threaded through the execution stage. Consumed
+/// only by feature-gated macros; the underscore-prefixed bindings keep the
+/// code warning-free when the `telemetry` feature is off.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+struct ExecInstruments<'a> {
+    inj_hist: &'a Histogram,
+    recorder: &'a dyn Recorder,
+}
+
 fn execute_campaign(
     image: &ProgramImage,
     faulty_sim: &SimConfig,
@@ -377,7 +439,8 @@ fn execute_campaign(
     plans: &[InjectionPlan],
     config: &CampaignConfig,
     progress: Option<&ProgressFn<'_>>,
-) -> Vec<(usize, InjectionRecord)> {
+    _instruments: &ExecInstruments<'_>,
+) -> (Vec<(usize, InjectionRecord)>, Vec<WorkerStats>) {
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -388,7 +451,9 @@ fn execute_campaign(
     let collected: Mutex<Vec<(usize, InjectionRecord)>> =
         Mutex::new(Vec::with_capacity(plans.len()));
 
-    let worker = || {
+    let worker = |wid: usize| -> WorkerStats {
+        let started = Instant::now();
+        let mut stats = WorkerStats { worker: wid, ..WorkerStats::default() };
         while !stop.load(Ordering::Relaxed) {
             let index = next.fetch_add(1, Ordering::Relaxed);
             if index >= plans.len() {
@@ -396,8 +461,18 @@ fn execute_campaign(
             }
             let plan = plans[index];
             let mut hook = InjectionHook::new(plan);
+            let run_started = Instant::now();
             let result = run_sim_with_hook(image, faulty_sim, &mut hook);
             let outcome = classify(&result, golden, hook.activated());
+            let run_us = run_started.elapsed().as_micros() as u64;
+            stats.injections += 1;
+            stats.busy_us += run_us;
+            tm_observe!(_instruments.inj_hist, run_us);
+            tm_event!(_instruments.recorder, "injection",
+                "index" => index,
+                "worker" => wid,
+                "outcome" => outcome.name(),
+                "dur_us" => run_us);
             {
                 let mut counts = live_counts.lock().unwrap();
                 counts.add(outcome);
@@ -418,22 +493,28 @@ fn execute_campaign(
                 });
             }
         }
+        stats.wall_us = started.elapsed().as_micros() as u64;
+        stats
     };
 
     let nworkers = effective_workers(config, plans.len());
+    let mut worker_stats = Vec::with_capacity(nworkers);
     if nworkers <= 1 {
-        worker();
+        worker_stats.push(worker(0));
     } else {
         std::thread::scope(|scope| {
             // The closure captures only shared references, so it is `Copy`:
             // every spawn gets its own copy of the same borrows.
-            for _ in 0..nworkers {
-                scope.spawn(worker);
+            let handles: Vec<_> =
+                (0..nworkers).map(|wid| scope.spawn(move || worker(wid))).collect();
+            for handle in handles {
+                worker_stats.push(handle.join().expect("campaign worker panicked"));
             }
         });
     }
+    worker_stats.sort_unstable_by_key(|s| s.worker);
 
-    collected.into_inner().unwrap()
+    (collected.into_inner().unwrap(), worker_stats)
 }
 
 /// Stage 3: merges execution results in injection-index order and applies
@@ -479,13 +560,31 @@ pub fn run_campaign_with(
     config: &CampaignConfig,
     progress: Option<&ProgressFn<'_>>,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_recorded(image, config, progress, &NULL_RECORDER)
+}
+
+/// [`run_campaign_with`] plus a structured-event [`Recorder`]: stage spans
+/// (`campaign.golden`, `campaign.plan`, `campaign.execute`,
+/// `campaign.reduce`), one `injection` event per experiment and one
+/// `worker` event per worker are traced to it. Pass
+/// [`bw_telemetry::JsonlRecorder`] to capture a JSONL trace, or
+/// [`NULL_RECORDER`] for none. Without the `telemetry` feature no events
+/// are emitted at all.
+pub fn run_campaign_recorded(
+    image: &ProgramImage,
+    config: &CampaignConfig,
+    progress: Option<&ProgressFn<'_>>,
+    recorder: &dyn Recorder,
+) -> Result<CampaignResult, CampaignError> {
     if config.sim.nthreads == 0 {
         return Err(CampaignError::NoThreads);
     }
     // Step 1: profile — the golden run records per-thread dynamic branch
     // counts (the paper's PIN profiling run).
+    let span = tm_span!(recorder, "campaign.golden");
     let golden = run_sim(image, &config.sim);
-    run_campaign_with_golden(image, config, &golden, progress)
+    span.finish(&[("total_steps", Value::from(golden.total_steps))]);
+    run_campaign_with_golden_recorded(image, config, &golden, progress, recorder)
 }
 
 /// Runs a campaign against an already-computed golden run (which must come
@@ -496,6 +595,18 @@ pub fn run_campaign_with_golden(
     config: &CampaignConfig,
     golden: &RunResult,
     progress: Option<&ProgressFn<'_>>,
+) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with_golden_recorded(image, config, golden, progress, &NULL_RECORDER)
+}
+
+/// [`run_campaign_with_golden`] with a structured-event [`Recorder`] (see
+/// [`run_campaign_recorded`]).
+pub fn run_campaign_with_golden_recorded(
+    image: &ProgramImage,
+    config: &CampaignConfig,
+    golden: &RunResult,
+    progress: Option<&ProgressFn<'_>>,
+    recorder: &dyn Recorder,
 ) -> Result<CampaignResult, CampaignError> {
     if config.sim.nthreads == 0 {
         return Err(CampaignError::NoThreads);
@@ -519,9 +630,42 @@ pub fn run_campaign_with_golden(
         .clone()
         .max_steps(golden.total_steps.saturating_mul(8).saturating_add(100_000));
 
+    let span = tm_span!(recorder, "campaign.plan");
     let plans = plan_campaign(&golden.branches_per_thread, config);
-    let pairs = execute_campaign(image, &faulty_sim, golden, &plans, config, progress);
+    span.finish(&[("injections", Value::from(plans.len()))]);
+
+    let inj_hist = Histogram::new();
+    let span = tm_span!(recorder, "campaign.execute");
+    let instruments = ExecInstruments { inj_hist: &inj_hist, recorder };
+    let (pairs, worker_stats) =
+        execute_campaign(image, &faulty_sim, golden, &plans, config, progress, &instruments);
+    span.finish(&[("workers", Value::from(worker_stats.len()))]);
+
+    let span = tm_span!(recorder, "campaign.reduce");
     let (records, counts, aborted) = reduce_campaign(pairs, config);
+    span.finish(&[("records", Value::from(records.len()))]);
+
+    let mut telemetry = TelemetrySnapshot::new();
+    telemetry.push_counter("campaign.injections", records.len() as u64);
+    telemetry.push_counter("campaign.outcome.not_activated", counts.not_activated as u64);
+    telemetry.push_counter("campaign.outcome.detected", counts.detected as u64);
+    telemetry.push_counter("campaign.outcome.crashed", counts.crashed as u64);
+    telemetry.push_counter("campaign.outcome.hung", counts.hung as u64);
+    telemetry.push_counter("campaign.outcome.masked", counts.masked as u64);
+    telemetry.push_counter("campaign.outcome.sdc", counts.sdc as u64);
+    telemetry.push_gauge("campaign.workers", worker_stats.len() as u64);
+    telemetry.push_histogram("campaign.injection_us", inj_hist.snapshot());
+    // The golden run's own instruments, prefixed so queue pressure during
+    // the fault-free run can be told apart from campaign costs.
+    telemetry.merge(&golden.telemetry.prefixed("golden."));
+    for _stats in &worker_stats {
+        tm_event!(recorder, "worker",
+            "worker" => _stats.worker,
+            "injections" => _stats.injections,
+            "wall_us" => _stats.wall_us,
+            "busy_us" => _stats.busy_us);
+    }
+    recorder.flush();
 
     Ok(CampaignResult {
         records,
@@ -529,6 +673,8 @@ pub fn run_campaign_with_golden(
         golden_outputs_len: golden.outputs.len(),
         branches_per_thread: golden.branches_per_thread.clone(),
         aborted,
+        worker_stats,
+        telemetry,
     })
 }
 

@@ -48,8 +48,9 @@ mod campaign;
 mod injector;
 
 pub use campaign::{
-    classify, false_positive_runs, plan_campaign, run_campaign, run_campaign_with,
-    run_campaign_with_golden, CampaignConfig, CampaignError, CampaignProgress, CampaignResult,
-    FaultOutcome, InjectionRecord, OutcomeCounts, ProgressFn,
+    classify, false_positive_runs, plan_campaign, run_campaign, run_campaign_recorded,
+    run_campaign_with, run_campaign_with_golden, run_campaign_with_golden_recorded,
+    CampaignConfig, CampaignError, CampaignProgress, CampaignResult, FaultOutcome,
+    InjectionRecord, OutcomeCounts, ProgressFn, WorkerStats,
 };
 pub use injector::{FaultModel, InjectionHook, InjectionPlan};

@@ -16,14 +16,17 @@
 //! Verdicts are identical to the flat monitor's: aggregation is lossless
 //! (every report reaches the root), only batched differently.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use bw_telemetry::{tm_gauge_max, tm_inc, Gauge, TelemetrySnapshot};
 
 use crate::checker::{check_instance, Report};
 use crate::event::BranchEvent;
 use crate::monitor::{CheckTable, Monitor, Violation};
 use crate::spsc::Consumer;
 use crate::table::BranchTable;
+use crate::telemetry::MonitorTelemetry;
 
 /// An aggregated instance forwarded from a sub-monitor to the root.
 #[derive(Clone, Debug)]
@@ -91,6 +94,8 @@ pub struct RootMonitor {
     table: BranchTable,
     violations: Vec<Violation>,
     batches_processed: u64,
+    events_dropped: u64,
+    telemetry: MonitorTelemetry,
 }
 
 impl RootMonitor {
@@ -102,6 +107,8 @@ impl RootMonitor {
             table: BranchTable::new(),
             violations: Vec::new(),
             batches_processed: 0,
+            events_dropped: 0,
+            telemetry: MonitorTelemetry::new(),
         }
     }
 
@@ -118,8 +125,10 @@ impl RootMonitor {
                 complete = Some(reports);
             }
         }
+        tm_gauge_max!(self.telemetry.pending_high_water, self.table.len());
         if let Some(reports) = complete {
             if let Err(vk) = check_instance(kind, &reports) {
+                tm_inc!(self.telemetry.violations_for(kind));
                 self.violations.push(Violation {
                     branch: batch.branch,
                     site: batch.site,
@@ -133,9 +142,14 @@ impl RootMonitor {
 
     /// Checks the remaining partially-reported instances.
     pub fn flush(&mut self) -> usize {
-        for (branch, site, iter, reports) in self.table.drain_pending() {
+        let pending = self.table.drain_pending();
+        tm_inc!(self.telemetry.flush_calls);
+        bw_telemetry::tm_add!(self.telemetry.flush_batch_total, pending.len());
+        tm_gauge_max!(self.telemetry.flush_batch_max, pending.len());
+        for (branch, site, iter, reports) in pending {
             if let Some(kind) = self.checks.kind(branch) {
                 if let Err(vk) = check_instance(kind, &reports) {
+                    tm_inc!(self.telemetry.violations_for(kind));
                     self.violations.push(Violation {
                         branch,
                         site,
@@ -159,6 +173,30 @@ impl RootMonitor {
     pub fn batches_processed(&self) -> u64 {
         self.batches_processed
     }
+
+    /// Sender-side drops folded in at [`HierarchicalMonitorThread::join`].
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Folds sender-side drop counts into this root's accounting.
+    pub fn record_dropped(&mut self, n: u64) {
+        self.events_dropped += n;
+    }
+
+    /// The root's live instruments.
+    pub fn telemetry(&self) -> &MonitorTelemetry {
+        &self.telemetry
+    }
+
+    /// Exports everything this root measured under `monitor.*` names.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut s = self.telemetry.snapshot();
+        s.push_counter("monitor.batches_processed", self.batches_processed);
+        s.push_counter("monitor.events_dropped", self.events_dropped);
+        s.push_counter("monitor.violations", self.violations.len() as u64);
+        s
+    }
 }
 
 /// A two-level monitor tree running on real threads: one OS thread per
@@ -168,6 +206,8 @@ pub struct HierarchicalMonitorThread {
     root_handle: std::thread::JoinHandle<RootMonitor>,
     stop: Arc<AtomicBool>,
     batch_senders_dropped: std::sync::mpsc::Sender<InstanceBatch>,
+    queue_gauge: Arc<Gauge>,
+    drops: Arc<AtomicU64>,
 }
 
 impl HierarchicalMonitorThread {
@@ -183,8 +223,32 @@ impl HierarchicalMonitorThread {
         queues: Vec<Consumer<BranchEvent>>,
         fanout: usize,
     ) -> Self {
+        Self::spawn_with_drop_counter(
+            checks,
+            nthreads,
+            queues,
+            fanout,
+            Arc::new(AtomicU64::new(0)),
+        )
+    }
+
+    /// Like [`HierarchicalMonitorThread::spawn`], but shares `drops` with
+    /// the application threads' [`crate::EventSender`]s; the accumulated
+    /// count is folded into the root at [`HierarchicalMonitorThread::join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn spawn_with_drop_counter(
+        checks: CheckTable,
+        nthreads: usize,
+        queues: Vec<Consumer<BranchEvent>>,
+        fanout: usize,
+        drops: Arc<AtomicU64>,
+    ) -> Self {
         assert!(fanout > 0, "fanout must be positive");
         let stop = Arc::new(AtomicBool::new(false));
+        let queue_gauge = Arc::new(Gauge::new());
         let (batch_tx, batch_rx) = std::sync::mpsc::channel::<InstanceBatch>();
 
         let mut handles = Vec::new();
@@ -195,14 +259,21 @@ impl HierarchicalMonitorThread {
             let group: Vec<Consumer<BranchEvent>> = queues.drain(..take).collect();
             let tx = batch_tx.clone();
             let stop2 = Arc::clone(&stop);
+            let gauge = Arc::clone(&queue_gauge);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("bw-submonitor-{group_index}"))
                     .spawn(move || {
+                        // The shared gauge keeps the worst queue occupancy
+                        // seen by any sub-monitor; `join` folds it into the
+                        // root's telemetry. With the feature off the binding
+                        // is only kept alive, never read.
+                        let _gauge = gauge;
                         let mut sub = SubMonitor::new(group.len());
                         loop {
                             let mut drained = false;
                             for q in &group {
+                                tm_gauge_max!(_gauge, q.len());
                                 while let Some(event) = q.pop() {
                                     drained = true;
                                     if let Some(batch) = sub.process(event) {
@@ -251,6 +322,8 @@ impl HierarchicalMonitorThread {
             root_handle,
             stop,
             batch_senders_dropped: batch_tx,
+            queue_gauge,
+            drops,
         }
     }
 
@@ -274,7 +347,11 @@ impl HierarchicalMonitorThread {
             let _ = self.batch_senders_dropped.send(batch);
         }
         drop(self.batch_senders_dropped);
-        let root = self.root_handle.join().expect("root monitor panicked");
+        let mut root = self.root_handle.join().expect("root monitor panicked");
+        root.telemetry()
+            .queue_high_water
+            .record_max(self.queue_gauge.get());
+        root.record_dropped(self.drops.load(Ordering::Acquire));
         (root, total_events)
     }
 }

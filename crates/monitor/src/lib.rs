@@ -40,6 +40,7 @@ mod hierarchy;
 mod monitor;
 mod spsc;
 mod table;
+mod telemetry;
 
 pub use checker::{check_instance, Report, ViolationKind};
 pub use hierarchy::{
@@ -49,3 +50,4 @@ pub use event::{hash_words, BranchEvent, KeyHasher};
 pub use monitor::{CheckTable, EventSender, Monitor, MonitorThread, Violation};
 pub use spsc::{spsc_queue, Consumer, Producer, QueueFull};
 pub use table::{BranchTable, Instance};
+pub use telemetry::MonitorTelemetry;

@@ -7,16 +7,18 @@
 //! that polls until all producers disconnect, exactly like the paper's
 //! asynchronous monitor thread.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bw_analysis::{CheckKind, CheckPlan};
+use bw_telemetry::{tm_add, tm_gauge_max, tm_inc, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::checker::{check_instance, Report, ViolationKind};
 use crate::event::BranchEvent;
 use crate::spsc::{Consumer, Producer, QueueFull};
 use crate::table::BranchTable;
+use crate::telemetry::MonitorTelemetry;
 
 /// A detected similarity violation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,6 +83,8 @@ pub struct Monitor {
     table: BranchTable,
     violations: Vec<Violation>,
     events_processed: u64,
+    events_dropped: u64,
+    telemetry: MonitorTelemetry,
 }
 
 impl Monitor {
@@ -93,6 +97,8 @@ impl Monitor {
             table: BranchTable::new(),
             violations: Vec::new(),
             events_processed: 0,
+            events_dropped: 0,
+            telemetry: MonitorTelemetry::new(),
         }
     }
 
@@ -109,13 +115,18 @@ impl Monitor {
         {
             self.check(kind, event.branch, event.site, event.iter, &reports);
         }
+        tm_gauge_max!(self.telemetry.pending_high_water, self.table.len());
     }
 
     /// Checks every instance that has not reached `nthreads` reporters
     /// (executed at the end of the parallel phase). Returns the total number
     /// of violations found so far.
     pub fn flush(&mut self) -> usize {
-        for (branch, site, iter, reports) in self.table.drain_pending() {
+        let pending = self.table.drain_pending();
+        tm_inc!(self.telemetry.flush_calls);
+        tm_add!(self.telemetry.flush_batch_total, pending.len());
+        tm_gauge_max!(self.telemetry.flush_batch_max, pending.len());
+        for (branch, site, iter, reports) in pending {
             if let Some(kind) = self.checks.kind(branch) {
                 self.check(kind, branch, site, iter, &reports);
             }
@@ -125,6 +136,7 @@ impl Monitor {
 
     fn check(&mut self, kind: CheckKind, branch: u32, site: u64, iter: u64, reports: &[Report]) {
         if let Err(vk) = check_instance(kind, reports) {
+            tm_inc!(self.telemetry.violations_for(kind));
             self.violations.push(Violation {
                 branch,
                 site,
@@ -154,6 +166,36 @@ impl Monitor {
     pub fn pending_instances(&self) -> usize {
         self.table.len()
     }
+
+    /// Events the application threads had to drop because this monitor
+    /// could not keep up (aggregated from every [`EventSender`] when the
+    /// monitor is driven through [`MonitorThread`]).
+    ///
+    /// A nonzero value means verdicts may have missed violations — the
+    /// paper's zero-false-negative claim only holds when this is zero.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Folds sender-side drop counts into this monitor's accounting.
+    pub fn record_dropped(&mut self, n: u64) {
+        self.events_dropped += n;
+    }
+
+    /// The monitor's live instruments.
+    pub fn telemetry(&self) -> &MonitorTelemetry {
+        &self.telemetry
+    }
+
+    /// Exports everything this monitor measured under `monitor.*` names.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut s = self.telemetry.snapshot();
+        s.push_counter("monitor.events_processed", self.events_processed);
+        s.push_counter("monitor.events_dropped", self.events_dropped);
+        s.push_counter("monitor.violations", self.violations.len() as u64);
+        s.push_gauge("monitor.pending_instances", self.table.len() as u64);
+        s
+    }
 }
 
 /// A sending endpoint one application thread uses. Pushes spin briefly when
@@ -162,14 +204,33 @@ impl Monitor {
 #[derive(Debug)]
 pub struct EventSender {
     producer: Producer<BranchEvent>,
+    sent: u64,
     dropped: u64,
     spin_budget: u32,
+    /// Shared sink the local drop count is flushed into when the sender
+    /// goes away, so the total survives the sender's lifetime (see
+    /// [`MonitorThread::spawn_with_drop_counter`]).
+    drop_sink: Option<Arc<AtomicU64>>,
 }
 
 impl EventSender {
     /// Wraps a queue producer.
     pub fn new(producer: Producer<BranchEvent>) -> Self {
-        EventSender { producer, dropped: 0, spin_budget: 1024 }
+        EventSender { producer, sent: 0, dropped: 0, spin_budget: 1024, drop_sink: None }
+    }
+
+    /// Wraps a queue producer and flushes this sender's drop count into
+    /// `sink` when the sender is dropped. Before this existed, drop
+    /// counts died with their sender — a monitor that fell behind looked
+    /// indistinguishable from one that kept up.
+    pub fn with_drop_counter(producer: Producer<BranchEvent>, sink: Arc<AtomicU64>) -> Self {
+        EventSender {
+            producer,
+            sent: 0,
+            dropped: 0,
+            spin_budget: 1024,
+            drop_sink: Some(sink),
+        }
     }
 
     /// Sends an event, spinning briefly if the queue is full; drops the
@@ -178,7 +239,10 @@ impl EventSender {
         let mut ev = event;
         for _ in 0..self.spin_budget {
             match self.producer.push(ev) {
-                Ok(()) => return,
+                Ok(()) => {
+                    self.sent += 1;
+                    return;
+                }
                 Err(QueueFull(back)) => {
                     ev = back;
                     std::hint::spin_loop();
@@ -188,9 +252,24 @@ impl EventSender {
         self.dropped += 1;
     }
 
+    /// Events successfully enqueued by this sender.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
     /// Events dropped due to sustained queue overflow.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+}
+
+impl Drop for EventSender {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.drop_sink {
+            if self.dropped > 0 {
+                sink.fetch_add(self.dropped, Ordering::AcqRel);
+            }
+        }
     }
 }
 
@@ -200,11 +279,27 @@ impl EventSender {
 pub struct MonitorThread {
     handle: std::thread::JoinHandle<Monitor>,
     stop: Arc<AtomicBool>,
+    drops: Arc<AtomicU64>,
 }
 
 impl MonitorThread {
-    /// Spawns the monitor thread.
+    /// Spawns the monitor thread with a private drop counter; pair the
+    /// producers with [`EventSender::new`] (no senders report drops into
+    /// this monitor) or use [`MonitorThread::spawn_with_drop_counter`].
     pub fn spawn(checks: CheckTable, nthreads: usize, queues: Vec<Consumer<BranchEvent>>) -> Self {
+        Self::spawn_with_drop_counter(checks, nthreads, queues, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Spawns the monitor thread sharing `drops` with the application
+    /// threads' senders (created via [`EventSender::with_drop_counter`]).
+    /// At [`MonitorThread::join`] the accumulated count is folded into
+    /// the returned monitor's [`Monitor::events_dropped`].
+    pub fn spawn_with_drop_counter(
+        checks: CheckTable,
+        nthreads: usize,
+        queues: Vec<Consumer<BranchEvent>>,
+        drops: Arc<AtomicU64>,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -215,6 +310,7 @@ impl MonitorThread {
                     let mut drained_any = false;
                     // Round-robin over the per-thread front-end queues.
                     for q in &queues {
+                        tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
                         while let Some(event) = q.pop() {
                             monitor.process(event);
                             drained_any = true;
@@ -229,6 +325,7 @@ impl MonitorThread {
                 }
                 // Producers are done: one final sweep, then flush.
                 for q in &queues {
+                    tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
                     while let Some(event) = q.pop() {
                         monitor.process(event);
                     }
@@ -237,18 +334,22 @@ impl MonitorThread {
                 monitor
             })
             .expect("spawn monitor thread");
-        MonitorThread { handle, stop }
+        MonitorThread { handle, stop, drops }
     }
 
     /// Signals the monitor to finish once the queues are empty and returns
-    /// the final monitor state.
+    /// the final monitor state, with every sender's drop count folded in
+    /// (callers must drop or join the sending threads first so the counts
+    /// have been flushed).
     ///
     /// # Panics
     ///
     /// Panics if the monitor thread itself panicked.
     pub fn join(self) -> Monitor {
         self.stop.store(true, Ordering::Release);
-        self.handle.join().expect("monitor thread panicked")
+        let mut monitor = self.handle.join().expect("monitor thread panicked");
+        monitor.record_dropped(self.drops.load(Ordering::Acquire));
+        monitor
     }
 }
 

@@ -103,6 +103,11 @@ impl<T> Producer<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The fixed capacity this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len() - 1
+    }
 }
 
 impl<T> Consumer<T> {
@@ -128,6 +133,11 @@ impl<T> Consumer<T> {
     /// Whether the queue looks empty (racy, for diagnostics).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The fixed capacity this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len() - 1
     }
 }
 

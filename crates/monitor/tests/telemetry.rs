@@ -1,0 +1,181 @@
+//! Regression tests for the monitor's telemetry accounting:
+//!
+//! * queue-occupancy / pending-instance high-water marks are monotone and
+//!   consistent with `events_processed`;
+//! * flush batch accounting matches what `flush` actually drained;
+//! * sender-side drop counts survive the sender (the `EventSender` drop
+//!   aggregation bugfix) and surface on the joined `Monitor`.
+//!
+//! All strict value assertions are conditioned on the `telemetry` feature
+//! (without it the gated instruments legitimately read zero); the
+//! drop-count aggregation is correctness data and is asserted
+//! unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bw_analysis::CheckKind;
+use bw_monitor::{spsc_queue, BranchEvent, CheckTable, EventSender, Monitor, MonitorThread};
+
+const TELEMETRY: bool = cfg!(feature = "telemetry");
+
+fn checks() -> CheckTable {
+    CheckTable::from_kinds(vec![Some(CheckKind::SharedUniform)])
+}
+
+fn ev(thread: u32, iter: u64, witness: u64) -> BranchEvent {
+    BranchEvent { branch: 0, thread, site: 0, iter, witness, taken: true }
+}
+
+/// Feeding a passive monitor event by event, the pending-table high-water
+/// gauge never decreases and never exceeds the events processed so far.
+#[test]
+fn pending_high_water_is_monotone_and_bounded() {
+    let nthreads = 4;
+    let mut m = Monitor::new(checks(), nthreads);
+    let mut last_high_water = 0u64;
+    let mut fed = 0u64;
+    // Interleave 3 of 4 threads over many instances so the pending table
+    // keeps growing: no instance ever completes.
+    for iter in 0..50u64 {
+        for t in 0..3u32 {
+            m.process(ev(t, iter, iter));
+            fed += 1;
+            let hw = m.telemetry().pending_high_water.get();
+            assert!(hw >= last_high_water, "high water went backwards");
+            assert!(hw <= fed, "high water {hw} exceeds events processed {fed}");
+            last_high_water = hw;
+        }
+    }
+    assert_eq!(m.events_processed(), fed);
+    if TELEMETRY {
+        // Every instance stays pending, so the mark must have reached the
+        // full instance count.
+        assert_eq!(last_high_water, 50);
+        assert_eq!(m.pending_instances(), 50);
+    } else {
+        assert_eq!(last_high_water, 0);
+    }
+}
+
+/// `flush` accounting agrees with what it drained, and drained instances
+/// are consistent with `events_processed`.
+#[test]
+fn flush_batches_match_drained_instances() {
+    let nthreads = 4;
+    let mut m = Monitor::new(checks(), nthreads);
+    // 10 complete instances (checked eagerly, not flushed) …
+    for iter in 0..10u64 {
+        for t in 0..4u32 {
+            m.process(ev(t, iter, 7));
+        }
+    }
+    // … plus 5 partial ones that only flush can resolve.
+    for iter in 100..105u64 {
+        m.process(ev(0, iter, 7));
+        m.process(ev(1, iter, 7));
+    }
+    let pending_before = m.pending_instances() as u64;
+    assert_eq!(pending_before, 5);
+    m.flush();
+    assert_eq!(m.pending_instances(), 0);
+    let t = m.telemetry();
+    if TELEMETRY {
+        assert_eq!(t.flush_calls.get(), 1);
+        assert_eq!(t.flush_batch_total.get(), pending_before);
+        assert_eq!(t.flush_batch_max.get(), pending_before);
+        // Flushed instances can never outnumber processed events.
+        assert!(t.flush_batch_total.get() <= m.events_processed());
+        // A second flush with nothing pending adds an empty batch.
+        let total_before = t.flush_batch_total.get();
+        m.flush();
+        let t = m.telemetry();
+        assert_eq!(t.flush_calls.get(), 2);
+        assert_eq!(t.flush_batch_total.get(), total_before);
+    } else {
+        assert_eq!(t.flush_calls.get(), 0);
+        assert_eq!(t.flush_batch_total.get(), 0);
+    }
+}
+
+/// The monitor thread's queue high-water mark stays within the physical
+/// queue capacity and is consistent with the event totals.
+#[test]
+fn queue_high_water_is_bounded_by_capacity() {
+    let nthreads = 2;
+    let capacity = 64;
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for _ in 0..nthreads {
+        let (p, c) = spsc_queue(capacity);
+        producers.push(EventSender::new(p));
+        consumers.push(c);
+    }
+    // Pre-fill the queues before the monitor exists so the first drain
+    // pass observes a known occupancy.
+    for (t, sender) in producers.iter_mut().enumerate() {
+        for iter in 0..(capacity as u64) {
+            sender.send(ev(t as u32, iter, 1));
+        }
+        assert_eq!(sender.dropped(), 0);
+        assert_eq!(sender.sent(), capacity as u64);
+    }
+    let monitor = MonitorThread::spawn(checks(), nthreads, consumers);
+    drop(producers);
+    let monitor = monitor.join();
+    assert_eq!(monitor.events_processed(), (nthreads * capacity) as u64);
+    let hw = monitor.telemetry().queue_high_water.get();
+    assert!(hw <= capacity as u64, "high water {hw} exceeds capacity {capacity}");
+    assert!(hw <= monitor.events_processed());
+    if TELEMETRY {
+        // The queues were full before the monitor started draining.
+        assert_eq!(hw, capacity as u64);
+    } else {
+        assert_eq!(hw, 0);
+    }
+}
+
+/// Per-check-kind violation tallies agree with the violation list.
+#[test]
+fn violation_tallies_match_violations() {
+    let nthreads = 2;
+    let mut m = Monitor::new(checks(), nthreads);
+    for iter in 0..8u64 {
+        let witness = if iter % 2 == 0 { 1 } else { 2 };
+        m.process(ev(0, iter, 1));
+        m.process(ev(1, iter, witness)); // odd iters mismatch
+    }
+    m.flush();
+    assert_eq!(m.violations().len(), 4);
+    if TELEMETRY {
+        assert_eq!(m.telemetry().violations_shared_uniform.get(), 4);
+        assert_eq!(m.snapshot().counter("monitor.violations.shared_uniform"), Some(4));
+    }
+    assert_eq!(m.snapshot().counter("monitor.violations"), Some(4));
+}
+
+/// Bugfix regression: a sender dropped (thread exit) after overflowing its
+/// queue must not take its drop count with it — the joined monitor sees it.
+#[test]
+fn dropped_events_survive_the_sender() {
+    let drops = Arc::new(AtomicU64::new(0));
+    let (p, c) = spsc_queue(4);
+    let mut sender = EventSender::with_drop_counter(p, Arc::clone(&drops));
+    // No consumer is draining yet: capacity 4, so sends 5..=7 must drop
+    // after the spin budget.
+    for iter in 0..7u64 {
+        sender.send(ev(0, iter, 1));
+    }
+    assert_eq!(sender.sent(), 4);
+    assert_eq!(sender.dropped(), 3);
+    assert_eq!(drops.load(Ordering::Acquire), 0, "flushed only on drop");
+    drop(sender);
+    assert_eq!(drops.load(Ordering::Acquire), 3);
+
+    // The monitor spawned over the same drop counter reports the loss.
+    let monitor = MonitorThread::spawn_with_drop_counter(checks(), 1, vec![c], drops);
+    let monitor = monitor.join();
+    assert_eq!(monitor.events_dropped(), 3);
+    assert_eq!(monitor.events_processed(), 4);
+    assert_eq!(monitor.snapshot().counter("monitor.events_dropped"), Some(3));
+}

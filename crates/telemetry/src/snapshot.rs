@@ -1,0 +1,294 @@
+//! Plain-data snapshots of a run's metrics.
+//!
+//! A [`TelemetrySnapshot`] is the export format every layer (VM, monitor,
+//! campaign engine, pipeline) hands upward: named counters, gauges and
+//! histogram snapshots, detached from the atomics they were read from.
+//! Snapshots merge (for fan-in across workers or layers) and prefix (so
+//! `vm.` / `monitor.` / `campaign.` namespaces stay disjoint).
+
+use crate::json::{write_json_object, Value};
+use crate::metrics::HistogramSnapshot;
+use crate::recorder::Recorder;
+
+/// Named metric values captured at a point in time.
+///
+/// Counters and gauges are deterministic for a deterministic run (same
+/// seed ⇒ same values); histograms may hold wall-clock timings and are
+/// therefore excluded from determinism comparisons.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, u64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds (or accumulates into) a counter.
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        let name = name.into();
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += value,
+            None => self.counters.push((name, value)),
+        }
+    }
+
+    /// Adds (or raises) a gauge; merging keeps the maximum, matching the
+    /// high-water semantics of [`crate::Gauge::record_max`].
+    pub fn push_gauge(&mut self, name: impl Into<String>, value: u64) {
+        let name = name.into();
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = (*v).max(value),
+            None => self.gauges.push((name, value)),
+        }
+    }
+
+    /// Adds (or folds into) a histogram snapshot.
+    pub fn push_histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) {
+        let name = name.into();
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => merge_histograms(h, &snap),
+            None => self.histograms.push((name, snap)),
+        }
+    }
+
+    /// Counter entries, in insertion order.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// Gauge entries, in insertion order.
+    pub fn gauges(&self) -> &[(String, u64)] {
+        &self.gauges
+    }
+
+    /// Histogram entries, in insertion order.
+    pub fn histograms(&self) -> &[(String, HistogramSnapshot)] {
+        &self.histograms
+    }
+
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Folds `other` into `self`: counters add, gauges keep the max,
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (n, v) in &other.counters {
+            self.push_counter(n.clone(), *v);
+        }
+        for (n, v) in &other.gauges {
+            self.push_gauge(n.clone(), *v);
+        }
+        for (n, h) in &other.histograms {
+            self.push_histogram(n.clone(), h.clone());
+        }
+    }
+
+    /// Returns a copy with `prefix` prepended to every metric name
+    /// (`prefix` should include its trailing separator, e.g. `"vm."`).
+    pub fn prefixed(&self, prefix: &str) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (format!("{prefix}{n}"), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| (format!("{prefix}{n}"), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (format!("{prefix}{n}"), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// The deterministic subset (counters and gauges only), for
+    /// same-seed reproducibility comparisons.
+    pub fn deterministic_part(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Emits every metric to `recorder` as `counter` / `gauge` /
+    /// `histogram` records.
+    pub fn record_to(&self, recorder: &dyn Recorder) {
+        for (n, v) in &self.counters {
+            recorder.record(
+                "counter",
+                &[("name", Value::from(n.as_str())), ("value", Value::U64(*v))],
+            );
+        }
+        for (n, v) in &self.gauges {
+            recorder.record(
+                "gauge",
+                &[("name", Value::from(n.as_str())), ("value", Value::U64(*v))],
+            );
+        }
+        for (n, h) in &self.histograms {
+            recorder.record(
+                "histogram",
+                &[
+                    ("name", Value::from(n.as_str())),
+                    ("count", Value::U64(h.count)),
+                    ("sum", Value::U64(h.sum)),
+                    ("max", Value::U64(h.max)),
+                ],
+            );
+        }
+    }
+
+    /// Renders the whole snapshot as one flat JSON object; histogram
+    /// aggregates appear as `<name>.count` / `.sum` / `.max` keys.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        for (n, v) in &self.counters {
+            fields.push((n.clone(), Value::U64(*v)));
+        }
+        for (n, v) in &self.gauges {
+            fields.push((n.clone(), Value::U64(*v)));
+        }
+        for (n, h) in &self.histograms {
+            fields.push((format!("{n}.count"), Value::U64(h.count)));
+            fields.push((format!("{n}.sum"), Value::U64(h.sum)));
+            fields.push((format!("{n}.max"), Value::U64(h.max)));
+        }
+        let borrowed: Vec<(&str, Value)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        let mut out = String::new();
+        write_json_object(&mut out, &borrowed);
+        out
+    }
+}
+
+fn merge_histograms(into: &mut HistogramSnapshot, from: &HistogramSnapshot) {
+    into.count += from.count;
+    into.sum = into.sum.wrapping_add(from.sum);
+    into.max = into.max.max(from.max);
+    for &(bound, n) in &from.buckets {
+        match into.buckets.binary_search_by_key(&bound, |&(b, _)| b) {
+            Ok(i) => into.buckets[i].1 += n,
+            Err(i) => into.buckets.insert(i, (bound, n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat_object;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn counters_accumulate_and_gauges_take_max() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("events", 3);
+        s.push_counter("events", 4);
+        s.push_gauge("high_water", 9);
+        s.push_gauge("high_water", 5);
+        assert_eq!(s.counter("events"), Some(7));
+        assert_eq!(s.gauge("high_water"), Some(9));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_and_prefix_compose() {
+        let mut a = TelemetrySnapshot::new();
+        a.push_counter("sends", 10);
+        a.push_gauge("depth", 4);
+        let mut b = TelemetrySnapshot::new();
+        b.push_counter("sends", 5);
+        b.push_gauge("depth", 2);
+        a.merge(&b);
+        let p = a.prefixed("vm.");
+        assert_eq!(p.counter("vm.sends"), Some(15));
+        assert_eq!(p.gauge("vm.depth"), Some(4));
+        assert!(p.counter("sends").is_none());
+    }
+
+    #[test]
+    fn histograms_merge_bucketwise() {
+        let h = Histogram::new();
+        h.observe(1);
+        h.observe(6);
+        let mut a = TelemetrySnapshot::new();
+        a.push_histogram("lat", h.snapshot());
+        let h2 = Histogram::new();
+        h2.observe(6);
+        h2.observe(100);
+        a.push_histogram("lat", h2.snapshot());
+        let m = a.histogram("lat").unwrap();
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, 113);
+        assert_eq!(m.max, 100);
+        assert_eq!(m.buckets, vec![(1, 1), (7, 2), (127, 1)]);
+    }
+
+    #[test]
+    fn deterministic_part_drops_histograms() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("c", 1);
+        let h = Histogram::new();
+        h.observe(123);
+        s.push_histogram("timing", h.snapshot());
+        let d = s.deterministic_part();
+        assert_eq!(d.counter("c"), Some(1));
+        assert!(d.histograms().is_empty());
+    }
+
+    #[test]
+    fn to_json_is_parseable() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("c", 2);
+        s.push_gauge("g", 3);
+        let h = Histogram::new();
+        h.observe(8);
+        s.push_histogram("h", h.snapshot());
+        let parsed = parse_flat_object(&s.to_json()).unwrap();
+        let get = |k: &str| {
+            parsed
+                .iter()
+                .find(|(n, _)| n == k)
+                .and_then(|(_, v)| v.as_u64())
+        };
+        assert_eq!(get("c"), Some(2));
+        assert_eq!(get("g"), Some(3));
+        assert_eq!(get("h.count"), Some(1));
+        assert_eq!(get("h.sum"), Some(8));
+    }
+}

@@ -28,6 +28,28 @@ pub struct BranchRuntime {
     pub cond_info: ConditionInfo,
 }
 
+/// Wall-clock microseconds spent in each preparation stage, reported by
+/// [`ProgramImage::try_prepare_timed`]. Timings are host wall-clock and
+/// therefore excluded from the telemetry determinism contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepareTimings {
+    /// IR verification.
+    pub verify_us: u64,
+    /// Similarity analysis ([`ModuleAnalysis::run`]).
+    pub analyze_us: u64,
+    /// Instrumentation planning ([`CheckPlan::build`]).
+    pub instrument_us: u64,
+    /// Runtime-metadata linking (CFG/dominators/loops, branch tables).
+    pub link_us: u64,
+}
+
+impl PrepareTimings {
+    /// Total preparation time across all stages.
+    pub fn total_us(&self) -> u64 {
+        self.verify_us + self.analyze_us + self.instrument_us + self.link_us
+    }
+}
+
 /// A fully analyzed, instrumented program ready to execute.
 #[derive(Debug)]
 pub struct ProgramImage {
@@ -63,10 +85,30 @@ impl ProgramImage {
     /// Analyzes and instruments `module` with `config`, returning the
     /// verifier's error instead of panicking when the module is malformed.
     pub fn try_prepare(module: Module, config: AnalysisConfig) -> Result<ProgramImage, VerifyError> {
-        bw_ir::verify_module(&module)?;
-        let analysis = ModuleAnalysis::run(&module);
-        let plan = CheckPlan::build(&module, &analysis, config);
+        Self::try_prepare_timed(module, config).map(|(image, _)| image)
+    }
 
+    /// Like [`ProgramImage::try_prepare`], but also reports how long each
+    /// preparation stage took (wall-clock; for telemetry, not for any
+    /// deterministic comparison).
+    pub fn try_prepare_timed(
+        module: Module,
+        config: AnalysisConfig,
+    ) -> Result<(ProgramImage, PrepareTimings), VerifyError> {
+        let mut timings = PrepareTimings::default();
+        let t0 = std::time::Instant::now();
+        bw_ir::verify_module(&module)?;
+        timings.verify_us = t0.elapsed().as_micros() as u64;
+
+        let t1 = std::time::Instant::now();
+        let analysis = ModuleAnalysis::run(&module);
+        timings.analyze_us = t1.elapsed().as_micros() as u64;
+
+        let t2 = std::time::Instant::now();
+        let plan = CheckPlan::build(&module, &analysis, config);
+        timings.instrument_us = t2.elapsed().as_micros() as u64;
+
+        let t3 = std::time::Instant::now();
         let mut func_meta = Vec::with_capacity(module.funcs.len());
         for func in &module.funcs {
             let cfg = Cfg::new(func);
@@ -92,7 +134,10 @@ impl ProgramImage {
             branch_runtime.push(BranchRuntime { witnesses, cond_info });
         }
 
-        Ok(ProgramImage { module, analysis, plan, func_meta, branch_at, branch_runtime })
+        timings.link_us = t3.elapsed().as_micros() as u64;
+
+        let image = ProgramImage { module, analysis, plan, func_meta, branch_at, branch_runtime };
+        Ok((image, timings))
     }
 
     /// Prepares with the default (paper) configuration.

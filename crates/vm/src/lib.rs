@@ -42,10 +42,12 @@ mod machine;
 mod memory;
 mod real;
 mod sim;
+mod telemetry;
 mod thread;
 mod trap;
 
-pub use image::{BranchRuntime, FuncMeta, ProgramImage};
+pub use image::{BranchRuntime, FuncMeta, PrepareTimings, ProgramImage};
+pub use telemetry::VmTelemetry;
 pub use machine::MachineModel;
 pub use memory::{AtomicMemory, LocalMemory, SharedMemory, SimMemory};
 pub use real::{run_real, RealConfig, RealResult};

@@ -8,12 +8,14 @@
 //! drains, and memory is genuinely shared. Used for the false-positive
 //! experiments and as a sanity check that the lock-free machinery works.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Condvar, Mutex};
 
 use bw_monitor::{
     spsc_queue, CheckTable, EventSender, HierarchicalMonitorThread, MonitorThread, Violation,
 };
 use bw_ir::Val;
+use bw_telemetry::TelemetrySnapshot;
 
 use crate::image::ProgramImage;
 use crate::memory::AtomicMemory;
@@ -63,8 +65,15 @@ pub struct RealResult {
     pub violations: Vec<Violation>,
     /// Events the monitor side processed.
     pub events_processed: u64,
-    /// Events dropped because a queue stayed full.
+    /// Events dropped because a queue stayed full, aggregated from every
+    /// sender through the shared drop counter (so counts survive worker
+    /// threads that exit early). Nonzero means the monitor fell behind and
+    /// verdicts may have missed violations.
     pub events_dropped: u64,
+    /// `monitor.*` instruments from the monitor (queue high-water marks,
+    /// flush batches, per-check-kind violation tallies) plus `vm.*` send
+    /// counts from the workers.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl RealResult {
@@ -80,16 +89,28 @@ enum AnyMonitor {
 }
 
 impl AnyMonitor {
-    fn join(self) -> (Vec<Violation>, u64) {
+    /// Joins the monitor side: `(violations, events processed, events
+    /// dropped, monitor telemetry)`.
+    fn join(self) -> (Vec<Violation>, u64, u64, TelemetrySnapshot) {
         match self {
             AnyMonitor::Flat(m) => {
                 let monitor = m.join();
                 let events = monitor.events_processed();
-                (monitor.violations().to_vec(), events)
+                (
+                    monitor.violations().to_vec(),
+                    events,
+                    monitor.events_dropped(),
+                    monitor.snapshot(),
+                )
             }
             AnyMonitor::Tree(t) => {
                 let (root, events) = t.join();
-                (root.violations().to_vec(), events)
+                (
+                    root.violations().to_vec(),
+                    events,
+                    root.events_dropped(),
+                    root.snapshot(),
+                )
             }
         }
     }
@@ -150,6 +171,7 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
                         violations: Vec::new(),
                         events_processed: 0,
                         events_dropped: 0,
+                        telemetry: TelemetrySnapshot::new(),
                     }
                 }
             }
@@ -160,6 +182,7 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
                     violations: Vec::new(),
                     events_processed: 0,
                     events_dropped: 0,
+                    telemetry: TelemetrySnapshot::new(),
                 };
             }
         }
@@ -173,24 +196,30 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
         (0..image.module.num_barriers).map(|_| std::sync::Barrier::new(n as usize)).collect(),
     );
 
+    // One drop counter shared by every sender and the monitor: each sender
+    // flushes its drop count into it when it goes away (even on early
+    // thread exit), and the joined monitor folds in the total.
+    let drops = Arc::new(AtomicU64::new(0));
     let mut producers = Vec::new();
     let mut consumers = Vec::new();
     for _ in 0..n {
         let (p, c) = spsc_queue(config.queue_capacity);
-        producers.push(EventSender::new(p));
+        producers.push(EventSender::with_drop_counter(p, Arc::clone(&drops)));
         consumers.push(c);
     }
     let monitor = match config.hierarchy_fanout {
-        Some(fanout) => AnyMonitor::Tree(HierarchicalMonitorThread::spawn(
+        Some(fanout) => AnyMonitor::Tree(HierarchicalMonitorThread::spawn_with_drop_counter(
             CheckTable::from_plan(&image.plan),
             n as usize,
             consumers,
             fanout,
+            Arc::clone(&drops),
         )),
-        None => AnyMonitor::Flat(MonitorThread::spawn(
+        None => AnyMonitor::Flat(MonitorThread::spawn_with_drop_counter(
             CheckTable::from_plan(&image.plan),
             n as usize,
             consumers,
+            Arc::clone(&drops),
         )),
     };
 
@@ -207,9 +236,9 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
             let seed = config.seed;
             std::thread::Builder::new()
                 .name(format!("bw-worker-{tid}"))
-                .spawn(move || -> (Vec<Val>, Result<(), TrapKind>, u64, bool) {
+                .spawn(move || -> (Vec<Val>, Result<(), TrapKind>, u64, u64, bool) {
                     let Some(entry) = entry else {
-                        return (Vec::new(), Ok(()), 0, false);
+                        return (Vec::new(), Ok(()), 0, 0, false);
                     };
                     let mut t = ThreadState::new(tid as u32, entry, &image, seed);
                     let mut hung = false;
@@ -237,19 +266,23 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
                             StepOutcome::Trap(k) => break Err(k),
                         }
                     };
-                    (t.outputs, result, sender.dropped(), hung)
+                    // Dropping the sender here flushes its drop count into
+                    // the shared counter the monitor reads at join.
+                    (t.outputs, result, sender.sent(), t.steps, hung)
                 })
                 .expect("spawn worker")
         })
         .collect();
 
     let mut outcome = RunOutcome::Completed;
-    let mut events_dropped = 0;
-    for handle in handles {
-        let (mut thread_outputs, result, dropped, hung) =
+    let mut telemetry = TelemetrySnapshot::new();
+    let mut events_sent = 0u64;
+    for (tid, handle) in handles.into_iter().enumerate() {
+        let (mut thread_outputs, result, sent, steps, hung) =
             handle.join().expect("worker panicked");
         outputs.append(&mut thread_outputs);
-        events_dropped += dropped;
+        events_sent += sent;
+        telemetry.push_counter(format!("vm.thread.{tid}.steps"), steps);
         match result {
             Ok(()) if hung && outcome == RunOutcome::Completed => outcome = RunOutcome::Hung,
             Ok(()) => {}
@@ -260,7 +293,9 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
             }
         }
     }
-    let (violations, events_processed) = monitor.join();
+    let (violations, events_processed, events_dropped, monitor_telemetry) = monitor.join();
+    telemetry.push_counter("vm.events_sent", events_sent);
+    telemetry.merge(&monitor_telemetry);
 
     // Phase 3: fini.
     if outcome == RunOutcome::Completed {
@@ -287,7 +322,7 @@ pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
         }
     }
 
-    RealResult { outcome, outputs, violations, events_processed, events_dropped }
+    RealResult { outcome, outputs, violations, events_processed, events_dropped, telemetry }
 }
 
 #[cfg(test)]

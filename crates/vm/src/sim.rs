@@ -20,11 +20,13 @@ use std::collections::BinaryHeap;
 
 use bw_monitor::{CheckTable, Monitor, Violation};
 use bw_ir::Val;
+use bw_telemetry::{tm_add, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::image::ProgramImage;
 use crate::machine::MachineModel;
 use crate::memory::SimMemory;
+use crate::telemetry::VmTelemetry;
 use crate::thread::{BranchHook, CostClass, NoHook, StepOutcome, ThreadState};
 use crate::trap::TrapKind;
 
@@ -165,6 +167,12 @@ pub struct RunResult {
     /// Dynamic branches executed per thread (used by the fault injector's
     /// profiling phase).
     pub branches_per_thread: Vec<u64>,
+    /// Interpreted instructions per SPMD thread (parallel section only).
+    pub steps_per_thread: Vec<u64>,
+    /// Everything this run measured: `vm.*` interpreter counts and cycle
+    /// attribution, plus `monitor.*` instruments when the monitor ran.
+    /// Counters and gauges are deterministic for a given config and seed.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl RunResult {
@@ -207,6 +215,7 @@ struct Sim<'a> {
     events_sent: u64,
     /// Oversubscription factor in duplicated mode.
     dup_factor: u64,
+    telemetry: VmTelemetry,
 }
 
 impl<'a> Sim<'a> {
@@ -232,6 +241,7 @@ impl<'a> Sim<'a> {
             total_steps: 0,
             events_sent: 0,
             dup_factor,
+            telemetry: VmTelemetry::new(),
         }
     }
 
@@ -253,7 +263,9 @@ impl<'a> Sim<'a> {
             CostClass::Call => m.call,
             CostClass::Output => m.output,
         };
-        base * self.dup_factor
+        let cycles = base * self.dup_factor;
+        tm_add!(self.telemetry.cycles_for(class), cycles);
+        cycles
     }
 
     /// The per-shared-access determinism-enforcement cost of duplicated
@@ -269,7 +281,9 @@ impl<'a> Sim<'a> {
 
     fn event_cost(&self, tid: u32) -> u64 {
         let m = &self.config.machine;
-        (m.event_build + m.event_push(tid, self.config.nthreads)) * self.dup_factor
+        let cycles = (m.event_build + m.event_push(tid, self.config.nthreads)) * self.dup_factor;
+        tm_add!(self.telemetry.cycles_events, cycles);
+        cycles
     }
 
     /// Runs a single-threaded phase (init / fini) on thread 0 state.
@@ -299,7 +313,7 @@ impl<'a> Sim<'a> {
         // Phase 1: init.
         if let Some(init) = self.image.module.init {
             if let Err(outcome) = self.run_serial(init, hook) {
-                return self.finish(outcome, 0, Vec::new());
+                return self.finish(outcome, 0, Vec::new(), Vec::new());
             }
         }
 
@@ -307,9 +321,11 @@ impl<'a> Sim<'a> {
         let (outcome, parallel_cycles, threads) = self.run_parallel(hook);
         if outcome != RunOutcome::Completed {
             let branches = threads.iter().map(|t| t.dyn_branches).collect();
-            return self.finish(outcome, parallel_cycles, branches);
+            let steps = threads.iter().map(|t| t.steps).collect();
+            return self.finish(outcome, parallel_cycles, branches, steps);
         }
         let branches: Vec<u64> = threads.iter().map(|t| t.dyn_branches).collect();
+        let steps: Vec<u64> = threads.iter().map(|t| t.steps).collect();
         for mut t in threads {
             self.outputs.append(&mut t.outputs);
         }
@@ -317,11 +333,11 @@ impl<'a> Sim<'a> {
         // Phase 3: fini.
         if let Some(fini) = self.image.module.fini {
             if let Err(o) = self.run_serial(fini, hook) {
-                return self.finish(o, parallel_cycles, branches);
+                return self.finish(o, parallel_cycles, branches, steps);
             }
         }
 
-        self.finish(RunOutcome::Completed, parallel_cycles, branches)
+        self.finish(RunOutcome::Completed, parallel_cycles, branches, steps)
     }
 
     fn finish(
@@ -329,6 +345,7 @@ impl<'a> Sim<'a> {
         outcome: RunOutcome,
         parallel_cycles: u64,
         branches_per_thread: Vec<u64>,
+        steps_per_thread: Vec<u64>,
     ) -> RunResult {
         let violations = match self.monitor.as_mut() {
             Some(m) => {
@@ -342,6 +359,19 @@ impl<'a> Sim<'a> {
             }
             None => Vec::new(),
         };
+        let mut telemetry = self.telemetry.snapshot();
+        telemetry.push_counter("vm.instructions", self.total_steps);
+        telemetry.push_counter("vm.events_sent", self.events_sent);
+        telemetry.push_counter(
+            "vm.branches",
+            branches_per_thread.iter().copied().sum::<u64>(),
+        );
+        for (tid, steps) in steps_per_thread.iter().enumerate() {
+            telemetry.push_counter(format!("vm.thread.{tid}.steps"), *steps);
+        }
+        if let Some(m) = self.monitor.as_ref() {
+            telemetry.merge(&m.snapshot());
+        }
         RunResult {
             outcome,
             outputs: self.outputs,
@@ -350,6 +380,8 @@ impl<'a> Sim<'a> {
             total_steps: self.total_steps,
             events_sent: self.events_sent,
             branches_per_thread,
+            steps_per_thread,
+            telemetry,
         }
     }
 
@@ -422,6 +454,7 @@ impl<'a> Sim<'a> {
                     }
                     StepOutcome::Lock(m) => {
                         clock += self.cost(tid, CostClass::Alu) + self.config.machine.lock;
+                        tm_add!(self.telemetry.cycles_sync, self.config.machine.lock);
                         let ms = &mut mutexes[m.index()];
                         if ms.owner.is_none() {
                             ms.owner = Some(tid);
@@ -434,6 +467,7 @@ impl<'a> Sim<'a> {
                     }
                     StepOutcome::Unlock(m) => {
                         clock += self.config.machine.lock;
+                        tm_add!(self.telemetry.cycles_sync, self.config.machine.lock);
                         let ms = &mut mutexes[m.index()];
                         if ms.owner != Some(tid) {
                             // Control flow corrupted into an unlock the
@@ -473,6 +507,10 @@ impl<'a> Sim<'a> {
                                 .max()
                                 .expect("nonempty arrivals")
                                 + self.config.machine.barrier_latency(n);
+                            tm_add!(
+                                self.telemetry.cycles_sync,
+                                self.config.machine.barrier_latency(n)
+                            );
                             for &(other, _) in &bs.arrivals {
                                 let ot = other as usize;
                                 clocks[ot] = release;

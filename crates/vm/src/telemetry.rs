@@ -1,0 +1,105 @@
+//! VM-side telemetry: simulated-cycle attribution by cost class.
+//!
+//! The simulator already reports *how long* the parallel section took
+//! ([`crate::RunResult::parallel_cycles`]); these instruments say *where
+//! the cycles went* — ALU vs. shared memory vs. monitor-event pushes —
+//! which is what lets figure8/figure9 attribute instrumentation overhead
+//! to queue pressure rather than check cost. All values are simulated
+//! cycles, so they are deterministic for a given (program, config, seed)
+//! and participate in the determinism contract.
+
+use bw_telemetry::{Counter, TelemetrySnapshot};
+
+use crate::thread::CostClass;
+
+/// Cycle attribution instruments for one simulated run.
+#[derive(Debug, Default)]
+pub struct VmTelemetry {
+    /// Cycles in plain ALU / compare / jump instructions.
+    pub cycles_alu: Counter,
+    /// Cycles in multiplies.
+    pub cycles_mul: Counter,
+    /// Cycles in divides / sqrt.
+    pub cycles_div: Counter,
+    /// Cycles in thread-local memory accesses.
+    pub cycles_local_mem: Counter,
+    /// Cycles in shared-memory accesses.
+    pub cycles_shared: Counter,
+    /// Cycles in atomic RMWs.
+    pub cycles_atomic: Counter,
+    /// Cycles in calls/returns.
+    pub cycles_call: Counter,
+    /// Cycles in output appends.
+    pub cycles_output: Counter,
+    /// Cycles spent building and pushing monitor events (the paper's
+    /// instrumentation overhead proper).
+    pub cycles_events: Counter,
+    /// Cycles in lock/unlock/barrier machinery beyond the issuing
+    /// instruction.
+    pub cycles_sync: Counter,
+}
+
+impl VmTelemetry {
+    /// All-zero instruments.
+    pub const fn new() -> Self {
+        VmTelemetry {
+            cycles_alu: Counter::new(),
+            cycles_mul: Counter::new(),
+            cycles_div: Counter::new(),
+            cycles_local_mem: Counter::new(),
+            cycles_shared: Counter::new(),
+            cycles_atomic: Counter::new(),
+            cycles_call: Counter::new(),
+            cycles_output: Counter::new(),
+            cycles_events: Counter::new(),
+            cycles_sync: Counter::new(),
+        }
+    }
+
+    /// The attribution counter for a cost class (`Free` maps to the ALU
+    /// bucket; it contributes zero cycles anyway).
+    pub fn cycles_for(&self, class: CostClass) -> &Counter {
+        match class {
+            CostClass::Alu | CostClass::Free => &self.cycles_alu,
+            CostClass::Mul => &self.cycles_mul,
+            CostClass::Div => &self.cycles_div,
+            CostClass::LocalMem => &self.cycles_local_mem,
+            CostClass::Shared(_) => &self.cycles_shared,
+            CostClass::Atomic(_) => &self.cycles_atomic,
+            CostClass::Call => &self.cycles_call,
+            CostClass::Output => &self.cycles_output,
+        }
+    }
+
+    /// Exports the attribution under `vm.cycles.*` names.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("vm.cycles.alu", self.cycles_alu.get());
+        s.push_counter("vm.cycles.mul", self.cycles_mul.get());
+        s.push_counter("vm.cycles.div", self.cycles_div.get());
+        s.push_counter("vm.cycles.local_mem", self.cycles_local_mem.get());
+        s.push_counter("vm.cycles.shared", self.cycles_shared.get());
+        s.push_counter("vm.cycles.atomic", self.cycles_atomic.get());
+        s.push_counter("vm.cycles.call", self.cycles_call.get());
+        s.push_counter("vm.cycles.output", self.cycles_output.get());
+        s.push_counter("vm.cycles.events", self.cycles_events.get());
+        s.push_counter("vm.cycles.sync", self.cycles_sync.get());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_classes_map_to_distinct_buckets() {
+        let t = VmTelemetry::new();
+        t.cycles_for(CostClass::Shared(3)).add(10);
+        t.cycles_for(CostClass::Atomic(0)).add(5);
+        t.cycles_for(CostClass::Free).add(0);
+        assert_eq!(t.cycles_shared.get(), 10);
+        assert_eq!(t.cycles_atomic.get(), 5);
+        assert_eq!(t.snapshot().counter("vm.cycles.shared"), Some(10));
+    }
+}

@@ -8,4 +8,10 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The telemetry feature must be fully optional: the workspace builds,
+# tests and lints clean with every instrument compiled to a no-op.
+cargo build --workspace --no-default-features
+cargo test -q --workspace --no-default-features
+cargo clippy --workspace --all-targets --no-default-features -- -D warnings
+
 echo "ci: all gates passed"
