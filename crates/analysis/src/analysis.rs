@@ -122,6 +122,27 @@ impl ModuleAnalysis {
         self.branches.iter().find(|b| b.func == func && b.block == block)
     }
 
+    /// Overrides the category recorded for one SSA value — and for any
+    /// branch whose condition is that value.
+    ///
+    /// This is a **testing seam**, not part of the analysis: the fuzz oracle
+    /// uses it to plant a deliberately wrong category (simulating a broken
+    /// Table II propagation rule) and then asserts that the differential
+    /// harness catches the resulting monitor misbehaviour. Production code
+    /// should never call this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn override_value_category(&mut self, func: FuncId, value: ValueId, cat: Category) {
+        self.value_cats[func.index()][value.index()] = cat;
+        for b in &mut self.branches {
+            if b.func == func && b.cond == value {
+                b.category = cat;
+            }
+        }
+    }
+
     /// Branches in the parallel section only.
     pub fn parallel_branches(&self) -> impl Iterator<Item = &BranchInfo> {
         self.branches.iter().filter(|b| b.in_parallel_section)

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "ir" => cmd_ir(rest),
         "campaign" => cmd_campaign(rest),
+        "fuzz" => cmd_fuzz(rest),
         "stats" => cmd_stats(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -62,10 +63,15 @@ const USAGE: &str = "usage:
   bw ir       <file>                  dump the SSA IR
   bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
               [--workers W] [--progress] [--stats] [--telemetry T.jsonl]
+  bw fuzz     [--seeds N] [--start S] [--threads T1,T2,..] [--inject K]
+              [--max-stmts M]         generate random SPMD programs and run
+                                      the differential oracle; failures are
+                                      shrunk and saved as fuzz-<seed>.bwir
   bw stats    <trace.jsonl>           summarize a JSONL telemetry trace
 
-  <file> is a source path or splash:<name> (fft, fmm, radix, raytrace,
-  water, ocean-contig, ocean-noncontig) sized with --size test|small|reference";
+  <file> is a source path, a .bwir textual-IR dump (e.g. a fuzz repro), or
+  splash:<name> (fft, fmm, radix, raytrace, water, ocean-contig,
+  ocean-noncontig) sized with --size test|small|reference";
 
 fn load(spec: &str, rest: &[String]) -> Result<Blockwatch, String> {
     if let Some(name) = spec.strip_prefix("splash:") {
@@ -92,6 +98,10 @@ fn load(spec: &str, rest: &[String]) -> Result<Blockwatch, String> {
     }
     let source =
         std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))?;
+    if spec.ends_with(".bwir") {
+        let module = blockwatch::ir::parse_module(&source).map_err(|e| format!("{e}"))?;
+        return Blockwatch::from_module(module).map_err(|e| format!("{e}"));
+    }
     Blockwatch::compile(&source).map_err(|e| format!("{e}"))
 }
 
@@ -218,6 +228,50 @@ fn cmd_ir(rest: &[String]) -> Result<(), String> {
     let bw = load(&file_arg(rest)?, rest)?;
     println!("{}", ModulePrinter(&bw.image().module));
     Ok(())
+}
+
+fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
+    // Seeds are reported (and repro files named) in hex, so accept both
+    // `--start 26` and `--start 0x1a`.
+    let parse_seed = |s: &str| match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    };
+    let seeds = flag(rest, "--seeds").and_then(|s| parse_seed(&s)).unwrap_or(100);
+    let start_seed = flag(rest, "--start").and_then(|s| parse_seed(&s)).unwrap_or(0);
+    let threads = match flag(rest, "--threads") {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse::<u32>().map_err(|e| format!("bad thread count `{t}`: {e}")))
+            .collect::<Result<Vec<u32>, String>>()?,
+        None => blockwatch::gen::DEFAULT_THREADS.to_vec(),
+    };
+    if threads.is_empty() || threads.contains(&0) {
+        return Err("--threads needs a comma-separated list of positive counts".into());
+    }
+    let injections = flag(rest, "--inject").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut gen = blockwatch::gen::GenConfig::default();
+    if let Some(m) = flag(rest, "--max-stmts").and_then(|s| s.parse().ok()) {
+        gen.max_stmts = m;
+    }
+
+    let config =
+        blockwatch::gen::FuzzConfig { seeds, start_seed, threads, gen, injections };
+    let report = blockwatch::gen::run_fuzz(&config);
+    print!("{}", report.render());
+
+    // Save each minimized reproducer; replay with `bw run fuzz-<seed>.bwir`.
+    for f in &report.failures {
+        let path = format!("fuzz-{:08x}.bwir", f.seed);
+        std::fs::write(&path, &f.minimized)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} seed(s) failed the oracle", report.failures.len()))
+    }
 }
 
 fn cmd_stats(rest: &[String]) -> Result<(), String> {

@@ -21,6 +21,8 @@
 //!   real-threads engine.
 //! * [`fault`] — branch-flip / condition-bit-flip injection campaigns.
 //! * [`splash`] — ports of the seven SPLASH-2 benchmarks.
+//! * [`gen`] — seeded random SPMD program generator, differential test
+//!   oracle, and the `bw fuzz` shrinking loop.
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@ pub use pipeline::{Blockwatch, CampaignRunner};
 
 pub use bw_analysis as analysis;
 pub use bw_fault as fault;
+pub use bw_gen as gen;
 pub use bw_ir as ir;
 pub use bw_monitor as monitor;
 pub use bw_splash as splash;

@@ -27,6 +27,7 @@ fn result(outcome: RunOutcome, outputs: Vec<Val>, detected: bool) -> RunResult {
         branches_per_thread: vec![0],
         steps_per_thread: vec![0],
         telemetry: bw_telemetry::TelemetrySnapshot::new(),
+        branch_events: Vec::new(),
     }
 }
 

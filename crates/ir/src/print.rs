@@ -40,6 +40,25 @@ impl fmt::Display for ModulePrinter<'_> {
                 t.funcs.iter().map(|&fid| m.func(fid).name.clone()).collect();
             writeln!(f, "  table {} = [{}]", t.name, funcs.join(", "))?;
         }
+        // Resource counts and role bindings. Emitted so the textual form is
+        // lossless: `crate::text::parse_module` reads these back. Zero counts
+        // and absent roles are omitted (the parser defaults them).
+        if m.num_mutexes > 0 {
+            writeln!(f, "  mutexes {}", m.num_mutexes)?;
+        }
+        if m.num_barriers > 0 {
+            writeln!(f, "  barriers {}", m.num_barriers)?;
+        }
+        if m.num_call_sites > 0 {
+            writeln!(f, "  callsites {}", m.num_call_sites)?;
+        }
+        for (role, fid) in
+            [("init", m.init), ("spmd", m.spmd_entry), ("fini", m.fini)]
+        {
+            if let Some(fid) = fid {
+                writeln!(f, "  {role} {}", m.func(fid).name)?;
+            }
+        }
         for func in &m.funcs {
             let mut body = String::new();
             write_function_into(&mut body, func).map_err(|_| fmt::Error)?;

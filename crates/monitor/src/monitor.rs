@@ -35,6 +35,31 @@ pub struct Violation {
     pub reporters: u32,
 }
 
+impl Violation {
+    /// A one-line human-readable rendering, used by diagnostic CLIs
+    /// (`bw fuzz`) when reporting a detection.
+    pub fn describe(&self) -> String {
+        let what = match self.kind {
+            ViolationKind::WitnessMismatch => {
+                "threads disagreed on the condition witness"
+            }
+            ViolationKind::DirectionMismatch => {
+                "threads took different directions on a shared-category branch"
+            }
+            ViolationKind::GroupMismatch => {
+                "threads with equal witnesses took different directions"
+            }
+            ViolationKind::TidPredicate => {
+                "branch outcomes violated the thread-ID predicate"
+            }
+        };
+        format!(
+            "branch br{}: {what} (site {:#x}, iteration {:#x}, {} reporters)",
+            self.branch, self.site, self.iter, self.reporters
+        )
+    }
+}
+
 /// How the monitor checks each branch: a compact per-branch table derived
 /// from the [`CheckPlan`].
 #[derive(Clone, Debug, Default)]
@@ -460,5 +485,20 @@ mod tests {
         assert_eq!(monitor.violations().len(), 1);
         assert_eq!(monitor.violations()[0].iter, 50);
         assert_eq!(monitor.violations()[0].kind, ViolationKind::WitnessMismatch);
+    }
+
+    #[test]
+    fn describe_renders_every_kind() {
+        for kind in [
+            ViolationKind::WitnessMismatch,
+            ViolationKind::DirectionMismatch,
+            ViolationKind::GroupMismatch,
+            ViolationKind::TidPredicate,
+        ] {
+            let v = Violation { branch: 7, site: 0xabc, iter: 3, kind, reporters: 4 };
+            let text = v.describe();
+            assert!(text.contains("br7"), "{text}");
+            assert!(text.contains("4 reporters"), "{text}");
+        }
     }
 }

@@ -1,0 +1,34 @@
+//! Textual round-trip coverage over every shipped benchmark: printing a
+//! module and re-parsing the text must reproduce a structurally equal module.
+//! This is the guarantee that makes fuzzer-emitted `.bwir` repro files
+//! loadable — if any construct a real benchmark uses failed to round-trip,
+//! generated programs built from the same IR vocabulary could not be saved.
+
+use bw_ir::{parse_module, verify_module, ModulePrinter};
+use bw_splash::{Benchmark, Size};
+
+fn assert_roundtrip(bench: Benchmark, size: Size) {
+    let module = bench.module(size).expect("benchmark compiles");
+    let text = ModulePrinter(&module).to_string();
+    let parsed = parse_module(&text)
+        .unwrap_or_else(|e| panic!("{} ({size:?}) failed to re-parse: {e}", bench.name()));
+    assert_eq!(parsed, module, "{} ({size:?}) round-trip mismatch", bench.name());
+    verify_module(&parsed)
+        .unwrap_or_else(|e| panic!("{} ({size:?}) re-parse fails verify: {e}", bench.name()));
+    // Printing the parsed module reproduces the exact same text.
+    assert_eq!(ModulePrinter(&parsed).to_string(), text);
+}
+
+#[test]
+fn every_benchmark_roundtrips_at_test_size() {
+    for bench in Benchmark::ALL {
+        assert_roundtrip(bench, Size::Test);
+    }
+}
+
+#[test]
+fn every_benchmark_roundtrips_at_small_size() {
+    for bench in Benchmark::ALL {
+        assert_roundtrip(bench, Size::Small);
+    }
+}

@@ -1,0 +1,303 @@
+//! Round-trip property tests for the flat-JSON writer/parser pair.
+//!
+//! The telemetry sink writes JSON by hand and `bw stats` reads it back
+//! with `parse_flat_object`; these tests drive both halves with seeded
+//! random inputs and assert the parse inverts the write — for whole
+//! [`TelemetrySnapshot`]s, for JSONL trace events, and for the edge
+//! cases (empty traces, the `u64::MAX` histogram bucket) a hand-rolled
+//! serializer is most likely to get wrong.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use bw_telemetry::{
+    parse_flat_object, Histogram, HistogramSnapshot, JsonlRecorder, Recorder, TelemetrySnapshot,
+    Value,
+};
+
+/// SplitMix64 — the same tiny deterministic generator the fuzzer uses.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A metric/field name with characters the string escaper must handle:
+/// quotes, backslashes, control characters, and multi-byte UTF-8.
+fn tricky_name(rng: &mut Rng, uniq: usize) -> String {
+    const PIECES: &[&str] = &["vm.", "lat", "μs", "a\"b", "c\\d", "\n", "\t", "\u{1}", "😀", "é"];
+    let mut s = format!("k{uniq}_");
+    for _ in 0..rng.below(4) {
+        s.push_str(PIECES[rng.below(PIECES.len() as u64) as usize]);
+    }
+    s
+}
+
+fn random_value(rng: &mut Rng, uniq: usize) -> Value {
+    match rng.below(6) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::U64(rng.next()),
+        3 => Value::I64(-((rng.next() >> 1) as i64) - 1),
+        // Finite f64s only; the writer turns NaN/Inf into null by design.
+        4 => Value::F64(f64::from_bits(rng.next() >> 12) * if rng.below(2) == 0 { -0.5 } else { 3.25 }),
+        _ => Value::Str(tricky_name(rng, uniq)),
+    }
+}
+
+/// Written-then-parsed values must agree. Floats may come back as a
+/// different numeric variant (`2.0` prints as `2`), so numbers compare
+/// numerically; everything else compares exactly.
+fn assert_same(original: &Value, parsed: &Value) {
+    match original {
+        Value::F64(x) => {
+            let back = parsed.as_f64().expect("float field must parse as a number");
+            assert_eq!(*x, back, "float round-trip changed the value");
+        }
+        other => assert_eq!(other, parsed),
+    }
+}
+
+#[test]
+fn random_flat_objects_round_trip() {
+    let mut rng = Rng(0x0bad_cafe);
+    for _case in 0..300 {
+        let nfields = rng.below(8) as usize;
+        let fields: Vec<(String, Value)> = (0..nfields)
+            .map(|i| (tricky_name(&mut rng, i), random_value(&mut rng, i)))
+            .collect();
+        let borrowed: Vec<(&str, Value)> =
+            fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let mut text = String::new();
+        bw_telemetry::write_json_object(&mut text, &borrowed);
+        let parsed = parse_flat_object(&text).unwrap_or_else(|e| {
+            panic!("emitted object failed to parse: {e}\n  text: {text}")
+        });
+        assert_eq!(parsed.len(), fields.len(), "field count changed in {text}");
+        for ((wk, wv), (pk, pv)) in fields.iter().zip(&parsed) {
+            assert_eq!(wk, pk);
+            assert_same(wv, pv);
+        }
+    }
+}
+
+/// Builds a random snapshot alongside a mirror of the exact values the
+/// JSON rendering must contain.
+fn random_snapshot(rng: &mut Rng) -> TelemetrySnapshot {
+    let mut s = TelemetrySnapshot::new();
+    for i in 0..rng.below(5) {
+        s.push_counter(format!("c{i}.{}", tricky_name(rng, i as usize)), rng.next());
+    }
+    for i in 0..rng.below(5) {
+        s.push_gauge(format!("g{i}"), rng.next());
+    }
+    for i in 0..rng.below(3) {
+        let h = Histogram::new();
+        for _ in 0..rng.below(20) {
+            // Bias toward the extremes: zero, small, huge, and u64::MAX
+            // (the last bucket, whose bound must not overflow).
+            let v = match rng.below(4) {
+                0 => 0,
+                1 => rng.below(100),
+                2 => u64::MAX,
+                _ => rng.next(),
+            };
+            h.observe(v);
+        }
+        s.push_histogram(format!("h{i}"), h.snapshot());
+    }
+    s
+}
+
+#[test]
+fn random_snapshots_round_trip_through_json() {
+    let mut rng = Rng(0x5eed_0001);
+    for _case in 0..200 {
+        let snap = random_snapshot(&mut rng);
+        let text = snap.to_json();
+        let parsed = parse_flat_object(&text)
+            .unwrap_or_else(|e| panic!("snapshot JSON failed to parse: {e}\n  text: {text}"));
+        let get = |key: &str| -> Option<u64> {
+            parsed.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_u64())
+        };
+        for (name, v) in snap.counters() {
+            assert_eq!(get(name), Some(*v), "counter {name:?} lost in {text}");
+        }
+        for (name, v) in snap.gauges() {
+            assert_eq!(get(name), Some(*v), "gauge {name:?} lost in {text}");
+        }
+        for (name, h) in snap.histograms() {
+            assert_eq!(get(&format!("{name}.count")), Some(h.count));
+            assert_eq!(get(&format!("{name}.sum")), Some(h.sum));
+            assert_eq!(get(&format!("{name}.max")), Some(h.max));
+        }
+        let expect_fields = snap.counters().len()
+            + snap.gauges().len()
+            + 3 * snap.histograms().len();
+        assert_eq!(parsed.len(), expect_fields);
+    }
+}
+
+#[test]
+fn empty_snapshot_round_trips() {
+    let snap = TelemetrySnapshot::new();
+    assert!(snap.is_empty());
+    let text = snap.to_json();
+    assert_eq!(text, "{}");
+    assert!(parse_flat_object(&text).unwrap().is_empty());
+}
+
+#[test]
+fn max_bucket_histogram_survives_snapshot_and_json() {
+    let h = Histogram::new();
+    h.observe(u64::MAX);
+    h.observe(u64::MAX);
+    h.observe(0);
+    let hs = h.snapshot();
+    assert_eq!(hs.max, u64::MAX);
+    assert_eq!(hs.buckets, vec![(0, 1), (u64::MAX, 2)]);
+    // sum wraps by contract: MAX + MAX + 0 == MAX - 1 (mod 2^64).
+    assert_eq!(hs.sum, u64::MAX.wrapping_add(u64::MAX));
+
+    // Merging two max-bucket snapshots must stay in one bucket.
+    let mut snap = TelemetrySnapshot::new();
+    snap.push_histogram("big", hs.clone());
+    snap.push_histogram("big", hs);
+    let merged = snap.histogram("big").unwrap();
+    assert_eq!(merged.count, 6);
+    assert_eq!(merged.buckets, vec![(0, 2), (u64::MAX, 4)]);
+
+    let parsed = parse_flat_object(&snap.to_json()).unwrap();
+    let get = |key: &str| parsed.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_u64());
+    assert_eq!(get("big.count"), Some(6));
+    assert_eq!(get("big.max"), Some(u64::MAX));
+}
+
+#[test]
+fn mergeable_snapshot_survives_round_trip_fields() {
+    // A merged snapshot (fan-in across workers) must serialize each name
+    // exactly once, with the merged value.
+    let mut a = TelemetrySnapshot::new();
+    a.push_counter("runs", 2);
+    a.push_gauge("depth", 7);
+    let mut b = TelemetrySnapshot::new();
+    b.push_counter("runs", 3);
+    b.push_gauge("depth", 4);
+    a.merge(&b);
+    let parsed = parse_flat_object(&a.to_json()).unwrap();
+    assert_eq!(parsed.len(), 2);
+    assert_eq!(parsed[0], ("runs".to_string(), Value::U64(5)));
+    assert_eq!(parsed[1], ("depth".to_string(), Value::U64(7)));
+}
+
+/// A writer that appends into a shared buffer so the test can read back
+/// what the JSONL recorder emitted.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("recorder output is UTF-8")
+    }
+}
+
+#[test]
+fn random_trace_events_round_trip_through_jsonl() {
+    let mut rng = Rng(0x7ace_5eed);
+    let buf = SharedBuf::default();
+    let rec = JsonlRecorder::new(Box::new(buf.clone()));
+    let mut emitted: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    for case in 0..120 {
+        let event = tricky_name(&mut rng, case);
+        let fields: Vec<(String, Value)> = (0..rng.below(5) as usize)
+            .map(|i| (tricky_name(&mut rng, i), random_value(&mut rng, i)))
+            .collect();
+        let borrowed: Vec<(&str, Value)> =
+            fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        rec.record(&event, &borrowed);
+        emitted.push((event, fields));
+    }
+    rec.flush();
+    assert_eq!(rec.records_emitted(), emitted.len() as u64);
+
+    let text = buf.text();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), emitted.len());
+    for (i, (line, (event, fields))) in lines.iter().zip(&emitted).enumerate() {
+        let parsed = parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("line {i} failed to parse: {e}\n  line: {line}"));
+        // Every record leads with seq / t_us / ev, then the caller's fields.
+        assert_eq!(parsed[0], ("seq".to_string(), Value::U64(i as u64)));
+        assert_eq!(parsed[1].0, "t_us");
+        assert!(parsed[1].1.as_u64().is_some());
+        assert_eq!(parsed[2].0, "ev");
+        assert_eq!(parsed[2].1.as_str(), Some(event.as_str()));
+        assert_eq!(parsed.len(), 3 + fields.len());
+        for ((wk, wv), (pk, pv)) in fields.iter().zip(&parsed[3..]) {
+            assert_eq!(wk, pk);
+            assert_same(wv, pv);
+        }
+    }
+}
+
+#[test]
+fn empty_trace_produces_no_lines() {
+    let buf = SharedBuf::default();
+    let rec = JsonlRecorder::new(Box::new(buf.clone()));
+    rec.flush();
+    assert_eq!(rec.records_emitted(), 0);
+    assert!(buf.text().is_empty());
+    // An event with zero fields still makes a full, parseable record.
+    rec.record("tick", &[]);
+    rec.flush();
+    let text = buf.text();
+    let parsed = parse_flat_object(text.trim_end()).unwrap();
+    assert_eq!(parsed.len(), 3);
+    assert_eq!(parsed[2], ("ev".to_string(), Value::Str("tick".to_string())));
+}
+
+#[test]
+fn snapshot_record_to_emits_parseable_metric_records() {
+    let buf = SharedBuf::default();
+    let rec = JsonlRecorder::new(Box::new(buf.clone()));
+    let mut snap = TelemetrySnapshot::new();
+    snap.push_counter("events", 11);
+    snap.push_gauge("peak", 5);
+    snap.push_histogram(
+        "lat",
+        HistogramSnapshot { count: 2, sum: 9, max: 8, buckets: vec![(1, 1), (15, 1)] },
+    );
+    snap.record_to(&rec);
+    rec.flush();
+    let text = buf.text();
+    let lines: Vec<Vec<(String, Value)>> =
+        text.lines().map(|l| parse_flat_object(l).expect("metric record parses")).collect();
+    assert_eq!(lines.len(), 3);
+    let ev = |l: &Vec<(String, Value)>| l[2].1.as_str().unwrap().to_string();
+    assert_eq!(ev(&lines[0]), "counter");
+    assert_eq!(ev(&lines[1]), "gauge");
+    assert_eq!(ev(&lines[2]), "histogram");
+    assert_eq!(lines[2][4], ("count".to_string(), Value::U64(2)));
+    assert_eq!(lines[2][5], ("sum".to_string(), Value::U64(9)));
+    assert_eq!(lines[2][6], ("max".to_string(), Value::U64(8)));
+}

@@ -18,7 +18,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use bw_monitor::{CheckTable, Monitor, Violation};
+use bw_monitor::{BranchEvent, CheckTable, Monitor, Violation};
 use bw_ir::Val;
 use bw_telemetry::{tm_add, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
@@ -83,6 +83,11 @@ pub struct SimConfig {
     /// Determinism-enforcement cycles per shared access *per thread* in
     /// duplicated mode (the non-scaling term of Section VI).
     pub dup_tax: u64,
+    /// Record every [`BranchEvent`] produced in the parallel section on
+    /// [`RunResult::branch_events`]. Independent of [`MonitorMode`] (events
+    /// are captured even with the monitor off) and free of cycle cost, so
+    /// test oracles can observe the event stream without perturbing timing.
+    pub capture_events: bool,
 }
 
 impl SimConfig {
@@ -97,6 +102,7 @@ impl SimConfig {
             max_steps: 2_000_000_000,
             quantum: 64,
             dup_tax: 12,
+            capture_events: false,
         }
     }
 
@@ -133,6 +139,12 @@ impl SimConfig {
     /// Sets the scheduler quantum (instructions per slot).
     pub fn quantum(mut self, quantum: u32) -> Self {
         self.quantum = quantum;
+        self
+    }
+
+    /// Enables (or disables) branch-event capture on the result.
+    pub fn capture_events(mut self, capture: bool) -> Self {
+        self.capture_events = capture;
         self
     }
 }
@@ -173,6 +185,9 @@ pub struct RunResult {
     /// attribution, plus `monitor.*` instruments when the monitor ran.
     /// Counters and gauges are deterministic for a given config and seed.
     pub telemetry: TelemetrySnapshot,
+    /// Every branch event produced in the parallel section, in simulated
+    /// execution order. Empty unless [`SimConfig::capture_events`] is set.
+    pub branch_events: Vec<BranchEvent>,
 }
 
 impl RunResult {
@@ -216,6 +231,7 @@ struct Sim<'a> {
     /// Oversubscription factor in duplicated mode.
     dup_factor: u64,
     telemetry: VmTelemetry,
+    branch_events: Vec<BranchEvent>,
 }
 
 impl<'a> Sim<'a> {
@@ -242,6 +258,7 @@ impl<'a> Sim<'a> {
             events_sent: 0,
             dup_factor,
             telemetry: VmTelemetry::new(),
+            branch_events: Vec::new(),
         }
     }
 
@@ -382,6 +399,7 @@ impl<'a> Sim<'a> {
             branches_per_thread,
             steps_per_thread,
             telemetry,
+            branch_events: self.branch_events,
         }
     }
 
@@ -435,6 +453,9 @@ impl<'a> Sim<'a> {
                     StepOutcome::Ran { cost, event } => {
                         clock += self.cost(tid, cost);
                         if let Some(event) = event {
+                            if self.config.capture_events {
+                                self.branch_events.push(event);
+                            }
                             match self.config.monitor {
                                 MonitorMode::Enabled => {
                                     clock += self.event_cost(tid);

@@ -14,4 +14,10 @@ cargo build --workspace --no-default-features
 cargo test -q --workspace --no-default-features
 cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 
+# Fuzz smoke: a bounded random-program sweep through the whole pipeline
+# (generate → round-trip → prepare → oracle), in both telemetry configs.
+# 200 seeds keep this under two minutes; the nightly job goes deeper.
+cargo run --release --quiet --bin bw -- fuzz --seeds 200 --inject 2
+cargo run --release --quiet --bin bw --no-default-features -- fuzz --seeds 200
+
 echo "ci: all gates passed"
