@@ -4,15 +4,19 @@
 //!
 //! ```text
 //! bw analyze  <file>                 print per-branch similarity categories
-//! bw run      <file> [--threads N] [--real] [--stats] [--telemetry T.jsonl]
-//!                                    run under the monitor
+//! bw run      <file> [--threads N] [--engine sim|real] [--stats]
+//!             [--telemetry T.jsonl]  run under the monitor
 //! bw ir       <file>                 dump the SSA IR
 //! bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
-//!             [--workers W] [--progress] [--stats] [--telemetry T.jsonl]
-//!                                    fault-injection campaign with and
+//!             [--workers W] [--engine sim|real] [--progress] [--stats]
+//!             [--telemetry T.jsonl]  fault-injection campaign with and
 //!                                    without BLOCKWATCH
 //! bw stats    <trace.jsonl>          summarize a JSONL telemetry trace
 //! ```
+//!
+//! Every executing command takes `--engine sim|real`: `sim` is the
+//! deterministic simulated scheduler, `real` runs on OS threads (`--real`
+//! is kept as a legacy alias for `--engine real` on `bw run`).
 //!
 //! `<file>` is a mini-language source path, or `splash:<name>` for a
 //! built-in SPLASH-2 port (`splash:fft`, `splash:radix`, …) sized with
@@ -25,7 +29,8 @@ use blockwatch::reports::{render_telemetry, TraceSummary};
 use blockwatch::telemetry::{JsonlRecorder, Recorder};
 use blockwatch::vm::MonitorMode;
 use blockwatch::{
-    Benchmark, Blockwatch, CampaignProgress, FaultModel, RunOutcome, Size, TelemetrySnapshot,
+    Benchmark, Blockwatch, CampaignProgress, EngineKind, ExecConfig, FaultModel, RunOutcome,
+    Size, TelemetrySnapshot,
 };
 
 fn main() -> ExitCode {
@@ -58,16 +63,22 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   bw analyze  <file>                  print per-branch similarity categories
-  bw run      <file> [--threads N] [--real] [--stats] [--telemetry T.jsonl]
-                                      run under the monitor
+  bw run      <file> [--threads N] [--engine sim|real] [--stats]
+              [--telemetry T.jsonl]   run under the monitor
   bw ir       <file>                  dump the SSA IR
   bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
-              [--workers W] [--progress] [--stats] [--telemetry T.jsonl]
+              [--workers W] [--engine sim|real] [--progress] [--stats]
+              [--telemetry T.jsonl]
   bw fuzz     [--seeds N] [--start S] [--threads T1,T2,..] [--inject K]
-              [--max-stmts M]         generate random SPMD programs and run
+              [--max-stmts M] [--engine sim|real] [--real-cross-check]
+              [--require-coverage] [--telemetry T.jsonl]
+                                      generate random SPMD programs and run
                                       the differential oracle; failures are
                                       shrunk and saved as fuzz-<seed>.bwir
   bw stats    <trace.jsonl>           summarize a JSONL telemetry trace
+
+  --engine selects the scheduler: `sim` (deterministic, default) or `real`
+  (OS threads); `--real` remains a legacy alias on `bw run`.
 
   <file> is a source path, a .bwir textual-IR dump (e.g. a fuzz repro), or
   splash:<name> (fft, fmm, radix, raytrace, water, ocean-contig,
@@ -142,6 +153,16 @@ fn threads(rest: &[String]) -> u32 {
     flag(rest, "--threads").and_then(|s| s.parse().ok()).unwrap_or(4)
 }
 
+/// Parses `--engine sim|real` (with `--real` as a legacy alias for
+/// `--engine real`).
+fn engine_kind(rest: &[String]) -> Result<EngineKind, String> {
+    match flag(rest, "--engine") {
+        Some(name) => name.parse(),
+        None if rest.iter().any(|a| a == "--real") => Ok(EngineKind::Real),
+        None => Ok(EngineKind::Sim),
+    }
+}
+
 fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     let bw = load(&file_arg(rest)?, rest)?;
     println!("{:<8} {:<20} {:<10} {:<6} check", "branch", "function", "category", "depth");
@@ -181,32 +202,33 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     let n = threads(rest);
     let recorder = telemetry_recorder(rest)?;
 
+    let kind = engine_kind(rest)?;
+
     // The pipeline's own telemetry plus the run's: one merged snapshot.
     let mut telemetry = bw.telemetry();
-    let (outcome, violations) = if rest.iter().any(|a| a == "--real") {
-        let result = bw.run_real(n);
-        println!("outcome: {:?} (real threads)", result.outcome);
-        println!(
-            "events processed: {} | dropped: {} | violations: {}",
-            result.events_processed,
-            result.events_dropped,
-            result.violations.len()
-        );
-        telemetry.merge(&result.telemetry);
-        (result.outcome, result.violations)
-    } else {
-        let result = bw.run(n);
-        println!("outcome: {:?}", result.outcome);
-        println!("outputs: {:?}", result.outputs);
-        println!(
-            "parallel cycles: {} | events: {} | violations: {}",
-            result.parallel_cycles,
-            result.events_sent,
-            result.violations.len()
-        );
-        telemetry.merge(&result.telemetry);
-        (result.outcome, result.violations)
-    };
+    let result = bw.run_on(kind, &ExecConfig::new(n));
+    println!("outcome: {:?} ({} engine)", result.outcome, kind.name());
+    match kind {
+        EngineKind::Sim => {
+            println!("outputs: {:?}", result.outputs);
+            println!(
+                "parallel cycles: {} | events: {} | violations: {}",
+                result.parallel_cycles,
+                result.events_sent,
+                result.violations.len()
+            );
+        }
+        EngineKind::Real => {
+            println!(
+                "events processed: {} | dropped: {} | violations: {}",
+                result.events_processed,
+                result.events_dropped,
+                result.violations.len()
+            );
+        }
+    }
+    telemetry.merge(&result.telemetry);
+    let (outcome, violations) = (result.outcome, result.violations);
     for v in &violations {
         println!("  violation: branch {} {:?} ({} reporters)", v.branch, v.kind, v.reporters);
     }
@@ -254,10 +276,23 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
     if let Some(m) = flag(rest, "--max-stmts").and_then(|s| s.parse().ok()) {
         gen.max_stmts = m;
     }
+    let kind = engine_kind(rest)?;
+    let real_cross_check = rest.iter().any(|a| a == "--real-cross-check");
+    let recorder = telemetry_recorder(rest)?;
 
-    let config =
-        blockwatch::gen::FuzzConfig { seeds, start_seed, threads, gen, injections };
-    let report = blockwatch::gen::run_fuzz(&config);
+    let config = blockwatch::gen::FuzzConfig {
+        seeds,
+        start_seed,
+        threads,
+        gen,
+        injections,
+        engine: kind,
+        real_cross_check,
+    };
+    let report = match &recorder {
+        Some(recorder) => blockwatch::gen::run_fuzz_recorded(&config, recorder),
+        None => blockwatch::gen::run_fuzz(&config),
+    };
     print!("{}", report.render());
 
     // Save each minimized reproducer; replay with `bw run fuzz-<seed>.bwir`.
@@ -267,11 +302,20 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("wrote {path}");
     }
-    if report.ok() {
-        Ok(())
-    } else {
-        Err(format!("{} seed(s) failed the oracle", report.failures.len()))
+    if !report.ok() {
+        return Err(format!("{} seed(s) failed the oracle", report.failures.len()));
     }
+    if rest.iter().any(|a| a == "--require-coverage") {
+        let unexercised = report.stats.coverage.unexercised();
+        if !unexercised.is_empty() {
+            return Err(format!(
+                "check kind(s) never exercised: {} — the session proves nothing \
+                 about those checkers; widen the seed window",
+                unexercised.join(", ")
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_stats(rest: &[String]) -> Result<(), String> {
@@ -296,6 +340,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     };
 
     let workers = flag(rest, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let kind = engine_kind(rest)?;
     let show_progress = rest.iter().any(|a| a == "--progress");
     let progress = |label: &'static str| {
         move |p: CampaignProgress| {
@@ -310,6 +355,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         let mut runner = bw
             .campaign_runner(injections, model, n)
             .workers(workers)
+            .engine(kind)
             .monitor(monitor);
         let callback = progress(label);
         if show_progress {
@@ -328,7 +374,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     let protected = run(MonitorMode::Enabled, "with BLOCKWATCH", true)?;
     let baseline = run(MonitorMode::Off, "without BLOCKWATCH", false)?;
 
-    println!("{model:?}, {injections} injections, {n} threads");
+    println!("{model:?}, {injections} injections, {n} threads, {} engine", kind.name());
     println!("  without BLOCKWATCH: {:?}", baseline.counts);
     println!("  with    BLOCKWATCH: {:?}", protected.counts);
     println!(

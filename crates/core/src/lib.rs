@@ -63,9 +63,11 @@ pub use bw_vm as vm;
 
 pub use bw_analysis::{AnalysisConfig, Category, CategoryHistogram, CheckKind, CheckPlan};
 pub use bw_fault::{
-    CampaignConfig, CampaignError, CampaignProgress, CampaignResult, FaultModel, FaultOutcome,
-    OutcomeCounts, WorkerStats,
+    BatchResult, CampaignBatch, CampaignConfig, CampaignError, CampaignProgress, CampaignResult,
+    FaultModel, FaultOutcome, OutcomeCounts, WorkerStats,
 };
 pub use bw_splash::{Benchmark, Size};
 pub use bw_telemetry::{JsonlRecorder, Recorder, TelemetrySnapshot, NULL_RECORDER};
-pub use bw_vm::{MachineModel, MonitorMode, RunOutcome, RunResult, SimConfig};
+pub use bw_vm::{
+    EngineKind, ExecConfig, MachineModel, MonitorMode, RunOutcome, RunResult, SimConfig,
+};

@@ -14,8 +14,8 @@ use bw_fault::{
 use bw_ir::Module;
 use bw_telemetry::{Histogram, Recorder, TelemetrySnapshot, NULL_RECORDER};
 use bw_vm::{
-    run_real, run_sim, MonitorMode, PrepareTimings, ProgramImage, RealConfig, RealResult,
-    RunResult, SimConfig,
+    engine, run_real, run_sim, EngineKind, ExecConfig, MonitorMode, PrepareTimings, ProgramImage,
+    RealConfig, RealResult, RunResult, SimConfig,
 };
 
 use crate::error::Error;
@@ -41,10 +41,10 @@ use crate::error::Error;
 #[derive(Debug)]
 pub struct Blockwatch {
     image: Arc<ProgramImage>,
-    /// Golden (fault-free) runs per simulation configuration, so repeated
-    /// campaigns on one image — different fault models, worker counts or
-    /// seeds — profile the program only once per configuration.
-    golden_cache: Mutex<HashMap<SimConfig, Arc<RunResult>>>,
+    /// Golden (fault-free) runs per (engine, configuration) pair, so
+    /// repeated campaigns on one image — different fault models, worker
+    /// counts or seeds — profile the program only once per configuration.
+    golden_cache: Mutex<HashMap<(EngineKind, ExecConfig), Arc<RunResult>>>,
     /// Wall-clock time of the front-end (parse + lower) stage; zero when
     /// the program was built from an existing module.
     parse_us: u64,
@@ -163,7 +163,12 @@ impl Blockwatch {
 
     /// Runs on the deterministic simulated machine with full control.
     pub fn run_with(&self, config: &SimConfig) -> RunResult {
-        run_sim(&self.image, config)
+        self.run_on(EngineKind::Sim, config)
+    }
+
+    /// Runs on the selected [engine](bw_vm::Engine) with full control.
+    pub fn run_on(&self, kind: EngineKind, config: &ExecConfig) -> RunResult {
+        engine(kind).run(&self.image, config)
     }
 
     /// Runs on real OS threads with the asynchronous monitor thread.
@@ -171,15 +176,24 @@ impl Blockwatch {
         run_real(&self.image, &RealConfig::new(nthreads))
     }
 
-    /// The golden (fault-free) run under `config`, cached per
-    /// configuration: campaigns that share a simulation configuration also
-    /// share one profiling run.
+    /// The golden (fault-free) run under `config` on the simulated engine,
+    /// cached per configuration: campaigns that share a simulation
+    /// configuration also share one profiling run.
     pub fn golden(&self, config: &SimConfig) -> Arc<RunResult> {
+        self.golden_on(EngineKind::Sim, config)
+    }
+
+    /// The golden (fault-free) run under `config` on the selected engine,
+    /// cached per (engine, configuration) pair.
+    ///
+    /// Note that [`EngineKind::Real`] is not deterministic: caching its
+    /// golden run pins one observed schedule for all later comparisons.
+    pub fn golden_on(&self, kind: EngineKind, config: &ExecConfig) -> Arc<RunResult> {
         let mut cache = self.golden_cache.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             cache
-                .entry(config.clone())
-                .or_insert_with(|| Arc::new(run_sim(&self.image, config))),
+                .entry((kind, config.clone()))
+                .or_insert_with(|| Arc::new(engine(kind).run(&self.image, config))),
         )
     }
 
@@ -214,7 +228,7 @@ impl Blockwatch {
         if config.sim.nthreads == 0 {
             return Err(Error::Campaign(CampaignError::NoThreads));
         }
-        let golden = self.golden(&config.sim);
+        let golden = self.golden_on(config.engine, &config.sim);
         run_campaign_with_golden_recorded(&self.image, config, &golden, progress, recorder)
             .map_err(Error::Campaign)
     }
@@ -276,6 +290,13 @@ impl<'a> CampaignRunner<'a> {
     /// Sets the worker-thread count (`0` = available parallelism).
     pub fn workers(mut self, workers: usize) -> Self {
         self.config = self.config.workers(workers);
+        self
+    }
+
+    /// Selects the execution engine for both the golden and the faulty
+    /// runs (default: [`EngineKind::Sim`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.config = self.config.engine(kind);
         self
     }
 

@@ -1,0 +1,392 @@
+//! Cross-image campaign batching: many prepared images, one worker pool.
+//!
+//! The per-image campaign engine of [`crate::campaign`] pays its pool
+//! startup/teardown and its tail latency (workers idling while the last
+//! injection of an image finishes) once per image. A nightly fuzz sweep
+//! runs a small campaign against *every* passing seed — hundreds of images
+//! with a handful of injections each — where that overhead dominates.
+//! [`CampaignBatch`] plans injections across all images up front and feeds
+//! one shared worker pool, the batching structure compositional injection
+//! studies like FastFlip use to get their throughput.
+//!
+//! Determinism is preserved **per image**: each image keeps its own claim
+//! counter and stop flag with the same contiguous-prefix invariant as the
+//! single-image engine (a worker checks the image's stop flag before
+//! claiming from it), and each image's records pass through the same
+//! index-order reduce. The per-image deterministic payload — records,
+//! counts, abort cut, golden statistics and `campaign.*` outcome counters —
+//! is therefore bitwise-identical to running [`run_campaign`] on that image
+//! alone, at any pool width. Only the wall-clock artifacts (worker stats,
+//! the `campaign.workers` gauge, the `campaign.injection_us` histogram)
+//! depend on the pool.
+//!
+//! [`run_campaign`]: crate::campaign::run_campaign
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bw_telemetry::{tm_event, tm_observe, tm_span, Histogram, Recorder, Value, NULL_RECORDER};
+use bw_vm::{engine, ExecConfig, ProgramImage, RunResult};
+
+use crate::campaign::{
+    abort_reached, campaign_telemetry, effective_pool, execute_one, reduce_campaign,
+    validate_and_plan, CampaignConfig, CampaignError, CampaignResult, InjectionRecord,
+    OutcomeCounts, WorkerStats,
+};
+use crate::injector::InjectionPlan;
+
+/// One image's share of the batch, after the golden/plan stage.
+struct PreparedItem<'a> {
+    /// Index into the batch's item (and result) list.
+    item: usize,
+    image: &'a ProgramImage,
+    config: &'a CampaignConfig,
+    faulty: ExecConfig,
+    golden: RunResult,
+    plans: Vec<InjectionPlan>,
+    /// Next unclaimed injection index of this image.
+    next: AtomicUsize,
+    /// Raised when this image's abort condition is met; checked before
+    /// every claim, so claimed indices form a contiguous prefix.
+    stop: AtomicBool,
+    /// Completion-order counts driving the stop flag; authoritative counts
+    /// are recomputed in index order by the reducer.
+    live_counts: Mutex<OutcomeCounts>,
+    collected: Mutex<Vec<(usize, InjectionRecord)>>,
+    hist: Histogram,
+}
+
+/// Result of one [`CampaignBatch`] run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct BatchResult {
+    /// Per-image campaign results, in the order the images were pushed.
+    /// Each `Ok` carries the image's full [`CampaignResult`] with the
+    /// deterministic payload identical to a standalone [`run_campaign`]
+    /// (see the module docs for the exact surface); its
+    /// [`CampaignResult::worker_stats`] is empty because workers belong to
+    /// the pool, not to any one image.
+    ///
+    /// [`run_campaign`]: crate::campaign::run_campaign
+    pub results: Vec<Result<CampaignResult, CampaignError>>,
+    /// The shared pool's execution statistics, one entry per pool worker.
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+/// A set of per-image campaigns executed by one shared worker pool.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bw_fault::{CampaignBatch, CampaignConfig, FaultModel};
+/// use bw_vm::ProgramImage;
+///
+/// let image = Arc::new(ProgramImage::prepare_default(
+///     bw_ir::frontend::compile(
+///         "shared int n = 8;
+///          @spmd func f() {
+///              for (var i: int = 0; i < n; i = i + 1) {
+///                  if (i == threadid()) { output(i); }
+///              }
+///          }",
+///     )
+///     .unwrap(),
+/// ));
+/// let mut batch = CampaignBatch::new().workers(2);
+/// for seed in 0..4u64 {
+///     batch.push(
+///         Arc::clone(&image),
+///         CampaignConfig::new(5, FaultModel::BranchFlip, 2).seed(seed),
+///     );
+/// }
+/// let outcome = batch.run();
+/// assert_eq!(outcome.results.len(), 4);
+/// for result in &outcome.results {
+///     assert_eq!(result.as_ref().unwrap().records.len(), 5);
+/// }
+/// ```
+#[derive(Default)]
+pub struct CampaignBatch {
+    items: Vec<(Arc<ProgramImage>, CampaignConfig)>,
+    workers: usize,
+}
+
+impl CampaignBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        CampaignBatch { items: Vec::new(), workers: 0 }
+    }
+
+    /// Sets the shared pool's worker count (`0` = available parallelism).
+    /// The per-image `workers` settings of pushed configs are ignored —
+    /// the pool is the batch's.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Adds one image's campaign to the batch. Results come back in push
+    /// order.
+    pub fn push(&mut self, image: Arc<ProgramImage>, config: CampaignConfig) {
+        self.items.push((image, config));
+    }
+
+    /// Number of campaigns in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch has no campaigns.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Runs every campaign through one shared worker pool.
+    pub fn run(&self) -> BatchResult {
+        self.run_recorded(&NULL_RECORDER)
+    }
+
+    /// [`CampaignBatch::run`] with a structured-event [`Recorder`]: stage
+    /// spans (`batch.prepare`, `batch.execute`, `batch.reduce`) plus one
+    /// `injection` event per experiment (tagged with its image index) and
+    /// one `worker` event per pool worker.
+    pub fn run_recorded(&self, recorder: &dyn Recorder) -> BatchResult {
+        // Stage 1 (per image): golden run, validation, plan derivation.
+        // Goldens run sequentially — they are few and the deterministic
+        // engine is single-threaded anyway.
+        let span = tm_span!(recorder, "batch.prepare");
+        let mut slots: Vec<Option<CampaignError>> = Vec::with_capacity(self.items.len());
+        let mut prepared: Vec<PreparedItem<'_>> = Vec::new();
+        for (item, (image, config)) in self.items.iter().enumerate() {
+            if config.sim.nthreads == 0 {
+                slots.push(Some(CampaignError::NoThreads));
+                continue;
+            }
+            let golden = engine(config.engine).run(image, &config.sim);
+            match validate_and_plan(config, &golden) {
+                Ok((faulty, plans)) => {
+                    let capacity = plans.len();
+                    prepared.push(PreparedItem {
+                        item,
+                        image,
+                        config,
+                        faulty,
+                        golden,
+                        plans,
+                        next: AtomicUsize::new(0),
+                        stop: AtomicBool::new(false),
+                        live_counts: Mutex::new(OutcomeCounts::default()),
+                        collected: Mutex::new(Vec::with_capacity(capacity)),
+                        hist: Histogram::new(),
+                    });
+                    slots.push(None);
+                }
+                Err(error) => slots.push(Some(error)),
+            }
+        }
+        let total_jobs: usize = prepared.iter().map(|p| p.plans.len()).sum();
+        span.finish(&[
+            ("images", Value::from(prepared.len())),
+            ("injections", Value::from(total_jobs)),
+        ]);
+
+        // Stage 2: one pool over all images. The cursor names the first
+        // image that may still have unclaimed work; workers advance it
+        // (compare-exchange, so exactly one advance per exhausted image)
+        // and claim from the image's own counter, preserving the per-image
+        // contiguous-prefix invariant.
+        let span = tm_span!(recorder, "batch.execute");
+        let cursor = AtomicUsize::new(0);
+        let worker = |wid: usize| -> WorkerStats {
+            let started = Instant::now();
+            let mut stats = WorkerStats { worker: wid, ..WorkerStats::default() };
+            loop {
+                let current = cursor.load(Ordering::Relaxed);
+                if current >= prepared.len() {
+                    break;
+                }
+                let p = &prepared[current];
+                if p.stop.load(Ordering::Relaxed) {
+                    let _ = cursor.compare_exchange(
+                        current,
+                        current + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    continue;
+                }
+                let index = p.next.fetch_add(1, Ordering::Relaxed);
+                if index >= p.plans.len() {
+                    let _ = cursor.compare_exchange(
+                        current,
+                        current + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    continue;
+                }
+                let plan = p.plans[index];
+                let run_started = Instant::now();
+                let record =
+                    execute_one(engine(p.config.engine), p.image, &p.faulty, &p.golden, plan);
+                let run_us = run_started.elapsed().as_micros() as u64;
+                stats.injections += 1;
+                stats.busy_us += run_us;
+                tm_observe!(p.hist, run_us);
+                tm_event!(recorder, "injection",
+                    "image" => p.item,
+                    "index" => index,
+                    "worker" => wid,
+                    "outcome" => record.outcome.name(),
+                    "dur_us" => run_us);
+                {
+                    let mut counts = p.live_counts.lock().unwrap();
+                    counts.add(record.outcome);
+                    if abort_reached(p.config, &counts) {
+                        p.stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                p.collected.lock().unwrap().push((index, record));
+            }
+            stats.wall_us = started.elapsed().as_micros() as u64;
+            stats
+        };
+
+        let nworkers = effective_pool(self.workers, total_jobs);
+        let mut worker_stats = Vec::with_capacity(nworkers);
+        if nworkers <= 1 {
+            worker_stats.push(worker(0));
+        } else {
+            std::thread::scope(|scope| {
+                // The closure captures only shared references, so it is
+                // `Copy`: every spawn gets its own copy of the same borrows.
+                let handles: Vec<_> =
+                    (0..nworkers).map(|wid| scope.spawn(move || worker(wid))).collect();
+                for handle in handles {
+                    worker_stats.push(handle.join().expect("batch worker panicked"));
+                }
+            });
+        }
+        worker_stats.sort_unstable_by_key(|s| s.worker);
+        span.finish(&[("workers", Value::from(worker_stats.len()))]);
+
+        // Stage 3 (per image): the same index-order reduce as the
+        // single-image engine, then result assembly.
+        let span = tm_span!(recorder, "batch.reduce");
+        let mut results: Vec<Result<CampaignResult, CampaignError>> = slots
+            .into_iter()
+            .map(|slot| {
+                Err(slot.unwrap_or(CampaignError::NoThreads)) // placeholder; Ok slots overwritten below
+            })
+            .collect();
+        for p in prepared {
+            let pairs = p.collected.into_inner().unwrap();
+            let (records, counts, aborted) = reduce_campaign(pairs, p.config);
+            let telemetry = campaign_telemetry(
+                &records,
+                &counts,
+                &p.golden,
+                worker_stats.len(),
+                &p.hist,
+            );
+            results[p.item] = Ok(CampaignResult {
+                records,
+                counts,
+                golden_outputs_len: p.golden.outputs.len(),
+                branches_per_thread: p.golden.branches_per_thread.clone(),
+                aborted,
+                worker_stats: Vec::new(),
+                telemetry,
+            });
+        }
+        span.finish(&[("images", Value::from(results.len()))]);
+        for _stats in &worker_stats {
+            tm_event!(recorder, "worker",
+                "worker" => _stats.worker,
+                "injections" => _stats.injections,
+                "wall_us" => _stats.wall_us,
+                "busy_us" => _stats.busy_us);
+        }
+        recorder.flush();
+
+        BatchResult { results, worker_stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::injector::FaultModel;
+
+    fn image(src: &str) -> Arc<ProgramImage> {
+        Arc::new(ProgramImage::prepare_default(bw_ir::frontend::compile(src).expect("compile")))
+    }
+
+    const SRC: &str = r#"
+        shared int n = 12;
+        @spmd func f() {
+            var t: int = threadid();
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (i == t) { output(i * 2); }
+            }
+        }
+    "#;
+
+    #[test]
+    fn empty_batch_runs() {
+        let outcome = CampaignBatch::new().run();
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_sequential_campaigns() {
+        let img = image(SRC);
+        let configs: Vec<CampaignConfig> = (0..4)
+            .map(|i| CampaignConfig::new(8, FaultModel::BranchFlip, 2).seed(0x1000 + i))
+            .collect();
+        let mut batch = CampaignBatch::new().workers(3);
+        for config in &configs {
+            batch.push(Arc::clone(&img), config.clone());
+        }
+        let outcome = batch.run();
+        for (config, result) in configs.iter().zip(&outcome.results) {
+            let batched = result.as_ref().expect("batch campaign failed");
+            let alone = run_campaign(&img, &config.clone().workers(1)).expect("campaign");
+            assert_eq!(batched.records, alone.records);
+            assert_eq!(batched.counts, alone.counts);
+            assert_eq!(batched.aborted, alone.aborted);
+            assert_eq!(batched.branches_per_thread, alone.branches_per_thread);
+            assert_eq!(batched.golden_outputs_len, alone.golden_outputs_len);
+        }
+    }
+
+    #[test]
+    fn per_image_errors_do_not_poison_the_batch() {
+        let img = image(SRC);
+        let mut batch = CampaignBatch::new().workers(2);
+        batch.push(Arc::clone(&img), CampaignConfig::new(4, FaultModel::BranchFlip, 0));
+        batch.push(Arc::clone(&img), CampaignConfig::new(4, FaultModel::BranchFlip, 2));
+        let outcome = batch.run();
+        assert_eq!(outcome.results.len(), 2);
+        assert!(matches!(outcome.results[0], Err(CampaignError::NoThreads)));
+        assert_eq!(outcome.results[1].as_ref().unwrap().records.len(), 4);
+    }
+
+    #[test]
+    fn abort_conditions_are_honoured_per_image() {
+        let img = image(SRC);
+        let mut batch = CampaignBatch::new().workers(2);
+        let aborting =
+            CampaignConfig::new(64, FaultModel::BranchFlip, 2).abort_on_detection(true);
+        let full = CampaignConfig::new(16, FaultModel::BranchFlip, 2);
+        batch.push(Arc::clone(&img), aborting.clone());
+        batch.push(Arc::clone(&img), full.clone());
+        let outcome = batch.run();
+        let alone = run_campaign(&img, &aborting.clone().workers(1)).expect("campaign");
+        let batched = outcome.results[0].as_ref().unwrap();
+        assert_eq!(batched.records, alone.records);
+        assert_eq!(batched.aborted, alone.aborted);
+        assert_eq!(outcome.results[1].as_ref().unwrap().records.len(), 16);
+    }
+}

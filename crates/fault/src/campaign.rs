@@ -26,7 +26,8 @@ use bw_telemetry::{
     tm_event, tm_observe, tm_span, Histogram, Recorder, TelemetrySnapshot, Value, NULL_RECORDER,
 };
 use bw_vm::{
-    run_sim, run_sim_with_hook, ProgramImage, RunOutcome, RunResult, SimConfig, SplitMix64,
+    engine, Engine, EngineKind, ExecConfig, ProgramImage, RunOutcome, RunResult, SimConfig,
+    SplitMix64,
 };
 use serde::{Deserialize, Serialize};
 
@@ -118,7 +119,7 @@ impl OutcomeCounts {
         self.detected as f64 / activated as f64
     }
 
-    fn add(&mut self, outcome: FaultOutcome) {
+    pub(crate) fn add(&mut self, outcome: FaultOutcome) {
         match outcome {
             FaultOutcome::NotActivated => self.not_activated += 1,
             FaultOutcome::Detected => self.detected += 1,
@@ -222,9 +223,19 @@ pub struct CampaignConfig {
     /// stream from `(seed, injection_index)`, so results do not depend on
     /// worker scheduling.
     pub seed: u64,
-    /// The simulation configuration (thread count, monitor mode, …). The
+    /// The execution configuration (thread count, monitor mode, …). The
     /// golden run uses the same configuration with no fault.
-    pub sim: SimConfig,
+    pub sim: ExecConfig,
+    /// Which execution engine runs the golden and faulty experiments.
+    /// Defaults to [`EngineKind::Sim`], the deterministic scheduler the
+    /// paper's tables are built on. [`EngineKind::Real`] runs every
+    /// experiment on real OS threads — classifications then inherit the
+    /// host's scheduling nondeterminism (an SDC verdict compares against a
+    /// golden run whose output order must be schedule-independent), so use
+    /// it for exercising the concurrent machinery, not for reproducing the
+    /// paper's numbers. Consider lowering [`ExecConfig::watchdog_ms`]: a
+    /// deadlocked real-engine experiment costs that long in wall time.
+    pub engine: EngineKind,
     /// Worker threads for the execution stage; `0` means
     /// `std::thread::available_parallelism()`.
     pub workers: usize,
@@ -243,6 +254,7 @@ impl CampaignConfig {
             model,
             seed: 0xfa_017,
             sim: SimConfig::new(nthreads),
+            engine: EngineKind::Sim,
             workers: 0,
             abort_after_sdc: None,
             abort_on_detection: false,
@@ -252,6 +264,12 @@ impl CampaignConfig {
     /// Sets the target-selection seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the execution engine (see [`CampaignConfig::engine`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -405,18 +423,98 @@ pub fn plan_campaign(branches_per_thread: &[u64], config: &CampaignConfig) -> Ve
 /// Whether `counts` satisfies one of the configured early-abort
 /// conditions. Both conditions are monotone in the counts, which is what
 /// lets the reducer recompute the abort cut deterministically.
-fn abort_reached(config: &CampaignConfig, counts: &OutcomeCounts) -> bool {
+pub(crate) fn abort_reached(config: &CampaignConfig, counts: &OutcomeCounts) -> bool {
     config.abort_after_sdc.is_some_and(|n| counts.sdc >= n)
         || (config.abort_on_detection && counts.detected > 0)
 }
 
 fn effective_workers(config: &CampaignConfig, njobs: usize) -> usize {
-    let requested = if config.workers == 0 {
+    effective_pool(config.workers, njobs)
+}
+
+/// Worker-pool sizing shared with [`crate::batch`]: `0` = available
+/// parallelism, clamped to the job count.
+pub(crate) fn effective_pool(workers: usize, njobs: usize) -> usize {
+    let requested = if workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        config.workers
+        workers
     };
     requested.clamp(1, njobs.max(1))
+}
+
+/// Runs exactly one injection experiment on `eng` and classifies it. The
+/// unit of work shared by [`execute_campaign`] and the cross-image
+/// [`crate::batch::CampaignBatch`] pool.
+pub(crate) fn execute_one(
+    eng: &dyn Engine,
+    image: &ProgramImage,
+    faulty: &ExecConfig,
+    golden: &RunResult,
+    plan: InjectionPlan,
+) -> InjectionRecord {
+    let hook = InjectionHook::new(plan);
+    let result = eng.run_hooked(image, faulty, &hook);
+    let outcome = classify(&result, golden, hook.activated());
+    InjectionRecord { plan, branch: hook.injected_branch().map(|b| b.0), outcome }
+}
+
+/// Validates a golden run against the campaign configuration and derives
+/// the faulty-run config plus the full plan list. Shared by the
+/// single-image entry points and [`crate::batch::CampaignBatch`].
+pub(crate) fn validate_and_plan(
+    config: &CampaignConfig,
+    golden: &RunResult,
+) -> Result<(ExecConfig, Vec<InjectionPlan>), CampaignError> {
+    if config.sim.nthreads == 0 {
+        return Err(CampaignError::NoThreads);
+    }
+    if golden.outcome != RunOutcome::Completed {
+        return Err(CampaignError::GoldenRunFailed { outcome: golden.outcome });
+    }
+    if golden.branches_per_thread.len() != config.sim.nthreads as usize {
+        return Err(CampaignError::GoldenMismatch {
+            expected: config.sim.nthreads as usize,
+            actual: golden.branches_per_thread.len(),
+        });
+    }
+    // Faulty runs get a step budget derived from the golden run: a fault
+    // that corrupts a loop bound can otherwise spin for billions of steps
+    // before the generic cutoff declares a hang (the paper's injector uses
+    // a timeout for the same reason).
+    let faulty = config
+        .sim
+        .clone()
+        .max_steps(golden.total_steps.saturating_mul(8).saturating_add(100_000));
+    let plans = plan_campaign(&golden.branches_per_thread, config);
+    Ok((faulty, plans))
+}
+
+/// Assembles the deterministic result-payload telemetry of one campaign:
+/// outcome counters, the worker gauge, the injection-wall-time histogram
+/// and the golden run's own instruments under a `golden.` prefix. Shared
+/// by the single-image entry points and [`crate::batch::CampaignBatch`].
+pub(crate) fn campaign_telemetry(
+    records: &[InjectionRecord],
+    counts: &OutcomeCounts,
+    golden: &RunResult,
+    nworkers: usize,
+    inj_hist: &Histogram,
+) -> TelemetrySnapshot {
+    let mut telemetry = TelemetrySnapshot::new();
+    telemetry.push_counter("campaign.injections", records.len() as u64);
+    telemetry.push_counter("campaign.outcome.not_activated", counts.not_activated as u64);
+    telemetry.push_counter("campaign.outcome.detected", counts.detected as u64);
+    telemetry.push_counter("campaign.outcome.crashed", counts.crashed as u64);
+    telemetry.push_counter("campaign.outcome.hung", counts.hung as u64);
+    telemetry.push_counter("campaign.outcome.masked", counts.masked as u64);
+    telemetry.push_counter("campaign.outcome.sdc", counts.sdc as u64);
+    telemetry.push_gauge("campaign.workers", nworkers as u64);
+    telemetry.push_histogram("campaign.injection_us", inj_hist.snapshot());
+    // The golden run's own instruments, prefixed so queue pressure during
+    // the fault-free run can be told apart from campaign costs.
+    telemetry.merge(&golden.telemetry.prefixed("golden."));
+    telemetry
 }
 
 /// Stage 2: runs every plan, claiming injection indices monotonically from
@@ -432,15 +530,17 @@ struct ExecInstruments<'a> {
     recorder: &'a dyn Recorder,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_campaign(
     image: &ProgramImage,
-    faulty_sim: &SimConfig,
+    faulty_sim: &ExecConfig,
     golden: &RunResult,
     plans: &[InjectionPlan],
     config: &CampaignConfig,
     progress: Option<&ProgressFn<'_>>,
     _instruments: &ExecInstruments<'_>,
 ) -> (Vec<(usize, InjectionRecord)>, Vec<WorkerStats>) {
+    let eng = engine(config.engine);
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -460,10 +560,9 @@ fn execute_campaign(
                 break;
             }
             let plan = plans[index];
-            let mut hook = InjectionHook::new(plan);
             let run_started = Instant::now();
-            let result = run_sim_with_hook(image, faulty_sim, &mut hook);
-            let outcome = classify(&result, golden, hook.activated());
+            let record = execute_one(eng, image, faulty_sim, golden, plan);
+            let outcome = record.outcome;
             let run_us = run_started.elapsed().as_micros() as u64;
             stats.injections += 1;
             stats.busy_us += run_us;
@@ -480,8 +579,6 @@ fn execute_campaign(
                     stop.store(true, Ordering::Relaxed);
                 }
             }
-            let record =
-                InjectionRecord { plan, branch: hook.injected_branch.map(|b| b.0), outcome };
             collected.lock().unwrap().push((index, record));
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(callback) = progress {
@@ -523,7 +620,7 @@ fn execute_campaign(
 /// Executed indices form a contiguous prefix at least as long as that cut,
 /// so the surviving records — and every derived statistic — are identical
 /// at any worker count.
-fn reduce_campaign(
+pub(crate) fn reduce_campaign(
     mut pairs: Vec<(usize, InjectionRecord)>,
     config: &CampaignConfig,
 ) -> (Vec<InjectionRecord>, OutcomeCounts, bool) {
@@ -580,9 +677,10 @@ pub fn run_campaign_recorded(
         return Err(CampaignError::NoThreads);
     }
     // Step 1: profile — the golden run records per-thread dynamic branch
-    // counts (the paper's PIN profiling run).
+    // counts (the paper's PIN profiling run), on the same engine the
+    // faulty runs will use.
     let span = tm_span!(recorder, "campaign.golden");
-    let golden = run_sim(image, &config.sim);
+    let golden = engine(config.engine).run(image, &config.sim);
     span.finish(&[("total_steps", Value::from(golden.total_steps))]);
     run_campaign_with_golden_recorded(image, config, &golden, progress, recorder)
 }
@@ -608,30 +706,8 @@ pub fn run_campaign_with_golden_recorded(
     progress: Option<&ProgressFn<'_>>,
     recorder: &dyn Recorder,
 ) -> Result<CampaignResult, CampaignError> {
-    if config.sim.nthreads == 0 {
-        return Err(CampaignError::NoThreads);
-    }
-    if golden.outcome != RunOutcome::Completed {
-        return Err(CampaignError::GoldenRunFailed { outcome: golden.outcome });
-    }
-    if golden.branches_per_thread.len() != config.sim.nthreads as usize {
-        return Err(CampaignError::GoldenMismatch {
-            expected: config.sim.nthreads as usize,
-            actual: golden.branches_per_thread.len(),
-        });
-    }
-
-    // Faulty runs get a step budget derived from the golden run: a fault
-    // that corrupts a loop bound can otherwise spin for billions of steps
-    // before the generic cutoff declares a hang (the paper's injector uses
-    // a timeout for the same reason).
-    let faulty_sim = config
-        .sim
-        .clone()
-        .max_steps(golden.total_steps.saturating_mul(8).saturating_add(100_000));
-
     let span = tm_span!(recorder, "campaign.plan");
-    let plans = plan_campaign(&golden.branches_per_thread, config);
+    let (faulty_sim, plans) = validate_and_plan(config, golden)?;
     span.finish(&[("injections", Value::from(plans.len()))]);
 
     let inj_hist = Histogram::new();
@@ -645,19 +721,8 @@ pub fn run_campaign_with_golden_recorded(
     let (records, counts, aborted) = reduce_campaign(pairs, config);
     span.finish(&[("records", Value::from(records.len()))]);
 
-    let mut telemetry = TelemetrySnapshot::new();
-    telemetry.push_counter("campaign.injections", records.len() as u64);
-    telemetry.push_counter("campaign.outcome.not_activated", counts.not_activated as u64);
-    telemetry.push_counter("campaign.outcome.detected", counts.detected as u64);
-    telemetry.push_counter("campaign.outcome.crashed", counts.crashed as u64);
-    telemetry.push_counter("campaign.outcome.hung", counts.hung as u64);
-    telemetry.push_counter("campaign.outcome.masked", counts.masked as u64);
-    telemetry.push_counter("campaign.outcome.sdc", counts.sdc as u64);
-    telemetry.push_gauge("campaign.workers", worker_stats.len() as u64);
-    telemetry.push_histogram("campaign.injection_us", inj_hist.snapshot());
-    // The golden run's own instruments, prefixed so queue pressure during
-    // the fault-free run can be told apart from campaign costs.
-    telemetry.merge(&golden.telemetry.prefixed("golden."));
+    let telemetry =
+        campaign_telemetry(&records, &counts, golden, worker_stats.len(), &inj_hist);
     for _stats in &worker_stats {
         tm_event!(recorder, "worker",
             "worker" => _stats.worker,
@@ -680,14 +745,29 @@ pub fn run_campaign_with_golden_recorded(
 
 /// Runs `runs` fault-free executions and returns the number that reported
 /// a violation — the paper's false-positive experiment (the result must be
-/// zero, by construction of the static analysis).
+/// zero, by construction of the static analysis). Runs on the
+/// deterministic engine; see [`false_positive_runs_on`] for the real-thread
+/// variant.
 pub fn false_positive_runs(image: &ProgramImage, config: &SimConfig, runs: usize) -> usize {
+    false_positive_runs_on(EngineKind::Sim, image, config, runs)
+}
+
+/// [`false_positive_runs`] on an explicit engine. On [`EngineKind::Real`]
+/// every run exercises true cross-thread queueing, so this doubles as a
+/// stress test of the zero-false-positive guarantee under real schedules.
+pub fn false_positive_runs_on(
+    kind: EngineKind,
+    image: &ProgramImage,
+    config: &ExecConfig,
+    runs: usize,
+) -> usize {
+    let eng = engine(kind);
     let mut fps = 0;
     for i in 0..runs {
         let cfg = config
             .clone()
             .seed(config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1));
-        let result = run_sim(image, &cfg);
+        let result = eng.run(image, &cfg);
         if result.detected() {
             fps += 1;
         }

@@ -7,8 +7,10 @@
 //! [`InjectionHook`] does exactly this at interpreter level, via the VM's
 //! [`BranchHook`] integration point.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bw_ir::BranchId;
-use bw_vm::{BranchHook, FaultAction};
+use bw_vm::{BranchHook, FaultAction, SharedBranchHook};
 use serde::{Deserialize, Serialize};
 
 /// The two fault models of the paper's Section IV.
@@ -39,36 +41,66 @@ pub struct InjectionPlan {
     pub bit: u8,
 }
 
-/// A [`BranchHook`] that fires once at the planned injection point.
-#[derive(Clone, Debug)]
+/// Sentinel for "not yet activated" in [`InjectionHook`]'s atomic slot
+/// (branch ids are `u32`, so this value is unreachable).
+const NOT_ACTIVATED: u64 = u64::MAX;
+
+/// A branch hook that fires once at the planned injection point.
+///
+/// Usable from both engines: as a [`BranchHook`] on the single-OS-thread
+/// simulator and as a [`SharedBranchHook`] across the real engine's worker
+/// threads — a compare-and-swap on the activation slot guarantees the fault
+/// fires exactly once even when several threads race past the target
+/// dynamic index.
+#[derive(Debug)]
 pub struct InjectionHook {
     plan: InjectionPlan,
-    /// The static branch the fault landed on, once activated.
-    pub injected_branch: Option<BranchId>,
+    /// `NOT_ACTIVATED`, or the static branch id the fault landed on.
+    injected: AtomicU64,
 }
 
 impl InjectionHook {
     /// Creates the hook for one injection experiment.
     pub fn new(plan: InjectionPlan) -> Self {
-        InjectionHook { plan, injected_branch: None }
+        InjectionHook { plan, injected: AtomicU64::new(NOT_ACTIVATED) }
     }
 
     /// Whether the fault was actually injected (the target dynamic branch
     /// was reached).
     pub fn activated(&self) -> bool {
-        self.injected_branch.is_some()
+        self.injected_branch().is_some()
+    }
+
+    /// The static branch the fault landed on, once activated.
+    pub fn injected_branch(&self) -> Option<BranchId> {
+        match self.injected.load(Ordering::Acquire) {
+            NOT_ACTIVATED => None,
+            id => Some(BranchId(id as u32)),
+        }
     }
 }
 
-impl BranchHook for InjectionHook {
-    fn on_branch(&mut self, tid: u32, dyn_index: u64, branch: BranchId) -> Option<FaultAction> {
-        if self.injected_branch.is_some()
-            || tid != self.plan.tid
-            || dyn_index != self.plan.dyn_index
+impl SharedBranchHook for InjectionHook {
+    fn on_shared_branch(&self, tid: u32, dyn_index: u64, branch: BranchId) -> Option<FaultAction> {
+        if tid != self.plan.tid || dyn_index != self.plan.dyn_index {
+            return None;
+        }
+        // Fire-once: only the thread that wins the CAS applies the fault.
+        // (One dynamic index occurs at most once per thread per phase, but
+        // init/fini re-run as thread 0 with a fresh index stream, so the
+        // same (tid, dyn_index) can legitimately be seen more than once.)
+        if self
+            .injected
+            .compare_exchange(
+                NOT_ACTIVATED,
+                u64::from(branch.0),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
         {
             return None;
         }
-        self.injected_branch = Some(branch);
         Some(match self.plan.model {
             FaultModel::BranchFlip => FaultAction::FlipOutcome,
             FaultModel::ConditionBitFlip => FaultAction::CorruptData {
@@ -76,6 +108,12 @@ impl BranchHook for InjectionHook {
                 bit: self.plan.bit,
             },
         })
+    }
+}
+
+impl BranchHook for InjectionHook {
+    fn on_branch(&mut self, tid: u32, dyn_index: u64, branch: BranchId) -> Option<FaultAction> {
+        self.on_shared_branch(tid, dyn_index, branch)
     }
 }
 
@@ -97,7 +135,7 @@ mod tests {
         assert!(!hook.activated());
         assert_eq!(hook.on_branch(1, 3, BranchId(7)), Some(FaultAction::FlipOutcome));
         assert!(hook.activated());
-        assert_eq!(hook.injected_branch, Some(BranchId(7)));
+        assert_eq!(hook.injected_branch(), Some(BranchId(7)));
         // Never fires again.
         assert_eq!(hook.on_branch(1, 3, BranchId(7)), None);
     }

@@ -44,11 +44,13 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod campaign;
 mod injector;
 
+pub use batch::{BatchResult, CampaignBatch};
 pub use campaign::{
-    classify, false_positive_runs, plan_campaign, run_campaign, run_campaign_recorded,
+    classify, false_positive_runs, false_positive_runs_on, plan_campaign, run_campaign, run_campaign_recorded,
     run_campaign_with, run_campaign_with_golden, run_campaign_with_golden_recorded,
     CampaignConfig, CampaignError, CampaignProgress, CampaignResult, FaultOutcome,
     InjectionRecord, OutcomeCounts, ProgressFn, WorkerStats,

@@ -7,14 +7,16 @@
 //! nothing but the seed.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use bw_analysis::AnalysisConfig;
-use bw_fault::{run_campaign, CampaignConfig, FaultModel, OutcomeCounts};
+use bw_fault::{CampaignBatch, CampaignConfig, FaultModel, OutcomeCounts};
 use bw_ir::{parse_module, Module, ModulePrinter};
-use bw_vm::{ProgramImage, SimConfig};
+use bw_telemetry::{Recorder, Value, NULL_RECORDER};
+use bw_vm::{EngineKind, ProgramImage, SimConfig};
 
 use crate::generate::{generate_module, GenConfig};
-use crate::oracle::{check_image, OracleStats, DEFAULT_THREADS};
+use crate::oracle::{check_image_cross, OracleStats, DEFAULT_THREADS};
 use crate::shrink::shrink;
 
 /// Configuration of one fuzzing session.
@@ -31,6 +33,13 @@ pub struct FuzzConfig {
     /// Fault injections to run against each passing seed (0 disables the
     /// injection stage).
     pub injections: usize,
+    /// Engine the injection campaigns run on. [`EngineKind::Real`] trades
+    /// reproducibility of the injection outcomes for true-concurrency
+    /// exercise of the monitor machinery.
+    pub engine: EngineKind,
+    /// Cross-check every fault-free oracle run against the real-threads
+    /// engine (see [`crate::check_image_cross`]).
+    pub real_cross_check: bool,
 }
 
 impl Default for FuzzConfig {
@@ -41,6 +50,8 @@ impl Default for FuzzConfig {
             threads: DEFAULT_THREADS.to_vec(),
             gen: GenConfig::default(),
             injections: 0,
+            engine: EngineKind::Sim,
+            real_cross_check: false,
         }
     }
 }
@@ -94,6 +105,13 @@ impl FuzzReport {
             "  oracle: {} run(s), {} event(s), {} instance(s) ({} cross-checked)",
             s.runs, s.events, s.instances, s.checked_instances
         );
+        let cov: Vec<String> =
+            s.coverage.by_kind().iter().map(|&(name, n)| format!("{name} {n}")).collect();
+        let _ = writeln!(out, "  coverage: {}", cov.join(", "));
+        let unexercised = s.coverage.unexercised();
+        if !unexercised.is_empty() {
+            let _ = writeln!(out, "  unexercised: {}", unexercised.join(", "));
+        }
         let c = &self.injection_counts;
         if c.activated() + c.not_activated > 0 {
             let _ = writeln!(
@@ -143,6 +161,22 @@ pub fn check_module(
     threads: &[u32],
     seed: u64,
 ) -> Result<OracleStats, CheckFailure> {
+    check_module_cross(module, threads, seed, false)
+}
+
+/// [`check_module`] with the opt-in real-engine cross-check of
+/// [`crate::check_image_cross`] on the oracle stage.
+///
+/// # Errors
+///
+/// Returns the first failing stage, tagged with its class
+/// (`engine-divergence` when sim and real disagree).
+pub fn check_module_cross(
+    module: &Module,
+    threads: &[u32],
+    seed: u64,
+    real_cross: bool,
+) -> Result<OracleStats, CheckFailure> {
     let text = ModulePrinter(module).to_string();
     match parse_module(&text) {
         Ok(reparsed) if reparsed == *module => {}
@@ -162,35 +196,71 @@ pub fn check_module(
     let image = ProgramImage::try_prepare(module.clone(), AnalysisConfig::default()).map_err(
         |e| CheckFailure { class: "prepare", message: format!("verifier rejected module: {e}") },
     )?;
-    check_image(&image, threads, seed)
+    check_image_cross(&image, threads, seed, real_cross)
         .map_err(|f| CheckFailure { class: f.class(), message: f.to_string() })
 }
 
+/// How many oracle-passing seeds one [`CampaignBatch`] covers: large
+/// enough that the shared worker pool amortizes across images, small
+/// enough that failures surface before the session ends.
+const INJECT_CHUNK: usize = 64;
+
 /// Runs a fuzzing session.
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    run_fuzz_recorded(config, &NULL_RECORDER)
+}
+
+/// [`run_fuzz`] with a structured-event [`Recorder`] receiving one
+/// `fuzz.seed` event per seed (seed, status, failure class) plus the
+/// injection batches' stage spans and per-injection trace — the format
+/// `bw stats` reads back. The report itself stays a pure function of the
+/// configuration; only the trace carries wall-clock data.
+pub fn run_fuzz_recorded(config: &FuzzConfig, recorder: &dyn Recorder) -> FuzzReport {
     let mut report = FuzzReport::default();
     // Generated programs index per-thread array slots by thread ID; make
     // sure they are sized for the largest swept thread count.
     let mut gen = config.gen;
     gen.max_threads = gen.max_threads.max(config.threads.iter().copied().max().unwrap_or(1));
+    // Oracle-passing seeds waiting for the batched injection stage.
+    let mut pending: Vec<(u64, Arc<ProgramImage>)> = Vec::new();
     for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
         let module = generate_module(seed, &gen);
         report.seeds_run += 1;
-        match check_module(&module, &config.threads, seed) {
+        match check_module_cross(&module, &config.threads, seed, config.real_cross_check) {
             Ok(stats) => {
+                recorder.record(
+                    "fuzz.seed",
+                    &[("seed", Value::from(seed)), ("status", Value::from("ok"))],
+                );
                 report.stats.absorb(stats);
                 if config.injections > 0 {
-                    inject(&module, config, seed, &mut report);
+                    let image =
+                        ProgramImage::prepare(module.clone(), AnalysisConfig::default());
+                    pending.push((seed, Arc::new(image)));
+                    if pending.len() >= INJECT_CHUNK {
+                        inject_batch(&mut pending, config, &mut report, recorder);
+                    }
                 }
             }
             Err(failure) => {
+                recorder.record(
+                    "fuzz.seed",
+                    &[
+                        ("seed", Value::from(seed)),
+                        ("status", Value::from("fail")),
+                        ("class", Value::from(failure.class)),
+                    ],
+                );
                 let threads = config.threads.clone();
                 // Only accept reductions that fail in the same class as the
                 // original: without this, a "not transparent" repro can
                 // drift into an unrelated deadlock while shrinking.
                 let class = failure.class;
+                let real_cross = config.real_cross_check;
                 let min = shrink(&module, |m| {
-                    check_module(m, &threads, seed).err().is_some_and(|f| f.class == class)
+                    check_module_cross(m, &threads, seed, real_cross)
+                        .err()
+                        .is_some_and(|f| f.class == class)
                 });
                 report.failures.push(FuzzFailure {
                     seed,
@@ -201,28 +271,51 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
             }
         }
     }
+    inject_batch(&mut pending, config, &mut report, recorder);
+    // Oracle failures are pushed per seed but campaign failures only when
+    // their chunk flushes; restore the documented seed order.
+    report.failures.sort_by_key(|f| f.seed);
+    recorder.flush();
     report
 }
 
-/// Runs a bounded fault-injection campaign against a passing seed. The
-/// oracle has already proven the fault-free program completes cleanly at
-/// every swept thread count, so campaign setup errors are themselves
+/// Runs one [`CampaignBatch`] over the pending oracle-passing seeds. Each
+/// image gets exactly the per-seed campaign configuration the sequential
+/// stage used, so the deterministic per-seed outcomes (and therefore the
+/// aggregate counts) are independent of the chunking. The oracle has
+/// already proven each fault-free program completes cleanly at every
+/// swept thread count, so campaign setup errors are themselves
 /// oracle-grade failures.
-fn inject(module: &Module, config: &FuzzConfig, seed: u64, report: &mut FuzzReport) {
+fn inject_batch(
+    pending: &mut Vec<(u64, Arc<ProgramImage>)>,
+    config: &FuzzConfig,
+    report: &mut FuzzReport,
+    recorder: &dyn Recorder,
+) {
+    if pending.is_empty() {
+        return;
+    }
     let nthreads = config.threads.iter().copied().max().unwrap_or(4);
-    let image = ProgramImage::prepare(module.clone(), AnalysisConfig::default());
-    let sim = SimConfig::new(nthreads).seed(seed).max_steps(2_000_000);
-    let cc = CampaignConfig::new(config.injections, FaultModel::BranchFlip, nthreads)
-        .seed(seed)
-        .sim(sim);
-    match run_campaign(&image, &cc) {
-        Ok(res) => merge_counts(&mut report.injection_counts, &res.counts),
-        Err(e) => report.failures.push(FuzzFailure {
-            seed,
-            message: format!("fault campaign refused a program the oracle passed: {e}"),
-            minimized: ModulePrinter(module).to_string(),
-            minimized_insts: module.num_insts(),
-        }),
+    let mut batch = CampaignBatch::new();
+    for (seed, image) in pending.iter() {
+        let sim = SimConfig::new(nthreads).seed(*seed).max_steps(2_000_000);
+        let cc = CampaignConfig::new(config.injections, FaultModel::BranchFlip, nthreads)
+            .seed(*seed)
+            .sim(sim)
+            .engine(config.engine);
+        batch.push(Arc::clone(image), cc);
+    }
+    let outcome = batch.run_recorded(recorder);
+    for ((seed, image), result) in pending.drain(..).zip(outcome.results) {
+        match result {
+            Ok(res) => merge_counts(&mut report.injection_counts, &res.counts),
+            Err(e) => report.failures.push(FuzzFailure {
+                seed,
+                message: format!("fault campaign refused a program the oracle passed: {e}"),
+                minimized: ModulePrinter(&image.module).to_string(),
+                minimized_insts: image.module.num_insts(),
+            }),
+        }
     }
 }
 
@@ -246,6 +339,8 @@ mod tests {
             threads: vec![1, 2],
             gen: GenConfig { max_stmts: 10, ..GenConfig::default() },
             injections: 0,
+            engine: EngineKind::Sim,
+            real_cross_check: false,
         }
     }
 
@@ -269,6 +364,26 @@ mod tests {
         assert!(r.ok(), "unexpected failures:\n{}", r.render());
         let c = &r.injection_counts;
         assert_eq!(c.activated() + c.not_activated, 4);
+    }
+
+    #[test]
+    fn real_cross_check_passes_on_clean_seeds() {
+        let mut cfg = small_config();
+        cfg.seeds = 2;
+        cfg.real_cross_check = true;
+        let r = run_fuzz(&cfg);
+        assert!(r.ok(), "unexpected failures:\n{}", r.render());
+        // One extra (real-engine) run per thread count per seed.
+        assert_eq!(r.stats.runs, 2 * 2 * 4);
+    }
+
+    #[test]
+    fn coverage_counts_are_reported() {
+        let cfg = FuzzConfig { seeds: 10, ..small_config() };
+        let r = run_fuzz(&cfg);
+        assert!(r.ok(), "unexpected failures:\n{}", r.render());
+        assert_eq!(r.stats.coverage.total(), r.stats.checked_instances);
+        assert!(r.render().contains("coverage: shared-uniform"));
     }
 
     #[test]

@@ -26,10 +26,13 @@ mod generate;
 mod oracle;
 mod shrink;
 
-pub use fuzz::{check_module, run_fuzz, CheckFailure, FuzzConfig, FuzzFailure, FuzzReport};
+pub use fuzz::{
+    check_module, check_module_cross, run_fuzz, run_fuzz_recorded, CheckFailure, FuzzConfig,
+    FuzzFailure, FuzzReport,
+};
 pub use generate::{generate_module, GenConfig};
 pub use oracle::{
-    check_image, sabotaged_image, transparent_counters, OracleFailure, OracleStats,
-    DEFAULT_THREADS, ORACLE_MAX_STEPS,
+    check_image, check_image_cross, sabotaged_image, transparent_counters, CoverageCounts,
+    OracleFailure, OracleStats, DEFAULT_THREADS, ORACLE_MAX_STEPS,
 };
 pub use shrink::shrink;

@@ -26,7 +26,9 @@ use std::fmt;
 use bw_analysis::{AnalysisConfig, Category, CheckKind, CheckPlan, TidCheck};
 use bw_monitor::Violation;
 use bw_telemetry::TelemetrySnapshot;
-use bw_vm::{run_sim, MonitorMode, ProgramImage, RunOutcome, RunResult, SimConfig};
+use bw_vm::{
+    engine, run_sim, EngineKind, MonitorMode, ProgramImage, RunOutcome, RunResult, SimConfig,
+};
 use bw_ir::BranchId;
 
 /// The `(thread, witness, taken)` reports of one runtime branch instance.
@@ -82,6 +84,16 @@ pub enum OracleFailure {
         /// Which observable diverged.
         detail: String,
     },
+    /// The real-threads engine disagreed with the simulator on a
+    /// schedule-independent observable (outputs, outcome, or the absence
+    /// of violations). Only produced by the opt-in cross-check of
+    /// [`check_image_cross`].
+    EngineDivergence {
+        /// Thread count of the failing run.
+        nthreads: u32,
+        /// Which observable diverged.
+        detail: String,
+    },
 }
 
 impl OracleFailure {
@@ -95,6 +107,7 @@ impl OracleFailure {
             OracleFailure::CategoryPattern { .. } => "category-pattern",
             OracleFailure::NotTransparent { .. } => "not-transparent",
             OracleFailure::NotReproducible { .. } => "not-reproducible",
+            OracleFailure::EngineDivergence { .. } => "engine-divergence",
         }
     }
 }
@@ -120,7 +133,84 @@ impl fmt::Display for OracleFailure {
             OracleFailure::NotReproducible { nthreads, detail } => {
                 write!(f, "run not reproducible at {nthreads} thread(s): {detail}")
             }
+            OracleFailure::EngineDivergence { nthreads, detail } => {
+                write!(f, "real engine diverges from sim at {nthreads} thread(s): {detail}")
+            }
         }
+    }
+}
+
+/// How many monitor-checkable instances (two or more reporting threads)
+/// each check kind received during an oracle sweep. A category left at
+/// zero after a fuzz session means that session never actually exercised
+/// the corresponding monitor checker — passing proves nothing about it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverageCounts {
+    /// [`CheckKind::SharedUniform`] instances checked.
+    pub shared_uniform: u64,
+    /// [`TidCheck::AtMostOneTaken`] instances checked.
+    pub tid_at_most_one_taken: u64,
+    /// [`TidCheck::AtMostOneNotTaken`] instances checked.
+    pub tid_at_most_one_not_taken: u64,
+    /// [`TidCheck::TakenIsPrefix`] instances checked.
+    pub tid_taken_is_prefix: u64,
+    /// [`TidCheck::TakenIsSuffix`] instances checked.
+    pub tid_taken_is_suffix: u64,
+    /// [`CheckKind::GroupByWitness`] instances checked.
+    pub group_by_witness: u64,
+}
+
+impl CoverageCounts {
+    /// Records one checked instance of `kind`.
+    pub fn record(&mut self, kind: &CheckKind) {
+        match kind {
+            CheckKind::SharedUniform => self.shared_uniform += 1,
+            CheckKind::ThreadIdPredicate(TidCheck::AtMostOneTaken) => {
+                self.tid_at_most_one_taken += 1;
+            }
+            CheckKind::ThreadIdPredicate(TidCheck::AtMostOneNotTaken) => {
+                self.tid_at_most_one_not_taken += 1;
+            }
+            CheckKind::ThreadIdPredicate(TidCheck::TakenIsPrefix) => {
+                self.tid_taken_is_prefix += 1;
+            }
+            CheckKind::ThreadIdPredicate(TidCheck::TakenIsSuffix) => {
+                self.tid_taken_is_suffix += 1;
+            }
+            CheckKind::GroupByWitness => self.group_by_witness += 1,
+        }
+    }
+
+    /// `(name, count)` pairs in a fixed order, for reporting.
+    pub fn by_kind(&self) -> [(&'static str, u64); 6] {
+        [
+            ("shared-uniform", self.shared_uniform),
+            ("tid-at-most-one-taken", self.tid_at_most_one_taken),
+            ("tid-at-most-one-not-taken", self.tid_at_most_one_not_taken),
+            ("tid-taken-is-prefix", self.tid_taken_is_prefix),
+            ("tid-taken-is-suffix", self.tid_taken_is_suffix),
+            ("group-by-witness", self.group_by_witness),
+        ]
+    }
+
+    /// Names of the check kinds that never saw a checked instance.
+    pub fn unexercised(&self) -> Vec<&'static str> {
+        self.by_kind().iter().filter(|&&(_, n)| n == 0).map(|&(name, _)| name).collect()
+    }
+
+    /// Total checked instances across all kinds.
+    pub fn total(&self) -> u64 {
+        self.by_kind().iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Accumulates another sweep's counts.
+    pub fn absorb(&mut self, other: CoverageCounts) {
+        self.shared_uniform += other.shared_uniform;
+        self.tid_at_most_one_taken += other.tid_at_most_one_taken;
+        self.tid_at_most_one_not_taken += other.tid_at_most_one_not_taken;
+        self.tid_taken_is_prefix += other.tid_taken_is_prefix;
+        self.tid_taken_is_suffix += other.tid_taken_is_suffix;
+        self.group_by_witness += other.group_by_witness;
     }
 }
 
@@ -135,6 +225,8 @@ pub struct OracleStats {
     pub instances: u64,
     /// Instances with at least two reporting threads (monitor-checkable).
     pub checked_instances: u64,
+    /// Checked instances broken down by check kind.
+    pub coverage: CoverageCounts,
 }
 
 impl OracleStats {
@@ -144,6 +236,7 @@ impl OracleStats {
         self.events += other.events;
         self.instances += other.instances;
         self.checked_instances += other.checked_instances;
+        self.coverage.absorb(other.coverage);
     }
 }
 
@@ -159,6 +252,28 @@ pub fn check_image(
     image: &ProgramImage,
     threads: &[u32],
     base_seed: u64,
+) -> Result<OracleStats, OracleFailure> {
+    check_image_cross(image, threads, base_seed, false)
+}
+
+/// [`check_image`] with an opt-in real-engine cross-check.
+///
+/// When `real_cross` is set, every thread count additionally runs once on
+/// the OS-thread engine and the schedule-independent observables must
+/// agree with the simulator: program outputs (both engines emit them in
+/// thread-id order), the run outcome, and the absence of violations.
+/// Schedule-*dependent* observables — step counts, cycle attribution,
+/// event totals — are deliberately not compared.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] encountered; real-engine
+/// disagreement is [`OracleFailure::EngineDivergence`].
+pub fn check_image_cross(
+    image: &ProgramImage,
+    threads: &[u32],
+    base_seed: u64,
+    real_cross: bool,
 ) -> Result<OracleStats, OracleFailure> {
     let mut stats = OracleStats::default();
     for &n in threads {
@@ -195,8 +310,37 @@ pub fn check_image(
         // Invariant 2: the event stream matches the static categories.
         stats.events += r_on.branch_events.len() as u64;
         check_category_patterns(image, &r_on, n, &mut stats)?;
+
+        // Opt-in: the real-threads engine must agree on everything that
+        // does not depend on the schedule.
+        if real_cross {
+            let cfg_real = cfg_on.clone().capture_events(false);
+            let r_real = engine(EngineKind::Real).run(image, &cfg_real);
+            stats.runs += 1;
+            if let Some(detail) = diff_engines(&r_on, &r_real) {
+                return Err(OracleFailure::EngineDivergence { nthreads: n, detail });
+            }
+        }
     }
     Ok(stats)
+}
+
+/// Compares the schedule-independent subset of a sim run and a real run.
+fn diff_engines(sim: &RunResult, real: &RunResult) -> Option<String> {
+    if sim.outcome != real.outcome {
+        return Some(format!("outcome {:?} sim vs {:?} real", sim.outcome, real.outcome));
+    }
+    if sim.outputs != real.outputs {
+        return Some(format!(
+            "outputs differ: {} value(s) sim vs {} real",
+            sim.outputs.len(),
+            real.outputs.len()
+        ));
+    }
+    if let Some(v) = real.violations.first() {
+        return Some(format!("real engine false positive: {}", v.describe()));
+    }
+    None
 }
 
 fn diff_full(a: &RunResult, b: &RunResult) -> Option<String> {
@@ -292,6 +436,7 @@ fn check_category_patterns(
         stats.instances += 1;
         if reports.len() >= 2 {
             stats.checked_instances += 1;
+            stats.coverage.record(&check.kind);
         }
         reports.sort_unstable();
         if let Err(detail) = expected_pattern(&check.kind, &reports) {

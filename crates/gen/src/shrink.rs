@@ -3,15 +3,16 @@
 //! Given a module and a predicate that holds on it ("still fails"), the
 //! shrinker repeatedly tries structural reductions — dropping instructions,
 //! resolving conditional branches to one arm, deleting unreferenced
-//! functions and the init/fini roles — keeping any candidate that still
+//! functions and the init/fini roles, and simplifying result-producing
+//! instructions to plain constants — keeping any candidate that still
 //! verifies *and* still satisfies the predicate. Candidates are produced by
 //! rebuilding the function with dense value/block renumbering, so every
 //! intermediate module remains printable and re-parsable (the textual
 //! format requires dense `vN`/`bbN` numbering).
 
 use bw_ir::{
-    verify_module, Block, BlockId, FuncId, Function, Inst, Module, Op, PhiIncoming, ValueDef,
-    ValueId,
+    verify_module, Block, BlockId, FuncId, Function, Inst, Module, Op, PhiIncoming, Type, Val,
+    ValueDef, ValueId,
 };
 
 /// Minimizes `module` while `failing` keeps returning `true`.
@@ -105,7 +106,44 @@ fn step<F: FnMut(&Module) -> bool>(cur: &Module, failing: &mut F) -> Option<Modu
         }
     }
 
+    // Simplify a result-producing instruction to a constant of its type.
+    // This does not shrink the instruction count by itself, but it severs
+    // the instruction's operand uses, letting the removal passes above
+    // delete whole now-dead computation chains on later iterations —
+    // repros whose failure only needs *a* value, not the computed one,
+    // drop below the floor that operand chains would otherwise pin.
+    // Each acceptance turns one non-const instruction into a const, so
+    // the pass contributes only finitely many steps to the fixed point.
+    for (fi, f) in cur.funcs.iter().enumerate() {
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                if inst.result.is_none() || matches!(inst.op, Op::Const(_)) {
+                    continue;
+                }
+                for val in candidate_consts(inst.ty) {
+                    let mut cand = cur.clone();
+                    cand.funcs[fi].blocks[bi].insts[ii].op = Op::Const(val);
+                    if let Some(m) = accept(cand, failing) {
+                        return Some(m);
+                    }
+                }
+            }
+        }
+    }
+
     None
+}
+
+/// The constants the operand-to-constant pass tries, smallest first, for a
+/// result of type `ty`. Pointers are never constant-folded: a forged
+/// address cannot round-trip through the textual format.
+fn candidate_consts(ty: Option<Type>) -> Vec<Val> {
+    match ty {
+        Some(Type::I64) => vec![Val::I64(0), Val::I64(1), Val::I64(2)],
+        Some(Type::F64) => vec![Val::F64(0.0), Val::F64(1.0)],
+        Some(Type::Bool) => vec![Val::Bool(false), Val::Bool(true)],
+        _ => Vec::new(),
+    }
 }
 
 enum RoleSlot {
@@ -425,6 +463,37 @@ mod tests {
         // is no block-merging pass).
         assert_eq!(small.num_branches(), 0);
         assert!(small.num_insts() <= 5, "got {}", small.num_insts());
+    }
+
+    #[test]
+    fn const_simplification_breaks_operand_chains() {
+        // `output(threadid() + numthreads())`: the output's operand chain
+        // pins three instructions, so pure removal bottoms out at 5
+        // (threadid, numthreads, add, output, ret). The constant pass
+        // replaces the add with a literal, the chain dies, and the repro
+        // drops below that floor.
+        let mut m = Module::new("constfold");
+        let mut b = FunctionBuilder::new("spmd", vec![], None);
+        let t = b.thread_id();
+        let n = b.num_threads();
+        let x = b.add(t, n);
+        b.output(x);
+        b.ret(None);
+        let spmd = m.add_func(b.finish());
+        m.spmd_entry = Some(spmd);
+        verify_module(&m).unwrap();
+
+        let has_output = |m: &Module| {
+            m.funcs
+                .iter()
+                .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+                .any(|i| matches!(i.op, Op::Output(_)))
+        };
+        let small = shrink(&m, has_output);
+        assert!(has_output(&small));
+        assert!(verify_module(&small).is_ok());
+        // const + output + ret.
+        assert_eq!(small.num_insts(), 3, "got {}", small.num_insts());
     }
 
     #[test]

@@ -11,6 +11,7 @@ fn fixed_seed_batch_passes_all_invariants() {
         threads: vec![1, 2, 4, 8],
         gen: GenConfig::default(),
         injections: 0,
+        ..FuzzConfig::default()
     };
     let report = run_fuzz(&cfg);
     assert!(report.ok(), "oracle failures:\n{}", report.render());
@@ -32,6 +33,7 @@ fn fuzz_report_is_bitwise_reproducible() {
         threads: vec![2, 4],
         gen: GenConfig::default(),
         injections: 3,
+        ..FuzzConfig::default()
     };
     let a = run_fuzz(&cfg);
     let b = run_fuzz(&cfg);

@@ -1,0 +1,482 @@
+//! The engine abstraction: one execution core, pluggable schedulers.
+//!
+//! Both engines interpret the same [`ThreadState::step`] core over the same
+//! [`ProgramImage`]; what differs is the *scheduler* wrapped around it:
+//!
+//! * [`SimEngine`] — the deterministic discrete-event scheduler of
+//!   [`crate::sim`]: all threads interpreted in one OS thread under an
+//!   explicit [`MachineModel`] cost model. Bitwise-reproducible.
+//! * [`RealEngine`] — the real-threads scheduler of [`crate::real`]: one
+//!   OS thread per SPMD thread, atomic shared memory, OS synchronization
+//!   and the asynchronous monitor thread. Genuinely concurrent, hence
+//!   schedule-dependent.
+//!
+//! Determinism is therefore a *scheduler* property, not an engine-core
+//! property: [`Engine::deterministic`] tells callers (campaign planners,
+//! test oracles, golden caches) whether two runs with the same
+//! [`ExecConfig`] are bitwise-identical.
+//!
+//! Both schedulers accept the same [`ExecConfig`] and produce the same
+//! [`RunResult`]; fields a scheduler cannot honour are documented on the
+//! field and ignored (e.g. the cost model on [`RealEngine`]).
+//!
+//! [`ThreadState::step`]: crate::thread::ThreadState::step
+//! [`MachineModel`]: crate::machine::MachineModel
+
+use bw_ir::BranchId;
+use bw_monitor::{BranchEvent, Violation};
+use bw_telemetry::TelemetrySnapshot;
+use bw_ir::Val;
+use serde::{Deserialize, Serialize};
+
+use crate::image::ProgramImage;
+use crate::machine::MachineModel;
+use crate::thread::{BranchHook, FaultAction};
+use crate::trap::TrapKind;
+
+/// Which scheduler runs the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The deterministic discrete-event simulator ([`SimEngine`]).
+    Sim,
+    /// Real OS threads with the asynchronous monitor ([`RealEngine`]).
+    Real,
+}
+
+impl EngineKind {
+    /// Stable lowercase name, used in CLI flags and telemetry labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sim => "sim",
+            EngineKind::Real => "real",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(EngineKind::Sim),
+            "real" => Ok(EngineKind::Real),
+            other => Err(format!("unknown engine '{other}' (expected 'sim' or 'real')")),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the monitor does with events during a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MonitorMode {
+    /// Events are charged and checked (normal operation).
+    Enabled,
+    /// Events are charged (and, on the real engine, drained) but verdicts
+    /// are discarded — the paper's methodology for the 32-thread
+    /// performance runs on the 32-core machine.
+    SendOnly,
+    /// No instrumentation at all: the baseline program.
+    Off,
+}
+
+/// How the program executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Normal execution.
+    Normal,
+    /// Software duplication (DMR) baseline: every thread re-executes its
+    /// computation and compares (2× instruction cost, as in SWIFT/DAFT-style
+    /// software duplication), and every shared access additionally pays a
+    /// determinism-enforcement tax proportional to the thread count —
+    /// replica pairs must observe identical memory orders, and "forcing
+    /// execution order among threads incurs communication and waiting
+    /// overheads that are proportional to the number of threads" (paper
+    /// Section VI). Used for the Section VI comparison. Only meaningful on
+    /// [`SimEngine`] (it is a cost-model effect); [`RealEngine`] ignores it.
+    Duplicated,
+}
+
+/// Configuration of one run, shared by every engine.
+///
+/// Construct with [`ExecConfig::new`] and refine with the builder-style
+/// setters; the struct is `#[non_exhaustive]`, so literal construction is
+/// reserved for this crate (fields may be added without a breaking change).
+///
+/// Scheduler-specific fields are ignored by the other scheduler and say so
+/// in their docs; the common subset (`nthreads`, `monitor`, `seed`,
+/// `max_steps`) means the same thing everywhere.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct ExecConfig {
+    /// Number of SPMD threads.
+    pub nthreads: u32,
+    /// Machine cost model. [`SimEngine`] only ([`RealEngine`] has no cost
+    /// model; wall-clock on the host is meaningless for the paper's
+    /// 32-core numbers).
+    pub machine: MachineModel,
+    /// Monitor behaviour.
+    pub monitor: MonitorMode,
+    /// Execution mode (normal or duplicated baseline). [`SimEngine`] only.
+    pub exec: ExecMode,
+    /// Seed for the per-thread PRNGs.
+    pub seed: u64,
+    /// Hang cutoff. On [`SimEngine`] this bounds the *total* interpreted
+    /// instructions across all threads (the scheduler interleaves them in
+    /// one loop); on [`RealEngine`] it bounds each thread independently
+    /// (threads run free and cannot observe a global count cheaply).
+    pub max_steps: u64,
+    /// Instructions executed per scheduler slot. [`SimEngine`] only.
+    pub quantum: u32,
+    /// Determinism-enforcement cycles per shared access *per thread* in
+    /// duplicated mode (the non-scaling term of Section VI). [`SimEngine`]
+    /// only.
+    pub dup_tax: u64,
+    /// Record every [`BranchEvent`] produced in the parallel section on
+    /// [`RunResult::branch_events`]. Independent of [`MonitorMode`] (events
+    /// are captured even with the monitor off) and free of cycle cost, so
+    /// test oracles can observe the event stream without perturbing timing.
+    /// [`SimEngine`] only: on the real engine there is no deterministic
+    /// event order to record, so the field is ignored and
+    /// [`RunResult::branch_events`] stays empty.
+    pub capture_events: bool,
+    /// Per-thread SPSC event-queue capacity. [`RealEngine`] only (the
+    /// simulator's inline monitor has no queue).
+    pub queue_capacity: usize,
+    /// Wall-clock watchdog for blocked waits, in milliseconds.
+    /// [`RealEngine`] only: a real thread stuck at a barrier or mutex
+    /// cannot observe a deadlock the way the simulator's scheduler can, so
+    /// a wait past this deadline classifies the run as [`RunOutcome::Hung`]
+    /// (the moral equivalent of the paper's injection-harness timeout).
+    /// Lower it when injecting faults on the real engine — every deadlocked
+    /// experiment costs this long in wall time.
+    pub watchdog_ms: u64,
+    /// When set, [`RealEngine`] uses the hierarchical monitor tree of the
+    /// paper's Section VI with this many threads per sub-monitor, instead
+    /// of one flat monitor thread. [`SimEngine`] ignores it (the inline
+    /// monitor checks the same table either way).
+    pub hierarchy_fanout: Option<usize>,
+}
+
+impl ExecConfig {
+    /// A default configuration for `nthreads` threads.
+    pub fn new(nthreads: u32) -> Self {
+        ExecConfig {
+            nthreads,
+            machine: MachineModel::opteron_6128(),
+            monitor: MonitorMode::Enabled,
+            exec: ExecMode::Normal,
+            seed: 0xb10c_0000,
+            max_steps: 2_000_000_000,
+            quantum: 64,
+            dup_tax: 12,
+            capture_events: false,
+            queue_capacity: 1 << 14,
+            watchdog_ms: 10_000,
+            hierarchy_fanout: None,
+        }
+    }
+
+    /// Sets the monitor behaviour.
+    pub fn monitor(mut self, monitor: MonitorMode) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets the machine cost model.
+    pub fn machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the per-thread PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hang-detection step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the scheduler quantum (instructions per slot).
+    pub fn quantum(mut self, quantum: u32) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Enables (or disables) branch-event capture on the result.
+    pub fn capture_events(mut self, capture: bool) -> Self {
+        self.capture_events = capture;
+        self
+    }
+
+    /// Sets the real engine's per-thread event-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the real engine's blocked-wait watchdog (milliseconds).
+    pub fn watchdog_ms(mut self, ms: u64) -> Self {
+        self.watchdog_ms = ms;
+        self
+    }
+
+    /// Selects the real engine's hierarchical monitor tree with the given
+    /// fanout (`None` = one flat monitor thread).
+    pub fn hierarchy_fanout(mut self, fanout: Option<usize>) -> Self {
+        self.hierarchy_fanout = fanout;
+        self
+    }
+}
+
+/// Backwards-compatible alias: the simulated engine's configuration is the
+/// unified [`ExecConfig`].
+pub type SimConfig = ExecConfig;
+
+/// Backwards-compatible alias: the real engine's configuration is the
+/// unified [`ExecConfig`]. (The old `max_steps_per_thread` field is the
+/// unified `max_steps`, which the real engine interprets per thread.)
+pub type RealConfig = ExecConfig;
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// All phases completed.
+    Completed,
+    /// A thread trapped (the process crashes, as a segfault would).
+    Crashed(TrapKind),
+    /// The step budget was exhausted or the threads deadlocked.
+    Hung,
+}
+
+/// Result of one run, shared by every engine.
+///
+/// Fields a scheduler cannot produce are zero/empty and documented below;
+/// everything else means the same thing on both engines.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// How the run ended. On the real engine, the first trap (in thread-id
+    /// join order) wins.
+    pub outcome: RunOutcome,
+    /// Program output: init outputs, then each thread's outputs in thread
+    /// order, then fini outputs. The basis for SDC comparison.
+    pub outputs: Vec<Val>,
+    /// Simulated cycles of the parallel section (max over thread clocks).
+    /// Sim engine only; `0` on the real engine (no cost model).
+    pub parallel_cycles: u64,
+    /// Monitor violations (detections).
+    pub violations: Vec<Violation>,
+    /// Total interpreted instructions (all phases, all threads).
+    pub total_steps: u64,
+    /// Total monitor events sent by all threads.
+    pub events_sent: u64,
+    /// Events the monitor side actually processed. Equals `events_sent` on
+    /// the sim engine with the monitor enabled (the inline monitor never
+    /// drops); `0` with the monitor off.
+    pub events_processed: u64,
+    /// Events dropped because a queue stayed full (real engine only; the
+    /// sim engine's inline monitor cannot drop). Aggregated from every
+    /// sender through the shared drop counter, so counts survive worker
+    /// threads that exit early. Nonzero means the monitor fell behind and
+    /// verdicts may have missed violations.
+    pub events_dropped: u64,
+    /// Dynamic branches executed per thread (used by the fault injector's
+    /// profiling phase).
+    pub branches_per_thread: Vec<u64>,
+    /// Interpreted instructions per SPMD thread (parallel section only).
+    pub steps_per_thread: Vec<u64>,
+    /// Everything this run measured: `vm.*` interpreter counts and cycle
+    /// attribution, plus `monitor.*` instruments when the monitor ran, plus
+    /// a `vm.engine.<kind>` label counter. Counters and gauges are
+    /// deterministic for a given config and seed on the sim engine.
+    pub telemetry: TelemetrySnapshot,
+    /// Every branch event produced in the parallel section, in simulated
+    /// execution order. Empty unless [`ExecConfig::capture_events`] is set
+    /// — and always empty on the real engine (no deterministic order).
+    pub branch_events: Vec<BranchEvent>,
+}
+
+impl RunResult {
+    /// Whether the monitor flagged a violation.
+    pub fn detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// Backwards-compatible alias: the real engine's result is the unified
+/// [`RunResult`].
+pub type RealResult = RunResult;
+
+/// A branch hook that can be consulted from several OS threads at once.
+///
+/// The interpreter-level [`BranchHook`] takes `&mut self` — fine for the
+/// single-OS-thread simulator, unusable across the real engine's workers.
+/// Implementations of this trait use interior mutability (atomics) instead;
+/// [`SharedHookAdapter`] turns one into a per-thread [`BranchHook`].
+pub trait SharedBranchHook: Sync {
+    /// Called for every dynamic branch, exactly like
+    /// [`BranchHook::on_branch`] but through a shared reference.
+    fn on_shared_branch(&self, tid: u32, dyn_index: u64, branch: BranchId) -> Option<FaultAction>;
+}
+
+/// The no-op [`SharedBranchHook`]: fault-free execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoSharedHook;
+
+impl SharedBranchHook for NoSharedHook {
+    fn on_shared_branch(&self, _: u32, _: u64, _: BranchId) -> Option<FaultAction> {
+        None
+    }
+}
+
+/// Adapts a [`SharedBranchHook`] to the interpreter's `&mut`-based
+/// [`BranchHook`] so one shared hook can serve every worker thread.
+pub struct SharedHookAdapter<'a>(pub &'a dyn SharedBranchHook);
+
+impl BranchHook for SharedHookAdapter<'_> {
+    fn on_branch(&mut self, tid: u32, dyn_index: u64, branch: BranchId) -> Option<FaultAction> {
+        self.0.on_shared_branch(tid, dyn_index, branch)
+    }
+}
+
+/// One scheduler wrapped around the shared interpreter core.
+///
+/// # Contract
+///
+/// For every implementation, `run` and `run_hooked` must:
+///
+/// * execute init single-threaded, then `nthreads` SPMD threads, then fini
+///   single-threaded, collecting outputs in (init, thread-id, fini) order;
+/// * consult the hook for every dynamic branch (init and fini run as
+///   thread 0), applying any returned [`FaultAction`] *after* the
+///   instrumentation witness is captured;
+/// * classify the end state as `Completed`, first-trap `Crashed`, or
+///   `Hung` on budget exhaustion / deadlock;
+/// * honour [`MonitorMode`]: `Enabled` checks events, `SendOnly` pays the
+///   send path but discards verdicts, `Off` sends nothing.
+///
+/// What is **not** part of the contract: determinism (ask
+/// [`Engine::deterministic`]), cycle accounting, event capture, and which
+/// `ExecConfig` knobs beyond the common subset take effect — those are
+/// scheduler properties, documented per field.
+pub trait Engine: Sync {
+    /// Which scheduler this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Whether two runs with identical `(image, config)` produce
+    /// bitwise-identical [`RunResult`]s (outputs, outcome, counters, event
+    /// order). Golden caches and campaign planners require this.
+    fn deterministic(&self) -> bool;
+
+    /// Runs `image` under this scheduler with a fault-injection hook.
+    fn run_hooked(
+        &self,
+        image: &ProgramImage,
+        config: &ExecConfig,
+        hook: &dyn SharedBranchHook,
+    ) -> RunResult;
+
+    /// Runs `image` fault-free under this scheduler.
+    fn run(&self, image: &ProgramImage, config: &ExecConfig) -> RunResult {
+        self.run_hooked(image, config, &NoSharedHook)
+    }
+}
+
+/// The deterministic discrete-event scheduler (see [`crate::sim`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimEngine;
+
+impl Engine for SimEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sim
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_hooked(
+        &self,
+        image: &ProgramImage,
+        config: &ExecConfig,
+        hook: &dyn SharedBranchHook,
+    ) -> RunResult {
+        let mut adapter = SharedHookAdapter(hook);
+        crate::sim::run_sim_with_hook(image, config, &mut adapter)
+    }
+}
+
+/// The real-OS-threads scheduler (see [`crate::real`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealEngine;
+
+impl Engine for RealEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Real
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run_hooked(
+        &self,
+        image: &ProgramImage,
+        config: &ExecConfig,
+        hook: &dyn SharedBranchHook,
+    ) -> RunResult {
+        crate::real::run_real_engine(image, config, hook)
+    }
+}
+
+/// The engine implementing `kind`, as a shared static (engines are
+/// stateless).
+pub fn engine(kind: EngineKind) -> &'static dyn Engine {
+    match kind {
+        EngineKind::Sim => &SimEngine,
+        EngineKind::Real => &RealEngine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in [EngineKind::Sim, EngineKind::Real] {
+            assert_eq!(kind.name().parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(engine(kind).kind(), kind);
+        }
+        assert!("fast".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn determinism_is_a_scheduler_property() {
+        assert!(engine(EngineKind::Sim).deterministic());
+        assert!(!engine(EngineKind::Real).deterministic());
+    }
+
+    #[test]
+    fn config_aliases_are_the_unified_type() {
+        let sim = SimConfig::new(4);
+        let real: RealConfig = sim.clone();
+        assert_eq!(sim, real);
+        assert_eq!(real.queue_capacity, 1 << 14);
+        assert_eq!(real.hierarchy_fanout, None);
+    }
+}

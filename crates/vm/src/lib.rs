@@ -16,6 +16,11 @@
 //!   lock-free queues actually crossing threads. Used to validate the
 //!   monitor machinery under true concurrency.
 //!
+//! Both are implementations of the [`Engine`] trait over one unified
+//! [`ExecConfig`]/[`RunResult`] pair — pick one at runtime with
+//! [`engine`]`(`[`EngineKind`]`)`. Determinism is a property of the
+//! scheduler ([`Engine::deterministic`]), not of the shared core.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+mod engine;
 mod image;
 mod machine;
 mod memory;
@@ -46,15 +52,17 @@ mod telemetry;
 mod thread;
 mod trap;
 
+pub use engine::{
+    engine, Engine, EngineKind, ExecConfig, ExecMode, MonitorMode, NoSharedHook, RealConfig,
+    RealEngine, RealResult, RunOutcome, RunResult, SharedBranchHook, SharedHookAdapter,
+    SimConfig, SimEngine,
+};
 pub use image::{BranchRuntime, FuncMeta, PrepareTimings, ProgramImage};
 pub use telemetry::VmTelemetry;
 pub use machine::MachineModel;
 pub use memory::{AtomicMemory, LocalMemory, SharedMemory, SimMemory};
-pub use real::{run_real, RealConfig, RealResult};
-pub use sim::{
-    run_module, run_sim, run_sim_with_hook, ExecMode, MonitorMode, RunOutcome, RunResult,
-    SimConfig,
-};
+pub use real::run_real;
+pub use sim::{run_module, run_sim, run_sim_with_hook};
 pub use thread::{
     BranchHook, CostClass, FaultAction, Frame, NoHook, SplitMix64, StepOutcome, ThreadState,
     MAX_CALL_DEPTH,

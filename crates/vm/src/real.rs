@@ -6,82 +6,37 @@
 //! the paper's 32-core numbers; that is the simulator's job) but it
 //! exercises the concurrency for real: queue pushes race with the monitor's
 //! drains, and memory is genuinely shared. Used for the false-positive
-//! experiments and as a sanity check that the lock-free machinery works.
+//! experiments, the sim-vs-real parity suite and as a sanity check that the
+//! lock-free machinery works.
+//!
+//! Unlike the simulator, this scheduler cannot observe a deadlock directly
+//! (a thread stuck in `pthread_barrier_wait` is invisible to the others),
+//! so blocked threads carry a wall-clock **watchdog**
+//! ([`ExecConfig::watchdog_ms`]): a thread that waits past the deadline
+//! declares the run hung, trips a shared stop flag and wakes every waiter
+//! — the moral equivalent of the paper's injection-harness timeout. The
+//! first trap likewise trips the stop flag, because a trap in a real
+//! process kills every thread, which is also exactly what the simulator
+//! models.
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
+use bw_ir::Val;
 use bw_monitor::{
     spsc_queue, CheckTable, EventSender, HierarchicalMonitorThread, MonitorThread, Violation,
 };
-use bw_ir::Val;
 use bw_telemetry::TelemetrySnapshot;
 
+use crate::engine::{
+    ExecConfig, MonitorMode, RealConfig, RealResult, RunOutcome, RunResult, SharedBranchHook,
+    SharedHookAdapter,
+};
 use crate::image::ProgramImage;
 use crate::memory::AtomicMemory;
-use crate::sim::RunOutcome;
-use crate::thread::{NoHook, StepOutcome, ThreadState};
+use crate::thread::{StepOutcome, ThreadState};
 use crate::trap::TrapKind;
-
-/// Configuration of a real-threads run.
-#[derive(Clone, Debug)]
-pub struct RealConfig {
-    /// Number of SPMD threads.
-    pub nthreads: u32,
-    /// Per-thread queue capacity (events).
-    pub queue_capacity: usize,
-    /// Seed for the per-thread PRNGs.
-    pub seed: u64,
-    /// Per-thread step limit (hang cutoff).
-    pub max_steps_per_thread: u64,
-    /// When set, use the hierarchical monitor tree of the paper's
-    /// Section VI with this many threads per sub-monitor, instead of one
-    /// flat monitor thread.
-    pub hierarchy_fanout: Option<usize>,
-}
-
-impl RealConfig {
-    /// A default configuration for `nthreads` threads.
-    pub fn new(nthreads: u32) -> Self {
-        RealConfig {
-            nthreads,
-            queue_capacity: 1 << 14,
-            seed: 0xb10c_0000,
-            max_steps_per_thread: 500_000_000,
-            hierarchy_fanout: None,
-        }
-    }
-}
-
-/// Result of a real-threads run.
-#[derive(Debug)]
-pub struct RealResult {
-    /// How the run ended (first trap wins; hangs are per-thread step-limit
-    /// exhaustion).
-    pub outcome: RunOutcome,
-    /// Program output (init, threads in id order, fini).
-    pub outputs: Vec<Val>,
-    /// Violations the monitor (flat or hierarchical) reported.
-    pub violations: Vec<Violation>,
-    /// Events the monitor side processed.
-    pub events_processed: u64,
-    /// Events dropped because a queue stayed full, aggregated from every
-    /// sender through the shared drop counter (so counts survive worker
-    /// threads that exit early). Nonzero means the monitor fell behind and
-    /// verdicts may have missed violations.
-    pub events_dropped: u64,
-    /// `monitor.*` instruments from the monitor (queue high-water marks,
-    /// flush batches, per-check-kind violation tallies) plus `vm.*` send
-    /// counts from the workers.
-    pub telemetry: TelemetrySnapshot,
-}
-
-impl RealResult {
-    /// Whether the monitor flagged a violation.
-    pub fn detected(&self) -> bool {
-        !self.violations.is_empty()
-    }
-}
 
 enum AnyMonitor {
     Flat(MonitorThread),
@@ -116,7 +71,19 @@ impl AnyMonitor {
     }
 }
 
-/// A mutex usable with unpaired lock/unlock coming from interpreted code.
+/// How a blocking wait ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WaitOutcome {
+    /// The wait completed normally (lock acquired / barrier released).
+    Released,
+    /// Another thread tripped the stop flag while we waited.
+    Stopped,
+    /// The watchdog deadline passed: the run is deadlocked.
+    TimedOut,
+}
+
+/// A mutex usable with unpaired lock/unlock coming from interpreted code,
+/// with stop-flag and watchdog support on the blocking path.
 struct RawMutex {
     state: Mutex<bool>,
     cv: Condvar,
@@ -127,12 +94,22 @@ impl RawMutex {
         RawMutex { state: Mutex::new(false), cv: Condvar::new() }
     }
 
-    fn lock(&self) {
+    fn lock(&self, stop: &AtomicBool, deadline: Instant) -> WaitOutcome {
         let mut held = self.state.lock().expect("mutex poisoned");
         while *held {
-            held = self.cv.wait(held).expect("mutex poisoned");
+            if stop.load(Ordering::Relaxed) {
+                return WaitOutcome::Stopped;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            let (guard, _) =
+                self.cv.wait_timeout(held, deadline - now).expect("mutex poisoned");
+            held = guard;
         }
         *held = true;
+        WaitOutcome::Released
     }
 
     /// Returns `false` if the mutex was not held (interpreter bug or
@@ -146,188 +123,415 @@ impl RawMutex {
         self.cv.notify_one();
         true
     }
+
+    /// Wakes every waiter so it can observe a freshly tripped stop flag.
+    fn interrupt(&self) {
+        let _guard = self.state.lock().expect("mutex poisoned");
+        self.cv.notify_all();
+    }
 }
 
-/// Runs `image` on real OS threads with the asynchronous monitor.
-pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
+/// A reusable barrier with stop-flag and watchdog support. `std`'s
+/// `Barrier` cannot be interrupted, which would leave workers stuck forever
+/// when a fault makes one thread miss its arrival.
+struct RawBarrier {
+    state: Mutex<BarrierGen>,
+    cv: Condvar,
+    participants: usize,
+}
+
+struct BarrierGen {
+    arrived: usize,
+    generation: u64,
+}
+
+impl RawBarrier {
+    fn new(participants: usize) -> Self {
+        RawBarrier {
+            state: Mutex::new(BarrierGen { arrived: 0, generation: 0 }),
+            cv: Condvar::new(),
+            participants,
+        }
+    }
+
+    fn wait(&self, stop: &AtomicBool, deadline: Instant) -> WaitOutcome {
+        let mut s = self.state.lock().expect("barrier poisoned");
+        s.arrived += 1;
+        if s.arrived >= self.participants {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return WaitOutcome::Released;
+        }
+        let generation = s.generation;
+        while s.generation == generation {
+            if stop.load(Ordering::Relaxed) {
+                s.arrived -= 1;
+                return WaitOutcome::Stopped;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                s.arrived -= 1;
+                return WaitOutcome::TimedOut;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, deadline - now).expect("barrier poisoned");
+            s = guard;
+        }
+        WaitOutcome::Released
+    }
+
+    /// Wakes every waiter so it can observe a freshly tripped stop flag.
+    fn interrupt(&self) {
+        let _guard = self.state.lock().expect("barrier poisoned");
+        self.cv.notify_all();
+    }
+}
+
+/// Trips the stop flag and wakes everything that might be blocked on it.
+/// Notifications happen under each primitive's lock, so a waiter that has
+/// checked the flag but not yet parked cannot miss the wakeup.
+fn trip_stop(stop: &AtomicBool, mutexes: &[RawMutex], barriers: &[RawBarrier]) {
+    stop.store(true, Ordering::Relaxed);
+    for m in mutexes {
+        m.interrupt();
+    }
+    for b in barriers {
+        b.interrupt();
+    }
+}
+
+/// What one worker thread brought back.
+struct WorkerExit {
+    outputs: Vec<Val>,
+    trap: Option<TrapKind>,
+    hung: bool,
+    sent: u64,
+    steps: u64,
+    dyn_branches: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    tid: u32,
+    entry: Option<bw_ir::FuncId>,
+    image: &ProgramImage,
+    mem: &AtomicMemory,
+    mutexes: &[RawMutex],
+    barriers: &[RawBarrier],
+    stop: &AtomicBool,
+    deadline: Instant,
+    config: &ExecConfig,
+    hook: &dyn SharedBranchHook,
+    mut sender: Option<EventSender>,
+) -> WorkerExit {
+    let Some(entry) = entry else {
+        return WorkerExit {
+            outputs: Vec::new(),
+            trap: None,
+            hung: false,
+            sent: 0,
+            steps: 0,
+            dyn_branches: 0,
+        };
+    };
+    let mut adapter = SharedHookAdapter(hook);
+    let mut t = ThreadState::new(tid, entry, image, config.seed);
+    let mut trap = None;
+    let mut hung = false;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            // Another thread trapped or declared a hang; in a real process
+            // we would be dead already. Our partial state is discarded by
+            // the non-`Completed` outcome.
+            break;
+        }
+        if t.steps > config.max_steps {
+            hung = true;
+            trip_stop(stop, mutexes, barriers);
+            break;
+        }
+        match t.step(image, mem, config.nthreads, &mut adapter) {
+            StepOutcome::Ran { event, .. } => {
+                if let (Some(event), Some(sender)) = (event, sender.as_mut()) {
+                    sender.send(event);
+                }
+            }
+            StepOutcome::Lock(m) => match mutexes[m.index()].lock(stop, deadline) {
+                WaitOutcome::Released => {}
+                WaitOutcome::Stopped => break,
+                WaitOutcome::TimedOut => {
+                    hung = true;
+                    trip_stop(stop, mutexes, barriers);
+                    break;
+                }
+            },
+            StepOutcome::Unlock(m) => {
+                if !mutexes[m.index()].unlock() {
+                    trap = Some(TrapKind::BadUnlock);
+                    trip_stop(stop, mutexes, barriers);
+                    break;
+                }
+            }
+            StepOutcome::Barrier(b) => match barriers[b.index()].wait(stop, deadline) {
+                WaitOutcome::Released => {}
+                WaitOutcome::Stopped => break,
+                WaitOutcome::TimedOut => {
+                    hung = true;
+                    trip_stop(stop, mutexes, barriers);
+                    break;
+                }
+            },
+            StepOutcome::Done => break,
+            StepOutcome::Trap(k) => {
+                trap = Some(k);
+                trip_stop(stop, mutexes, barriers);
+                break;
+            }
+        }
+    }
+    // Dropping the sender (at return) flushes its drop count into the
+    // shared counter the monitor reads at join.
+    WorkerExit {
+        sent: sender.as_ref().map_or(0, |s| s.sent()),
+        outputs: std::mem::take(&mut t.outputs),
+        trap,
+        hung,
+        steps: t.steps,
+        dyn_branches: t.dyn_branches,
+    }
+}
+
+/// Runs a single-threaded phase (init / fini) on thread 0 state. Outputs
+/// are appended only on success, like the simulator's serial phases.
+fn run_serial_phase(
+    image: &ProgramImage,
+    mem: &AtomicMemory,
+    func: bw_ir::FuncId,
+    config: &ExecConfig,
+    hook: &dyn SharedBranchHook,
+    outputs: &mut Vec<Val>,
+    total_steps: &mut u64,
+) -> Result<(), RunOutcome> {
+    let mut adapter = SharedHookAdapter(hook);
+    let mut t = ThreadState::new(0, func, image, config.seed ^ 0xfeed);
+    let result = loop {
+        if t.steps > config.max_steps {
+            break Err(RunOutcome::Hung);
+        }
+        match t.step(image, mem, config.nthreads, &mut adapter) {
+            StepOutcome::Ran { .. } => {}
+            // Sync ops are no-ops single-threaded (a barrier with
+            // nthreads participants in init would deadlock a real
+            // program; our ports never do this).
+            StepOutcome::Lock(_) | StepOutcome::Unlock(_) | StepOutcome::Barrier(_) => {}
+            StepOutcome::Done => break Ok(()),
+            StepOutcome::Trap(k) => break Err(RunOutcome::Crashed(k)),
+        }
+    };
+    *total_steps += t.steps;
+    if result.is_ok() {
+        outputs.append(&mut t.outputs);
+    }
+    result
+}
+
+/// The real engine's run loop; reached through
+/// [`RealEngine`](crate::engine::RealEngine) or the [`run_real`] wrapper.
+pub(crate) fn run_real_engine(
+    image: &ProgramImage,
+    config: &ExecConfig,
+    hook: &dyn SharedBranchHook,
+) -> RunResult {
     let n = config.nthreads;
-    let mem = Arc::new(AtomicMemory::new(&image.module));
+    let mem = AtomicMemory::new(&image.module);
     let mut outputs = Vec::new();
+    let mut total_steps = 0u64;
+
+    let finish = |outcome: RunOutcome,
+                  outputs: Vec<Val>,
+                  total_steps: u64,
+                  events: (u64, u64, u64),
+                  violations: Vec<Violation>,
+                  branches_per_thread: Vec<u64>,
+                  steps_per_thread: Vec<u64>,
+                  mut telemetry: TelemetrySnapshot| {
+        let (events_sent, events_processed, events_dropped) = events;
+        telemetry.push_counter("vm.engine.real", 1);
+        telemetry.push_counter("vm.instructions", total_steps);
+        telemetry.push_counter("vm.events_sent", events_sent);
+        telemetry
+            .push_counter("vm.branches", branches_per_thread.iter().copied().sum::<u64>());
+        for (tid, steps) in steps_per_thread.iter().enumerate() {
+            telemetry.push_counter(format!("vm.thread.{tid}.steps"), *steps);
+        }
+        RunResult {
+            outcome,
+            outputs,
+            parallel_cycles: 0,
+            violations,
+            total_steps,
+            events_sent,
+            events_processed,
+            events_dropped,
+            branches_per_thread,
+            steps_per_thread,
+            telemetry,
+            branch_events: Vec::new(),
+        }
+    };
 
     // Phase 1: init, single-threaded.
     if let Some(init) = image.module.init {
-        let mut t = ThreadState::new(0, init, image, config.seed ^ 0xfeed);
-        loop {
-            match t.step(image, &*mem, n, &mut NoHook) {
-                StepOutcome::Ran { .. }
-                | StepOutcome::Lock(_)
-                | StepOutcome::Unlock(_)
-                | StepOutcome::Barrier(_) => {}
-                StepOutcome::Done => break,
-                StepOutcome::Trap(k) => {
-                    return RealResult {
-                        outcome: RunOutcome::Crashed(k),
-                        outputs,
-                        violations: Vec::new(),
-                        events_processed: 0,
-                        events_dropped: 0,
-                        telemetry: TelemetrySnapshot::new(),
-                    }
-                }
-            }
-            if t.steps > config.max_steps_per_thread {
-                return RealResult {
-                    outcome: RunOutcome::Hung,
-                    outputs,
-                    violations: Vec::new(),
-                    events_processed: 0,
-                    events_dropped: 0,
-                    telemetry: TelemetrySnapshot::new(),
-                };
-            }
+        if let Err(outcome) =
+            run_serial_phase(image, &mem, init, config, hook, &mut outputs, &mut total_steps)
+        {
+            return finish(
+                outcome,
+                outputs,
+                total_steps,
+                (0, 0, 0),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+                TelemetrySnapshot::new(),
+            );
         }
-        outputs.append(&mut t.outputs);
     }
 
     // Phase 2: parallel section with monitor thread.
-    let mutexes: Arc<Vec<RawMutex>> =
-        Arc::new((0..image.module.num_mutexes).map(|_| RawMutex::new()).collect());
-    let barriers: Arc<Vec<std::sync::Barrier>> = Arc::new(
-        (0..image.module.num_barriers).map(|_| std::sync::Barrier::new(n as usize)).collect(),
-    );
+    let mutexes: Vec<RawMutex> =
+        (0..image.module.num_mutexes).map(|_| RawMutex::new()).collect();
+    let barriers: Vec<RawBarrier> =
+        (0..image.module.num_barriers).map(|_| RawBarrier::new(n as usize)).collect();
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_millis(config.watchdog_ms);
 
     // One drop counter shared by every sender and the monitor: each sender
     // flushes its drop count into it when it goes away (even on early
     // thread exit), and the joined monitor folds in the total.
     let drops = Arc::new(AtomicU64::new(0));
-    let mut producers = Vec::new();
-    let mut consumers = Vec::new();
-    for _ in 0..n {
-        let (p, c) = spsc_queue(config.queue_capacity);
-        producers.push(EventSender::with_drop_counter(p, Arc::clone(&drops)));
-        consumers.push(c);
-    }
-    let monitor = match config.hierarchy_fanout {
-        Some(fanout) => AnyMonitor::Tree(HierarchicalMonitorThread::spawn_with_drop_counter(
-            CheckTable::from_plan(&image.plan),
-            n as usize,
-            consumers,
-            fanout,
-            Arc::clone(&drops),
-        )),
-        None => AnyMonitor::Flat(MonitorThread::spawn_with_drop_counter(
-            CheckTable::from_plan(&image.plan),
-            n as usize,
-            consumers,
-            Arc::clone(&drops),
-        )),
+    let (senders, monitor) = match config.monitor {
+        MonitorMode::Off => ((0..n).map(|_| None).collect::<Vec<_>>(), None),
+        MonitorMode::Enabled | MonitorMode::SendOnly => {
+            let mut producers = Vec::new();
+            let mut consumers = Vec::new();
+            for _ in 0..n {
+                let (p, c) = spsc_queue(config.queue_capacity);
+                producers.push(Some(EventSender::with_drop_counter(p, Arc::clone(&drops))));
+                consumers.push(c);
+            }
+            let monitor = match config.hierarchy_fanout {
+                Some(fanout) => {
+                    AnyMonitor::Tree(HierarchicalMonitorThread::spawn_with_drop_counter(
+                        CheckTable::from_plan(&image.plan),
+                        n as usize,
+                        consumers,
+                        fanout,
+                        Arc::clone(&drops),
+                    ))
+                }
+                None => AnyMonitor::Flat(MonitorThread::spawn_with_drop_counter(
+                    CheckTable::from_plan(&image.plan),
+                    n as usize,
+                    consumers,
+                    Arc::clone(&drops),
+                )),
+            };
+            (producers, Some(monitor))
+        }
     };
 
     let entry = image.module.spmd_entry;
-    let handles: Vec<_> = producers
-        .into_iter()
-        .enumerate()
-        .map(|(tid, mut sender)| {
-            let image = Arc::clone(image);
-            let mem = Arc::clone(&mem);
-            let mutexes = Arc::clone(&mutexes);
-            let barriers = Arc::clone(&barriers);
-            let max_steps = config.max_steps_per_thread;
-            let seed = config.seed;
-            std::thread::Builder::new()
-                .name(format!("bw-worker-{tid}"))
-                .spawn(move || -> (Vec<Val>, Result<(), TrapKind>, u64, u64, bool) {
-                    let Some(entry) = entry else {
-                        return (Vec::new(), Ok(()), 0, 0, false);
-                    };
-                    let mut t = ThreadState::new(tid as u32, entry, &image, seed);
-                    let mut hung = false;
-                    let result = loop {
-                        if t.steps > max_steps {
-                            hung = true;
-                            break Ok(());
-                        }
-                        match t.step(&image, &*mem, n, &mut NoHook) {
-                            StepOutcome::Ran { event, .. } => {
-                                if let Some(event) = event {
-                                    sender.send(event);
-                                }
-                            }
-                            StepOutcome::Lock(m) => mutexes[m.index()].lock(),
-                            StepOutcome::Unlock(m) => {
-                                if !mutexes[m.index()].unlock() {
-                                    break Err(TrapKind::BadUnlock);
-                                }
-                            }
-                            StepOutcome::Barrier(b) => {
-                                barriers[b.index()].wait();
-                            }
-                            StepOutcome::Done => break Ok(()),
-                            StepOutcome::Trap(k) => break Err(k),
-                        }
-                    };
-                    // Dropping the sender here flushes its drop count into
-                    // the shared counter the monitor reads at join.
-                    (t.outputs, result, sender.sent(), t.steps, hung)
+    let worker_exits: Vec<WorkerExit> = std::thread::scope(|scope| {
+        let mem = &mem;
+        let mutexes = &mutexes[..];
+        let barriers = &barriers[..];
+        let stop = &stop;
+        let handles: Vec<_> = senders
+            .into_iter()
+            .enumerate()
+            .map(|(tid, sender)| {
+                scope.spawn(move || {
+                    worker_loop(
+                        tid as u32, entry, image, mem, mutexes, barriers, stop, deadline,
+                        config, hook, sender,
+                    )
                 })
-                .expect("spawn worker")
-        })
-        .collect();
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
 
+    // All senders are gone, so the monitor drains the queues and exits.
+    let (mut violations, events_processed, events_dropped, monitor_telemetry) = match monitor {
+        Some(monitor) => monitor.join(),
+        None => (Vec::new(), 0, 0, TelemetrySnapshot::new()),
+    };
+    if config.monitor == MonitorMode::SendOnly {
+        // The send path ran hot (queues drained for real), but verdicts are
+        // discarded — the paper's 32-thread methodology.
+        violations.clear();
+    }
+
+    // Aggregate workers: first trap (in thread-id order) wins, like the
+    // simulator; otherwise any hang makes the run hung.
     let mut outcome = RunOutcome::Completed;
-    let mut telemetry = TelemetrySnapshot::new();
-    let mut events_sent = 0u64;
-    for (tid, handle) in handles.into_iter().enumerate() {
-        let (mut thread_outputs, result, sent, steps, hung) =
-            handle.join().expect("worker panicked");
-        outputs.append(&mut thread_outputs);
-        events_sent += sent;
-        telemetry.push_counter(format!("vm.thread.{tid}.steps"), steps);
-        match result {
-            Ok(()) if hung && outcome == RunOutcome::Completed => outcome = RunOutcome::Hung,
-            Ok(()) => {}
-            Err(k) => {
-                if outcome == RunOutcome::Completed {
-                    outcome = RunOutcome::Crashed(k);
-                }
-            }
+    for w in &worker_exits {
+        if let Some(k) = w.trap {
+            outcome = RunOutcome::Crashed(k);
+            break;
         }
     }
-    let (violations, events_processed, events_dropped, monitor_telemetry) = monitor.join();
-    telemetry.push_counter("vm.events_sent", events_sent);
-    telemetry.merge(&monitor_telemetry);
+    if outcome == RunOutcome::Completed && worker_exits.iter().any(|w| w.hung) {
+        outcome = RunOutcome::Hung;
+    }
+    let branches_per_thread: Vec<u64> = worker_exits.iter().map(|w| w.dyn_branches).collect();
+    let steps_per_thread: Vec<u64> = worker_exits.iter().map(|w| w.steps).collect();
+    let events_sent: u64 = worker_exits.iter().map(|w| w.sent).sum();
+    total_steps += steps_per_thread.iter().sum::<u64>();
+    if outcome == RunOutcome::Completed {
+        for mut w in worker_exits {
+            outputs.append(&mut w.outputs);
+        }
+    }
 
-    // Phase 3: fini.
+    // Phase 3: fini. Same seed derivation as the simulator's serial phases
+    // so the engines agree on fini-local PRNG draws.
     if outcome == RunOutcome::Completed {
         if let Some(fini) = image.module.fini {
-            let mut t = ThreadState::new(0, fini, image, config.seed ^ 0xf1f1);
-            loop {
-                match t.step(image, &*mem, n, &mut NoHook) {
-                    StepOutcome::Ran { .. }
-                    | StepOutcome::Lock(_)
-                    | StepOutcome::Unlock(_)
-                    | StepOutcome::Barrier(_) => {}
-                    StepOutcome::Done => break,
-                    StepOutcome::Trap(k) => {
-                        outcome = RunOutcome::Crashed(k);
-                        break;
-                    }
-                }
-                if t.steps > config.max_steps_per_thread {
-                    outcome = RunOutcome::Hung;
-                    break;
-                }
+            if let Err(o) =
+                run_serial_phase(image, &mem, fini, config, hook, &mut outputs, &mut total_steps)
+            {
+                outcome = o;
             }
-            outputs.append(&mut t.outputs);
         }
     }
 
-    RealResult { outcome, outputs, violations, events_processed, events_dropped, telemetry }
+    finish(
+        outcome,
+        outputs,
+        total_steps,
+        (events_sent, events_processed, events_dropped),
+        violations,
+        branches_per_thread,
+        steps_per_thread,
+        monitor_telemetry,
+    )
+}
+
+/// Runs `image` on real OS threads with the asynchronous monitor.
+///
+/// Thin wrapper kept for compatibility: prefer
+/// [`engine`](crate::engine::engine)`(`[`EngineKind::Real`](crate::engine::EngineKind)`)`
+/// when the scheduler is a parameter rather than a fixed choice.
+pub fn run_real(image: &Arc<ProgramImage>, config: &RealConfig) -> RealResult {
+    run_real_engine(image, config, &crate::engine::NoSharedHook)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{engine, EngineKind};
 
     fn image(src: &str) -> Arc<ProgramImage> {
         Arc::new(ProgramImage::prepare_default(bw_ir::frontend::compile(src).expect("compile")))
@@ -360,6 +564,8 @@ mod tests {
         assert_eq!(result.outputs.last(), Some(&Val::I64(4)));
         assert_eq!(result.events_dropped, 0);
         assert!(result.events_processed > 0);
+        assert_eq!(result.branches_per_thread.len(), 4);
+        assert!(result.total_steps > 0);
     }
 
     #[test]
@@ -416,7 +622,65 @@ mod tests {
         "#;
         let img = image(src);
         let real = run_real(&img, &RealConfig::new(4));
-        let sim = crate::sim::run_sim(&img, &crate::sim::SimConfig::new(4));
+        let sim = crate::sim::run_sim(&img, &crate::engine::SimConfig::new(4));
         assert_eq!(real.outputs, sim.outputs);
+    }
+
+    #[test]
+    fn monitor_off_sends_nothing() {
+        let image = image(
+            r#"
+            shared int n = 8;
+            @spmd func f() {
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i == threadid()) { output(i); }
+                }
+            }
+            "#,
+        );
+        let config = RealConfig::new(4).monitor(MonitorMode::Off);
+        let result = engine(EngineKind::Real).run(&image, &config);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert_eq!(result.events_sent, 0);
+        assert_eq!(result.events_processed, 0);
+        assert!(result.violations.is_empty());
+    }
+
+    #[test]
+    fn send_only_discards_verdicts_but_drains_queues() {
+        let image = image(
+            r#"
+            shared int n = 16;
+            @spmd func f() {
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i == threadid()) { output(i); }
+                }
+            }
+            "#,
+        );
+        let config = RealConfig::new(4).monitor(MonitorMode::SendOnly);
+        let result = engine(EngineKind::Real).run(&image, &config);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert!(result.events_sent > 0);
+        assert!(result.violations.is_empty());
+    }
+
+    #[test]
+    fn watchdog_classifies_a_missing_barrier_arrival_as_hung() {
+        // Thread 0 skips the barrier, so the rest wait forever; the
+        // watchdog must turn that into a Hung classification instead of
+        // wedging the test binary.
+        let image = image(
+            r#"
+            barrier b;
+            @spmd func f() {
+                if (threadid() != 0) { barrier(b); }
+                output(threadid());
+            }
+            "#,
+        );
+        let config = RealConfig::new(4).watchdog_ms(200);
+        let result = engine(EngineKind::Real).run(&image, &config);
+        assert_eq!(result.outcome, RunOutcome::Hung);
     }
 }

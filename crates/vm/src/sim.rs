@@ -18,184 +18,16 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use bw_monitor::{BranchEvent, CheckTable, Monitor, Violation};
 use bw_ir::Val;
-use bw_telemetry::{tm_add, TelemetrySnapshot};
-use serde::{Deserialize, Serialize};
+use bw_monitor::{BranchEvent, CheckTable, Monitor};
+use bw_telemetry::tm_add;
 
+use crate::engine::{ExecMode, MonitorMode, RunOutcome, RunResult, SimConfig};
 use crate::image::ProgramImage;
-use crate::machine::MachineModel;
 use crate::memory::SimMemory;
 use crate::telemetry::VmTelemetry;
 use crate::thread::{BranchHook, CostClass, NoHook, StepOutcome, ThreadState};
 use crate::trap::TrapKind;
-
-/// What the monitor does with events in a simulated run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum MonitorMode {
-    /// Events are charged and checked (normal operation).
-    Enabled,
-    /// Events are charged but dropped — the paper's methodology for the
-    /// 32-thread performance runs on the 32-core machine.
-    SendOnly,
-    /// No instrumentation at all: the baseline program.
-    Off,
-}
-
-/// How the program executes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ExecMode {
-    /// Normal execution.
-    Normal,
-    /// Software duplication (DMR) baseline: every thread re-executes its
-    /// computation and compares (2× instruction cost, as in SWIFT/DAFT-style
-    /// software duplication), and every shared access additionally pays a
-    /// determinism-enforcement tax proportional to the thread count —
-    /// replica pairs must observe identical memory orders, and "forcing
-    /// execution order among threads incurs communication and waiting
-    /// overheads that are proportional to the number of threads" (paper
-    /// Section VI). Used for the Section VI comparison.
-    Duplicated,
-}
-
-/// Configuration of one simulated run.
-///
-/// Construct with [`SimConfig::new`] and refine with the builder-style
-/// setters; the struct is `#[non_exhaustive]`, so literal construction is
-/// reserved for this crate (fields may be added without a breaking change).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[non_exhaustive]
-pub struct SimConfig {
-    /// Number of SPMD threads.
-    pub nthreads: u32,
-    /// Machine cost model.
-    pub machine: MachineModel,
-    /// Monitor behaviour.
-    pub monitor: MonitorMode,
-    /// Execution mode (normal or duplicated baseline).
-    pub exec: ExecMode,
-    /// Seed for the per-thread PRNGs.
-    pub seed: u64,
-    /// Total interpreted instructions before the run is declared hung.
-    pub max_steps: u64,
-    /// Instructions executed per scheduler slot.
-    pub quantum: u32,
-    /// Determinism-enforcement cycles per shared access *per thread* in
-    /// duplicated mode (the non-scaling term of Section VI).
-    pub dup_tax: u64,
-    /// Record every [`BranchEvent`] produced in the parallel section on
-    /// [`RunResult::branch_events`]. Independent of [`MonitorMode`] (events
-    /// are captured even with the monitor off) and free of cycle cost, so
-    /// test oracles can observe the event stream without perturbing timing.
-    pub capture_events: bool,
-}
-
-impl SimConfig {
-    /// A default configuration for `nthreads` threads.
-    pub fn new(nthreads: u32) -> Self {
-        SimConfig {
-            nthreads,
-            machine: MachineModel::opteron_6128(),
-            monitor: MonitorMode::Enabled,
-            exec: ExecMode::Normal,
-            seed: 0xb10c_0000,
-            max_steps: 2_000_000_000,
-            quantum: 64,
-            dup_tax: 12,
-            capture_events: false,
-        }
-    }
-
-    /// Sets the monitor behaviour.
-    pub fn monitor(mut self, monitor: MonitorMode) -> Self {
-        self.monitor = monitor;
-        self
-    }
-
-    /// Sets the execution mode.
-    pub fn exec(mut self, exec: ExecMode) -> Self {
-        self.exec = exec;
-        self
-    }
-
-    /// Sets the machine cost model.
-    pub fn machine(mut self, machine: MachineModel) -> Self {
-        self.machine = machine;
-        self
-    }
-
-    /// Sets the per-thread PRNG seed.
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the hang-detection step budget.
-    pub fn max_steps(mut self, max_steps: u64) -> Self {
-        self.max_steps = max_steps;
-        self
-    }
-
-    /// Sets the scheduler quantum (instructions per slot).
-    pub fn quantum(mut self, quantum: u32) -> Self {
-        self.quantum = quantum;
-        self
-    }
-
-    /// Enables (or disables) branch-event capture on the result.
-    pub fn capture_events(mut self, capture: bool) -> Self {
-        self.capture_events = capture;
-        self
-    }
-}
-
-/// How a run ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RunOutcome {
-    /// All phases completed.
-    Completed,
-    /// A thread trapped (the process crashes, as a segfault would).
-    Crashed(TrapKind),
-    /// The step budget was exhausted or the threads deadlocked.
-    Hung,
-}
-
-/// Result of one simulated run.
-#[derive(Clone, Debug)]
-pub struct RunResult {
-    /// How the run ended.
-    pub outcome: RunOutcome,
-    /// Program output: init outputs, then each thread's outputs in thread
-    /// order, then fini outputs. The basis for SDC comparison.
-    pub outputs: Vec<Val>,
-    /// Simulated cycles of the parallel section (max over thread clocks).
-    pub parallel_cycles: u64,
-    /// Monitor violations (detections).
-    pub violations: Vec<Violation>,
-    /// Total interpreted instructions.
-    pub total_steps: u64,
-    /// Total monitor events sent by all threads.
-    pub events_sent: u64,
-    /// Dynamic branches executed per thread (used by the fault injector's
-    /// profiling phase).
-    pub branches_per_thread: Vec<u64>,
-    /// Interpreted instructions per SPMD thread (parallel section only).
-    pub steps_per_thread: Vec<u64>,
-    /// Everything this run measured: `vm.*` interpreter counts and cycle
-    /// attribution, plus `monitor.*` instruments when the monitor ran.
-    /// Counters and gauges are deterministic for a given config and seed.
-    pub telemetry: TelemetrySnapshot,
-    /// Every branch event produced in the parallel section, in simulated
-    /// execution order. Empty unless [`SimConfig::capture_events`] is set.
-    pub branch_events: Vec<BranchEvent>,
-}
-
-impl RunResult {
-    /// Whether the monitor flagged a violation.
-    pub fn detected(&self) -> bool {
-        !self.violations.is_empty()
-    }
-}
 
 struct MutexState {
     owner: Option<u32>,
@@ -207,11 +39,20 @@ struct BarrierState {
 }
 
 /// Runs `image` on the simulated machine.
+///
+/// Thin wrapper kept for compatibility: prefer
+/// [`engine`](crate::engine::engine)`(`[`EngineKind::Sim`](crate::engine::EngineKind)`)`
+/// when the scheduler is a parameter rather than a fixed choice.
 pub fn run_sim(image: &ProgramImage, config: &SimConfig) -> RunResult {
     run_sim_with_hook(image, config, &mut NoHook)
 }
 
 /// Runs `image` with a fault-injection hook.
+///
+/// Thin wrapper kept for compatibility: prefer
+/// [`Engine::run_hooked`](crate::engine::Engine::run_hooked) with a
+/// [`SharedBranchHook`](crate::engine::SharedBranchHook) when the scheduler
+/// is a parameter rather than a fixed choice.
 pub fn run_sim_with_hook(
     image: &ProgramImage,
     config: &SimConfig,
@@ -376,7 +217,10 @@ impl<'a> Sim<'a> {
             }
             None => Vec::new(),
         };
+        let events_processed =
+            self.monitor.as_ref().map_or(0, |m| m.events_processed());
         let mut telemetry = self.telemetry.snapshot();
+        telemetry.push_counter("vm.engine.sim", 1);
         telemetry.push_counter("vm.instructions", self.total_steps);
         telemetry.push_counter("vm.events_sent", self.events_sent);
         telemetry.push_counter(
@@ -396,6 +240,8 @@ impl<'a> Sim<'a> {
             violations,
             total_steps: self.total_steps,
             events_sent: self.events_sent,
+            events_processed,
+            events_dropped: 0,
             branches_per_thread,
             steps_per_thread,
             telemetry,
@@ -588,6 +434,7 @@ pub fn run_module(module: bw_ir::Module, config: &SimConfig) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bw_ir::Val;
 
     fn compile(src: &str) -> ProgramImage {
         ProgramImage::prepare_default(bw_ir::frontend::compile(src).expect("compile"))

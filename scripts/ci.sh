@@ -20,4 +20,13 @@ cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 cargo run --release --quiet --bin bw -- fuzz --seeds 200 --inject 2
 cargo run --release --quiet --bin bw --no-default-features -- fuzz --seeds 200
 
+# Real-engine leg: the OS-thread scheduler must satisfy the same Engine
+# contract as the simulator on every SPLASH port (parity suite), and
+# survive a fuzz smoke with real-engine campaigns and the sim-vs-real
+# oracle cross-check. The window is small: these runs cost wall-clock
+# time on real threads, not simulated cycles.
+cargo test -q -p blockwatch --test engine_parity
+cargo run --release --quiet --bin bw -- fuzz --seeds 25 --inject 2 \
+  --engine real --real-cross-check
+
 echo "ci: all gates passed"

@@ -1,0 +1,93 @@
+//! Cross-image campaign batching: a `CampaignBatch` over many prepared
+//! images must produce, for every image, exactly the deterministic payload
+//! a standalone `run_campaign` on that image produces — at any worker
+//! count, with the whole batch sharing one worker pool.
+
+use std::sync::Arc;
+
+use blockwatch::fault::{run_campaign, CampaignBatch, CampaignConfig, FaultModel};
+use blockwatch::gen::{generate_module, GenConfig};
+use blockwatch::vm::{ProgramImage, SimConfig};
+
+const NTHREADS: u32 = 4;
+const INJECTIONS: usize = 6;
+const IMAGES: u64 = 8;
+
+/// One fuzz-generator image per seed, prepared with default analysis —
+/// eight structurally different programs, exactly how the fuzz driver's
+/// injection stage feeds the batch.
+fn images() -> Vec<(u64, Arc<ProgramImage>)> {
+    (0..IMAGES)
+        .map(|seed| {
+            let module = generate_module(seed, &GenConfig::default());
+            (seed, Arc::new(ProgramImage::prepare_default(module)))
+        })
+        .collect()
+}
+
+fn config_for(seed: u64) -> CampaignConfig {
+    let sim = SimConfig::new(NTHREADS).seed(seed).max_steps(2_000_000);
+    CampaignConfig::new(INJECTIONS, FaultModel::BranchFlip, NTHREADS).seed(seed).sim(sim)
+}
+
+#[test]
+fn batch_is_bitwise_identical_to_sequential_campaigns_at_any_worker_count() {
+    let images = images();
+
+    // Ground truth: one sequential, single-worker campaign per image.
+    let sequential: Vec<_> = images
+        .iter()
+        .map(|(seed, image)| {
+            run_campaign(image, &config_for(*seed).workers(1)).expect("campaign runs")
+        })
+        .collect();
+
+    for pool in [1usize, 4] {
+        let mut batch = CampaignBatch::new().workers(pool);
+        for (seed, image) in &images {
+            batch.push(Arc::clone(image), config_for(*seed));
+        }
+        let outcome = batch.run();
+        assert_eq!(outcome.results.len(), images.len());
+        assert!(
+            !outcome.worker_stats.is_empty(),
+            "shared pool must report worker statistics"
+        );
+
+        for (i, (result, alone)) in outcome.results.iter().zip(&sequential).enumerate() {
+            let batched = result.as_ref().expect("batched campaign runs");
+            let seed = images[i].0;
+            assert_eq!(batched.records, alone.records, "records diverge for seed {seed}");
+            assert_eq!(batched.counts, alone.counts, "counts diverge for seed {seed}");
+            assert_eq!(batched.aborted, alone.aborted, "abort diverges for seed {seed}");
+            assert_eq!(
+                batched.branches_per_thread, alone.branches_per_thread,
+                "golden branch counts diverge for seed {seed}"
+            );
+            assert_eq!(
+                batched.golden_outputs_len, alone.golden_outputs_len,
+                "golden outputs diverge for seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_batch_runs_are_bitwise_identical() {
+    let images = images();
+    let run = |pool: usize| {
+        let mut batch = CampaignBatch::new().workers(pool);
+        for (seed, image) in &images {
+            batch.push(Arc::clone(image), config_for(*seed));
+        }
+        batch.run()
+    };
+    let a = run(3);
+    let b = run(5);
+    for (seed, (ra, rb)) in images.iter().map(|(s, _)| s).zip(a.results.iter().zip(&b.results))
+    {
+        let (ra, rb) = (ra.as_ref().unwrap(), rb.as_ref().unwrap());
+        assert_eq!(ra.records, rb.records, "seed {seed}");
+        assert_eq!(ra.counts, rb.counts, "seed {seed}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Sim-vs-real engine parity: both implementations of `bw_vm::Engine` must
+//! agree on every schedule-independent observable for every SPLASH-2 port
+//! at every swept thread count.
+//!
+//! Schedule-independent means: the run outcome, the absence of monitor
+//! violations, and — for the ports whose outputs do not depend on lock
+//! acquisition order — the program outputs themselves (both engines emit
+//! outputs in thread-id order). Step counts, cycle attribution and event
+//! totals are schedule-*dependent* and deliberately not compared.
+
+use std::sync::Arc;
+
+use blockwatch::vm::{
+    engine, run_sim, EngineKind, ExecConfig, ProgramImage, RunOutcome, SimConfig,
+};
+use blockwatch::{Benchmark, Size};
+
+const THREADS: [u32; 4] = [1, 2, 4, 8];
+
+/// Ports whose outputs are schedule-independent (no lock-order-dependent
+/// float accumulation feeding the output).
+const DETERMINISTIC_OUTPUT_PORTS: [Benchmark; 3] =
+    [Benchmark::Fft, Benchmark::Radix, Benchmark::Raytrace];
+
+fn image(bench: Benchmark) -> Arc<ProgramImage> {
+    Arc::new(ProgramImage::prepare_default(bench.module(Size::Test).expect("compiles")))
+}
+
+#[test]
+fn every_port_completes_cleanly_on_both_engines() {
+    let sim = engine(EngineKind::Sim);
+    let real = engine(EngineKind::Real);
+    for bench in Benchmark::ALL {
+        let image = image(bench);
+        for n in THREADS {
+            let config = ExecConfig::new(n);
+            for (eng, label) in [(sim, "sim"), (real, "real")] {
+                let r = eng.run(&image, &config);
+                assert_eq!(
+                    r.outcome,
+                    RunOutcome::Completed,
+                    "{} at {n} threads on {label}",
+                    bench.name()
+                );
+                assert!(
+                    !r.detected(),
+                    "false positive in {} at {n} threads on {label}: {:?}",
+                    bench.name(),
+                    r.violations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_outputs_of_deterministic_ports() {
+    for bench in DETERMINISTIC_OUTPUT_PORTS {
+        let image = image(bench);
+        for n in THREADS {
+            let config = ExecConfig::new(n);
+            let sim = engine(EngineKind::Sim).run(&image, &config);
+            let real = engine(EngineKind::Real).run(&image, &config);
+            assert_eq!(sim.outcome, real.outcome, "{} at {n} threads", bench.name());
+            assert_eq!(
+                sim.outputs,
+                real.outputs,
+                "{} at {n} threads: sim and real outputs diverge",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_engine_is_bitwise_identical_to_the_run_sim_wrapper() {
+    // The Engine abstraction must be a pure refactor of the original entry
+    // point: identical results, field for field, on the deterministic
+    // engine.
+    let image = image(Benchmark::Fft);
+    let config = SimConfig::new(4).seed(0x5eed).capture_events(true);
+    let via_wrapper = run_sim(&image, &config);
+    let via_engine = engine(EngineKind::Sim).run(&image, &config);
+    assert_eq!(via_wrapper.outcome, via_engine.outcome);
+    assert_eq!(via_wrapper.outputs, via_engine.outputs);
+    assert_eq!(via_wrapper.parallel_cycles, via_engine.parallel_cycles);
+    assert_eq!(via_wrapper.total_steps, via_engine.total_steps);
+    assert_eq!(via_wrapper.events_sent, via_engine.events_sent);
+    assert_eq!(via_wrapper.events_processed, via_engine.events_processed);
+    assert_eq!(via_wrapper.branches_per_thread, via_engine.branches_per_thread);
+    assert_eq!(via_wrapper.steps_per_thread, via_engine.steps_per_thread);
+    assert_eq!(via_wrapper.branch_events, via_engine.branch_events);
+    assert_eq!(via_wrapper.violations, via_engine.violations);
+    assert_eq!(
+        via_wrapper.telemetry.deterministic_part(),
+        via_engine.telemetry.deterministic_part()
+    );
+}
+
+#[test]
+fn engine_metadata_reflects_the_scheduler() {
+    assert!(engine(EngineKind::Sim).deterministic());
+    assert!(!engine(EngineKind::Real).deterministic());
+    assert_eq!(engine(EngineKind::Sim).kind(), EngineKind::Sim);
+    assert_eq!(engine(EngineKind::Real).kind(), EngineKind::Real);
+}
