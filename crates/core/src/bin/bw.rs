@@ -12,6 +12,7 @@
 //!             [--telemetry T.jsonl]  fault-injection campaign with and
 //!                                    without BLOCKWATCH
 //! bw stats    <trace.jsonl>          summarize a JSONL telemetry trace
+//! bw report   <trace.jsonl>          violation forensics from a trace
 //! ```
 //!
 //! Every executing command takes `--engine sim|real`: `sim` is the
@@ -25,7 +26,7 @@
 use std::process::ExitCode;
 
 use blockwatch::ir::ModulePrinter;
-use blockwatch::reports::{render_telemetry, TraceSummary};
+use blockwatch::reports::{render_telemetry, ForensicsReport, TraceSummary};
 use blockwatch::telemetry::{JsonlRecorder, Recorder};
 use blockwatch::vm::MonitorMode;
 use blockwatch::{
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(rest),
         "fuzz" => cmd_fuzz(rest),
         "stats" => cmd_stats(rest),
+        "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +78,9 @@ const USAGE: &str = "usage:
                                       the differential oracle; failures are
                                       shrunk and saved as fuzz-<seed>.bwir
   bw stats    <trace.jsonl>           summarize a JSONL telemetry trace
+  bw report   <trace.jsonl>           violation forensics from a trace:
+                                      per-category detection matrix, top
+                                      violating sites, deviant-thread tables
 
   --engine selects the scheduler: `sim` (deterministic, default) or `real`
   (OS threads); `--real` remains a legacy alias on `bw run`.
@@ -324,6 +329,21 @@ fn cmd_stats(rest: &[String]) -> Result<(), String> {
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let summary = TraceSummary::parse(&text)?;
     print!("{}", summary.render());
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let path = file_arg(rest)?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let report = ForensicsReport::parse(&text)?;
+    print!("{}", report.render());
+    if !report.has_detections() {
+        eprintln!(
+            "note: no detections in this trace; run the campaign with \
+             --telemetry and the `provenance` feature enabled"
+        );
+    }
     Ok(())
 }
 

@@ -594,6 +594,32 @@ impl TraceSummary {
             snapshot.push_gauge(name.as_str(), *value);
         }
         out.push_str(&render_telemetry(&snapshot));
+        // Monitor health, surfaced from the generic tables: dropped events
+        // mean the verdicts are incomplete, and the pending high-water shows
+        // how deep the correlation table ran.
+        let dropped =
+            self.counters.iter().find(|(n, _)| n == "monitor.events_dropped").map(|&(_, v)| v);
+        let pending = self
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "monitor.pending_high_water")
+            .map(|&(_, v)| v);
+        if dropped.is_some() || pending.is_some() {
+            out.push_str("monitor health:\n");
+            match dropped {
+                Some(d) if d > 0 => {
+                    let _ = writeln!(
+                        out,
+                        "  events dropped: {d}  (queue overflow; verdicts may be incomplete)"
+                    );
+                }
+                Some(_) => out.push_str("  events dropped: 0\n"),
+                None => {}
+            }
+            if let Some(p) = pending {
+                let _ = writeln!(out, "  pending-table high water: {p} instance(s)");
+            }
+        }
         if !self.histograms.is_empty() {
             out.push_str("histogram aggregates:\n");
             for h in &self.histograms {
@@ -642,6 +668,295 @@ impl TraceSummary {
     }
 }
 
+/// One `injection` record of a trace, as the forensics view needs it.
+#[derive(Clone, Debug, Default)]
+pub struct TraceInjection {
+    /// Batch image index (`0` for single-image campaigns).
+    pub image: u64,
+    /// Injection index within its campaign.
+    pub index: u64,
+    /// Outcome name (`detected`, `sdc`, …).
+    pub outcome: String,
+    /// Static branch hit, if the fault activated.
+    pub branch: Option<u64>,
+    /// Similarity category of that branch (`shared` / `threadID` /
+    /// `partial`), or `-` when missed or uninstrumented.
+    pub category: String,
+}
+
+/// One `violation` record of a trace: the flat-JSONL encoding of a
+/// [`bw_monitor::ViolationReport`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceViolation {
+    /// Batch image index (`0` for single-image campaigns).
+    pub image: u64,
+    /// Injection index the violation was detected under.
+    pub index: u64,
+    /// Offending branch.
+    pub branch: u64,
+    /// Call-site path hash.
+    pub site: u64,
+    /// Loop-iteration hash.
+    pub iter: u64,
+    /// Violation-kind name (`witness_mismatch`, …).
+    pub kind: String,
+    /// Similarity category of the check.
+    pub category: String,
+    /// The cross-thread pattern the category predicted.
+    pub predicted: String,
+    /// Threads that had reported when the check fired.
+    pub reporters: u64,
+    /// Monitor message count at detection.
+    pub detected_seq: u64,
+    /// Messages between the deviant's report and detection; `None` when the
+    /// deviant had aged out of the flight-recorder ring.
+    pub latency: Option<u64>,
+    /// Per-thread observation table, `t<id>=w<witness-hex>:<T|F>` entries.
+    pub observed: String,
+    /// Comma-joined deviant thread ids.
+    pub deviants: String,
+    /// Comma-joined majority thread ids.
+    pub majority: String,
+    /// Flight-recorder window, oldest first,
+    /// `t<id>:i<iter>:w<witness-hex>:<T|F>:s<seq>` entries.
+    pub window: String,
+}
+
+/// Per-category coverage/detection aggregates of a forensics report.
+#[derive(Clone, Debug, Default)]
+struct CategoryStats {
+    injected: u64,
+    activated: u64,
+    detected: u64,
+    sdc: u64,
+    latencies: Vec<u64>,
+}
+
+/// The forensics view of a JSONL trace — what `bw report` prints.
+///
+/// Unlike [`TraceSummary`] (throughput and metric aggregates), this view
+/// reconstructs *causal* evidence: which injections were detected, by which
+/// site, with which threads deviating, and how quickly. Every rendered
+/// field is deterministic for a fixed campaign seed — record arrival order,
+/// worker ids, timestamps and durations are deliberately ignored — so the
+/// report is byte-identical across runs at any worker count.
+#[derive(Clone, Debug, Default)]
+pub struct ForensicsReport {
+    /// Injection records, sorted by (image, index).
+    pub injections: Vec<TraceInjection>,
+    /// Violation records, sorted by (image, index, site, branch, iter).
+    pub violations: Vec<TraceViolation>,
+}
+
+impl ForensicsReport {
+    /// Parses a JSONL trace, keeping the `injection` and `violation`
+    /// records. Blank lines are skipped; a malformed line fails the whole
+    /// parse with its line number.
+    pub fn parse(text: &str) -> Result<ForensicsReport, String> {
+        let mut report = ForensicsReport::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_flat_object(line)
+                .map_err(|e| format!("line {}: {} (offset {})", lineno + 1, e.message, e.offset))?;
+            let ev = field(&fields, "ev")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: record has no `ev` field", lineno + 1))?;
+            let text_field = |name: &str| {
+                field(&fields, name).and_then(Value::as_str).unwrap_or("").to_string()
+            };
+            match ev {
+                "injection" => report.injections.push(TraceInjection {
+                    image: field_u64(&fields, "image"),
+                    index: field_u64(&fields, "index"),
+                    outcome: text_field("outcome"),
+                    branch: field(&fields, "branch")
+                        .and_then(Value::as_str)
+                        .and_then(|b| b.parse().ok()),
+                    category: text_field("category"),
+                }),
+                "violation" => report.violations.push(TraceViolation {
+                    image: field_u64(&fields, "image"),
+                    index: field_u64(&fields, "index"),
+                    branch: field_u64(&fields, "branch"),
+                    site: field_u64(&fields, "site"),
+                    iter: field_u64(&fields, "iter"),
+                    kind: text_field("kind"),
+                    category: text_field("category"),
+                    predicted: text_field("predicted"),
+                    reporters: field_u64(&fields, "reporters"),
+                    detected_seq: field_u64(&fields, "detected_seq"),
+                    latency: field(&fields, "latency")
+                        .and_then(Value::as_str)
+                        .and_then(|l| l.parse().ok()),
+                    observed: text_field("observed"),
+                    deviants: text_field("deviants"),
+                    majority: text_field("majority"),
+                    window: text_field("window"),
+                }),
+                _ => {}
+            }
+        }
+        report.injections.sort_by_key(|i| (i.image, i.index));
+        report.violations.sort_by(|a, b| {
+            (a.image, a.index, a.site, a.branch, a.iter, &a.kind)
+                .cmp(&(b.image, b.index, b.site, b.branch, b.iter, &b.kind))
+        });
+        Ok(report)
+    }
+
+    /// Whether the trace carries any detection evidence at all.
+    pub fn has_detections(&self) -> bool {
+        !self.violations.is_empty()
+            || self.injections.iter().any(|i| i.outcome == "detected")
+    }
+
+    /// Renders the human-readable forensics summary: outcome totals, the
+    /// per-category coverage/detection matrix, top violating sites, and one
+    /// deviant-thread table per violation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let detected =
+            self.injections.iter().filter(|i| i.outcome == "detected").count();
+        let _ = writeln!(
+            out,
+            "forensics: {} injection(s), {} detected, {} violation record(s)",
+            self.injections.len(),
+            detected,
+            self.violations.len()
+        );
+
+        let mut outcomes: Vec<(String, u64)> = Vec::new();
+        for i in &self.injections {
+            bump(&mut outcomes, &i.outcome, 1, true);
+        }
+        outcomes.sort();
+        if !outcomes.is_empty() {
+            out.push_str("outcomes:");
+            for (name, count) in &outcomes {
+                let _ = write!(out, "  {name}={count}");
+            }
+            out.push('\n');
+        }
+
+        // Per-category coverage/detection matrix. Categories come from the
+        // injection records (so undetected injections count too); latency
+        // aggregates come from the violation evidence.
+        let mut matrix: std::collections::BTreeMap<String, CategoryStats> =
+            std::collections::BTreeMap::new();
+        for i in &self.injections {
+            let s = matrix.entry(i.category.clone()).or_default();
+            s.injected += 1;
+            if i.outcome != "not_activated" {
+                s.activated += 1;
+            }
+            match i.outcome.as_str() {
+                "detected" => s.detected += 1,
+                "sdc" => s.sdc += 1,
+                _ => {}
+            }
+        }
+        for v in &self.violations {
+            if let Some(l) = v.latency {
+                matrix.entry(v.category.clone()).or_default().latencies.push(l);
+            }
+        }
+        if !matrix.is_empty() {
+            out.push_str("\ncoverage by similarity category:\n");
+            out.push_str(
+                "  category  injected  activated  detected  sdc  coverage  latency mean/max\n",
+            );
+            for (category, s) in &matrix {
+                let coverage = if s.activated == 0 {
+                    100.0
+                } else {
+                    100.0 * (1.0 - s.sdc as f64 / s.activated as f64)
+                };
+                let latency = if s.latencies.is_empty() {
+                    "-".to_string()
+                } else {
+                    let sum: u64 = s.latencies.iter().sum();
+                    let max = s.latencies.iter().max().copied().unwrap_or(0);
+                    format!("{:.1} / {max}", sum as f64 / s.latencies.len() as f64)
+                };
+                let _ = writeln!(
+                    out,
+                    "  {category:<8}  {:>8}  {:>9}  {:>8}  {:>3}  {coverage:>7.1}%  {latency}",
+                    s.injected, s.activated, s.detected, s.sdc
+                );
+            }
+        }
+
+        // Top violating sites: which (branch, site) instances fire most.
+        let mut sites: Vec<((u64, u64, String), u64)> = Vec::new();
+        for v in &self.violations {
+            let key = (v.branch, v.site, v.category.clone());
+            match sites.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => sites.push((key, 1)),
+            }
+        }
+        sites.sort_by(|a, b| (b.1, &a.0).cmp(&(a.1, &b.0)));
+        if !sites.is_empty() {
+            out.push_str("\ntop violating sites:\n");
+            for ((branch, site, category), count) in sites.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "  br{branch} site {site:#x}  {count} violation(s)  [{category}]"
+                );
+            }
+        }
+
+        // Full evidence, one deviant-thread table per violation.
+        if !self.violations.is_empty() {
+            out.push_str("\nviolation details:\n");
+        }
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "injection {}: br{} {} (site {:#x}, iter {:#x}, {} reporters)",
+                v.index, v.branch, v.kind, v.site, v.iter, v.reporters
+            );
+            let _ = writeln!(out, "  category {}; predicted: {}", v.category, v.predicted);
+            render_observed_table(&mut out, &v.observed, &v.deviants);
+            let latency = match v.latency {
+                Some(l) => format!("latency {l} message(s)"),
+                None => "latency unknown (deviant aged out of the ring)".to_string(),
+            };
+            let _ = writeln!(out, "  detected at seq {}, {latency}", v.detected_seq);
+            if !v.window.is_empty() {
+                let entries = v.window.split(';').count();
+                let _ = writeln!(out, "  window ({entries} entries): {}", v.window);
+            }
+        }
+        out
+    }
+}
+
+/// Renders the `t<id>=w<hex>:<T|F>` observed string as an aligned
+/// per-thread table with DEVIANT/majority roles.
+fn render_observed_table(out: &mut String, observed: &str, deviants: &str) {
+    if observed.is_empty() {
+        return;
+    }
+    let deviant_ids: Vec<&str> = deviants.split(',').filter(|s| !s.is_empty()).collect();
+    out.push_str("  thread  witness           outcome    role\n");
+    for entry in observed.split(',') {
+        let Some((thread, rest)) = entry.split_once('=') else { continue };
+        let thread = thread.trim_start_matches('t');
+        let (witness, taken) = rest.split_once(':').unwrap_or((rest, "?"));
+        let witness = witness.trim_start_matches('w');
+        let outcome = match taken {
+            "T" => "taken",
+            "F" => "not-taken",
+            _ => "?",
+        };
+        let role = if deviant_ids.contains(&thread) { "DEVIANT" } else { "majority" };
+        let _ = writeln!(out, "  {thread:>6}  {witness:<16}  {outcome:<9}  {role}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -672,6 +987,95 @@ mod tests {
         assert!(rendered.contains("monitor.violations"));
         assert!(rendered.contains("sdc=1"));
         assert!(rendered.contains("worker 0"));
+    }
+
+    #[test]
+    fn trace_summary_renders_monitor_health() {
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"counter","name":"monitor.events_dropped","value":4}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"gauge","name":"monitor.pending_high_water","value":9}"#, "\n",
+        );
+        let rendered = TraceSummary::parse(trace).unwrap().render();
+        assert!(rendered.contains("monitor health:"), "{rendered}");
+        assert!(rendered.contains("events dropped: 4"), "{rendered}");
+        assert!(rendered.contains("verdicts may be incomplete"), "{rendered}");
+        assert!(rendered.contains("pending-table high water: 9 instance(s)"), "{rendered}");
+        // Zero drops render without the warning; absent metrics render nothing.
+        let trace = r#"{"seq":0,"t_us":1,"ev":"counter","name":"monitor.events_dropped","value":0}"#;
+        let rendered = TraceSummary::parse(trace).unwrap().render();
+        assert!(rendered.contains("events dropped: 0"), "{rendered}");
+        assert!(!rendered.contains("incomplete"), "{rendered}");
+        let trace = r#"{"seq":0,"t_us":1,"ev":"counter","name":"vm.instructions","value":5}"#;
+        let rendered = TraceSummary::parse(trace).unwrap().render();
+        assert!(!rendered.contains("monitor health"), "{rendered}");
+    }
+
+    /// A two-injection trace with one detection carrying full provenance.
+    fn forensics_trace() -> &'static str {
+        concat!(
+            r#"{"seq":0,"t_us":1,"ev":"injection","index":0,"worker":1,"outcome":"detected","branch":"2","category":"shared","dur_us":10}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"violation","index":0,"branch":2,"site":64,"iter":5,"kind":"witness_mismatch","category":"shared","predicted":"all threads agree on the branch input","reporters":4,"detected_seq":12,"latency":"3","observed":"t0=w2a:T,t1=w63:T,t2=w63:T,t3=w63:T","deviants":"0","majority":"1,2,3","window":"t0:i5:w2a:T:s9;t1:i5:w63:T:s10","worker":1}"#, "\n",
+            r#"{"seq":2,"t_us":3,"ev":"injection","index":1,"worker":0,"outcome":"sdc","branch":"7","category":"threadID","dur_us":20}"#, "\n",
+        )
+    }
+
+    #[test]
+    fn forensics_report_parses_and_renders_evidence() {
+        let r = ForensicsReport::parse(forensics_trace()).unwrap();
+        assert!(r.has_detections());
+        assert_eq!(r.injections.len(), 2);
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!((v.branch, v.site, v.iter), (2, 64, 5));
+        assert_eq!(v.latency, Some(3));
+        let text = r.render();
+        assert!(text.contains("2 injection(s), 1 detected"), "{text}");
+        assert!(text.contains("detected=1"), "{text}");
+        // Coverage matrix: shared fully covered, threadID 0 % (1 sdc / 1 activated).
+        assert!(text.contains("coverage by similarity category"), "{text}");
+        assert!(text.contains("shared"), "{text}");
+        assert!(text.contains("threadID"), "{text}");
+        assert!(text.contains("  100.0%"), "{text}");
+        assert!(text.contains("    0.0%"), "{text}");
+        // Site ranking and the per-thread evidence table.
+        assert!(text.contains("br2 site 0x40  1 violation(s)  [shared]"), "{text}");
+        assert!(text.contains("witness_mismatch"), "{text}");
+        assert!(text.contains("DEVIANT"), "{text}");
+        assert_eq!(text.matches("majority").count(), 3, "{text}");
+        assert!(text.contains("latency 3 message(s)"), "{text}");
+        assert!(text.contains("window (2 entries)"), "{text}");
+    }
+
+    #[test]
+    fn forensics_report_unknown_latency_and_missed_branch() {
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"injection","index":0,"outcome":"not_activated","branch":"-","category":"-"}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"violation","index":1,"branch":0,"site":1,"iter":0,"kind":"tid_predicate","category":"threadID","predicted":"p","reporters":2,"detected_seq":8,"latency":"?","observed":"t0=w1:T,t1=w1:F","deviants":"1","majority":"0","window":""}"#, "\n",
+        );
+        let r = ForensicsReport::parse(trace).unwrap();
+        assert_eq!(r.injections[0].branch, None);
+        assert_eq!(r.violations[0].latency, None);
+        let text = r.render();
+        assert!(text.contains("latency unknown"), "{text}");
+        assert!(!text.contains("window ("), "{text}");
+    }
+
+    #[test]
+    fn forensics_report_is_order_independent() {
+        // Shuffled record order (as different --workers counts would produce)
+        // must render byte-identically.
+        let lines: Vec<&str> = forensics_trace().lines().collect();
+        let shuffled = format!("{}\n{}\n{}\n", lines[2], lines[1], lines[0]);
+        let a = ForensicsReport::parse(forensics_trace()).unwrap().render();
+        let b = ForensicsReport::parse(&shuffled).unwrap().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forensics_report_empty_trace_has_no_detections() {
+        let r = ForensicsReport::parse("").unwrap();
+        assert!(!r.has_detections());
+        assert!(r.render().contains("0 injection(s)"));
     }
 
     #[test]

@@ -233,12 +233,35 @@ impl CampaignBatch {
                 stats.injections += 1;
                 stats.busy_us += run_us;
                 tm_observe!(p.hist, run_us);
+                let _category = crate::campaign::injection_category(p.image, record.branch);
                 tm_event!(recorder, "injection",
                     "image" => p.item,
                     "index" => index,
                     "worker" => wid,
                     "outcome" => record.outcome.name(),
+                    "branch" => record.branch.map_or_else(|| "-".to_string(), |b| b.to_string()),
+                    "category" => _category,
                     "dur_us" => run_us);
+                if let Some(_report) = record.report.as_deref() {
+                    tm_event!(recorder, "violation",
+                        "image" => p.item,
+                        "index" => index,
+                        "branch" => _report.violation.branch,
+                        "site" => _report.violation.site,
+                        "iter" => _report.violation.iter,
+                        "kind" => bw_monitor::kind_name(_report.violation.kind),
+                        "category" => _report.category(),
+                        "predicted" => _report.predicted(),
+                        "reporters" => _report.violation.reporters,
+                        "detected_seq" => _report.detected_seq,
+                        "latency" => _report
+                            .detection_latency
+                            .map_or_else(|| "?".to_string(), |l| l.to_string()),
+                        "observed" => _report.observed_field(),
+                        "deviants" => _report.deviants_field(),
+                        "majority" => _report.majority_field(),
+                        "window" => _report.window_field());
+                }
                 {
                     let mut counts = p.live_counts.lock().unwrap();
                     counts.add(record.outcome);

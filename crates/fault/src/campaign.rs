@@ -25,6 +25,7 @@ use std::time::Instant;
 use bw_telemetry::{
     tm_event, tm_observe, tm_span, Histogram, Recorder, TelemetrySnapshot, Value, NULL_RECORDER,
 };
+use bw_monitor::ViolationReport;
 use bw_vm::{
     engine, Engine, EngineKind, ExecConfig, ProgramImage, RunOutcome, RunResult, SimConfig,
     SplitMix64,
@@ -132,7 +133,7 @@ impl OutcomeCounts {
 }
 
 /// One injection's record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectionRecord {
     /// What was injected where.
     pub plan: InjectionPlan,
@@ -140,6 +141,16 @@ pub struct InjectionRecord {
     pub branch: Option<u32>,
     /// The classification.
     pub outcome: FaultOutcome,
+    /// The first [`ViolationReport`] of the faulty run, when the monitor
+    /// detected it and the `provenance` feature is on: the causal evidence
+    /// tying this injection to its detection (deviant threads, flight-
+    /// recorder window, latency). Boxed to keep the record small for the
+    /// common undetected case.
+    pub report: Option<Box<ViolationReport>>,
+    /// Monitor messages between the corruption entering the event stream
+    /// and the check firing (see [`ViolationReport::detection_latency`]);
+    /// `None` when undetected or when the deviant aged out of the ring.
+    pub detection_latency: Option<u64>,
 }
 
 /// Why a campaign could not run.
@@ -432,6 +443,18 @@ fn effective_workers(config: &CampaignConfig, njobs: usize) -> usize {
     effective_pool(config.workers, njobs)
 }
 
+/// The similarity-category name of the branch an injection landed on, or
+/// `"-"` when it missed or hit an uninstrumented branch. Tagged onto
+/// `injection` trace events so reports can build per-category
+/// coverage/detection matrices over *all* activated injections, not just
+/// detected ones.
+pub(crate) fn injection_category(image: &ProgramImage, branch: Option<u32>) -> &'static str {
+    branch
+        .and_then(|b| image.plan.decisions.get(b as usize))
+        .and_then(|d| d.as_ref().ok())
+        .map_or("-", |c| bw_monitor::category_name(c.kind))
+}
+
 /// Worker-pool sizing shared with [`crate::batch`]: `0` = available
 /// parallelism, clamped to the job count.
 pub(crate) fn effective_pool(workers: usize, njobs: usize) -> usize {
@@ -456,7 +479,22 @@ pub(crate) fn execute_one(
     let hook = InjectionHook::new(plan);
     let result = eng.run_hooked(image, faulty, &hook);
     let outcome = classify(&result, golden, hook.activated());
-    InjectionRecord { plan, branch: hook.injected_branch().map(|b| b.0), outcome }
+    // Attribute the outcome causally: the first violation report (reports
+    // are sorted by (site, branch, iter), so "first" is deterministic) is
+    // the earliest-keyed evidence the monitor produced for this run.
+    let report = if outcome == FaultOutcome::Detected {
+        result.violation_reports.first().cloned().map(Box::new)
+    } else {
+        None
+    };
+    let detection_latency = report.as_ref().and_then(|r| r.detection_latency);
+    InjectionRecord {
+        plan,
+        branch: hook.injected_branch().map(|b| b.0),
+        outcome,
+        report,
+        detection_latency,
+    }
 }
 
 /// Validates a golden run against the campaign configuration and derives
@@ -511,6 +549,21 @@ pub(crate) fn campaign_telemetry(
     telemetry.push_counter("campaign.outcome.sdc", counts.sdc as u64);
     telemetry.push_gauge("campaign.workers", nworkers as u64);
     telemetry.push_histogram("campaign.injection_us", inj_hist.snapshot());
+    // Detection-latency distribution per similarity category: monitor
+    // messages between the corruption and the check firing, from each
+    // detected record's provenance. Deterministic (derived from the
+    // reduced records, not wall time); absent without detections or
+    // without the `provenance` feature.
+    let mut latency: std::collections::BTreeMap<&'static str, Histogram> =
+        std::collections::BTreeMap::new();
+    for record in records {
+        if let (Some(report), Some(events)) = (&record.report, record.detection_latency) {
+            latency.entry(report.category()).or_default().observe(events);
+        }
+    }
+    for (category, hist) in latency {
+        telemetry.push_histogram(format!("campaign.detect_latency.{category}"), hist.snapshot());
+    }
     // The golden run's own instruments, prefixed so queue pressure during
     // the fault-free run can be told apart from campaign costs.
     telemetry.merge(&golden.telemetry.prefixed("golden."));
@@ -567,11 +620,33 @@ fn execute_campaign(
             stats.injections += 1;
             stats.busy_us += run_us;
             tm_observe!(_instruments.inj_hist, run_us);
+            let _category = injection_category(image, record.branch);
             tm_event!(_instruments.recorder, "injection",
                 "index" => index,
                 "worker" => wid,
                 "outcome" => outcome.name(),
+                "branch" => record.branch.map_or_else(|| "-".to_string(), |b| b.to_string()),
+                "category" => _category,
                 "dur_us" => run_us);
+            if let Some(_report) = record.report.as_deref() {
+                tm_event!(_instruments.recorder, "violation",
+                    "index" => index,
+                    "branch" => _report.violation.branch,
+                    "site" => _report.violation.site,
+                    "iter" => _report.violation.iter,
+                    "kind" => bw_monitor::kind_name(_report.violation.kind),
+                    "category" => _report.category(),
+                    "predicted" => _report.predicted(),
+                    "reporters" => _report.violation.reporters,
+                    "detected_seq" => _report.detected_seq,
+                    "latency" => _report
+                        .detection_latency
+                        .map_or_else(|| "?".to_string(), |l| l.to_string()),
+                    "observed" => _report.observed_field(),
+                    "deviants" => _report.deviants_field(),
+                    "majority" => _report.majority_field(),
+                    "window" => _report.window_field());
+            }
             {
                 let mut counts = live_counts.lock().unwrap();
                 counts.add(outcome);
@@ -845,6 +920,8 @@ mod tests {
             },
             branch: None,
             outcome,
+            report: None,
+            detection_latency: None,
         };
         // Completion order scrambled; indices 1 and 3 are SDCs, so the cut
         // must land after index 3 regardless of arrival order.

@@ -22,6 +22,7 @@ fn result(outcome: RunOutcome, outputs: Vec<Val>, detected: bool) -> RunResult {
         } else {
             Vec::new()
         },
+        violation_reports: Vec::new(),
         total_steps: 0,
         events_sent: 0,
         events_processed: 0,

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bw_analysis::{AnalysisConfig, Category, CheckKind, CheckPlan, TidCheck};
-use bw_monitor::Violation;
+use bw_monitor::{Violation, ViolationReport};
 use bw_telemetry::TelemetrySnapshot;
 use bw_vm::{
     engine, run_sim, EngineKind, MonitorMode, ProgramImage, RunOutcome, RunResult, SimConfig,
@@ -60,6 +60,11 @@ pub enum OracleFailure {
         nthreads: u32,
         /// The spurious violation.
         violation: Violation,
+        /// The monitor's full provenance for the spurious violation
+        /// (deviant threads, witness table, flight-recorder window), when
+        /// the `provenance` feature is on. Shrunken repros carry it so the
+        /// evidence survives minimization.
+        report: Option<Box<ViolationReport>>,
     },
     /// Invariant 2 broken: an event stream contradicts a branch's category.
     CategoryPattern {
@@ -118,8 +123,12 @@ impl fmt::Display for OracleFailure {
             OracleFailure::RunFailed { nthreads, outcome } => {
                 write!(f, "fault-free run at {nthreads} thread(s) ended {outcome:?}")
             }
-            OracleFailure::FalsePositive { nthreads, violation } => {
-                write!(f, "false positive at {nthreads} thread(s): {}", violation.describe())
+            OracleFailure::FalsePositive { nthreads, violation, report } => {
+                write!(f, "false positive at {nthreads} thread(s): {}", violation.describe())?;
+                if let Some(report) = report {
+                    write!(f, "\n{}", report.describe())?;
+                }
+                Ok(())
             }
             OracleFailure::CategoryPattern { nthreads, branch, detail } => {
                 write!(
@@ -289,7 +298,16 @@ pub fn check_image_cross(
         }
         // Invariant 1: zero false positives.
         if let Some(&violation) = r_on.violations.first() {
-            return Err(OracleFailure::FalsePositive { nthreads: n, violation });
+            // Carry the matching provenance (reports are sorted in lockstep
+            // with the violations) so the repro explains *which* threads
+            // disagreed, not just that some did.
+            let report = r_on
+                .violation_reports
+                .iter()
+                .find(|r| r.violation == violation)
+                .cloned()
+                .map(Box::new);
+            return Err(OracleFailure::FalsePositive { nthreads: n, violation, report });
         }
 
         // Reproducibility: the identical configuration, bit for bit.

@@ -86,6 +86,23 @@ fn step<F: FnMut(&Module) -> bool>(cur: &Module, failing: &mut F) -> Option<Modu
         }
     }
 
+    // Merge straight-line block chains: a block whose unconditional jump is
+    // the only way into its target absorbs the target wholesale. Without
+    // this pass every surviving block pins a jump terminator, so chain-heavy
+    // repros bottom out at 2–3 instructions *per block* no matter how much
+    // the other passes remove.
+    for (fi, f) in cur.funcs.iter().enumerate() {
+        for bi in 0..f.blocks.len() {
+            if let Some(nf) = merge_chain(f, bi) {
+                let mut cand = cur.clone();
+                cand.funcs[fi] = nf;
+                if let Some(m) = accept(cand, failing) {
+                    return Some(m);
+                }
+            }
+        }
+    }
+
     // Remove a single non-terminator instruction. Rebuilding fails (and the
     // candidate is skipped) when the removed value is still used.
     for (fi, f) in cur.funcs.iter().enumerate() {
@@ -190,6 +207,57 @@ fn all_blocks_reach_exit(f: &Function) -> bool {
         }
     }
     (0..n).all(|b| !reachable[b] || reaches_exit[b])
+}
+
+/// Merges block `bi`'s unconditional jump target into `bi` when the target
+/// has exactly one incoming edge and carries no phis. The target's
+/// instructions keep their order (dominance is preserved: `bi` was the
+/// target's only predecessor), phi incomings in the target's successors are
+/// re-pointed at the merged block, and the emptied target is dropped by the
+/// rebuild.
+fn merge_chain(f: &Function, bi: usize) -> Option<Function> {
+    let Some(&Inst { op: Op::Jump(target), .. }) = f.blocks[bi].insts.last() else {
+        return None;
+    };
+    let ti = target.index();
+    if ti == 0 || ti == bi {
+        return None;
+    }
+    // Count *edges*, not predecessor blocks: a `Br` with both arms on the
+    // target contributes two, and such a target cannot be absorbed.
+    let incoming = f
+        .blocks
+        .iter()
+        .filter_map(|b| b.terminator())
+        .flat_map(|t| t.op.successors())
+        .filter(|s| s.index() == ti)
+        .count();
+    if incoming != 1 {
+        return None;
+    }
+    if f.blocks[ti].insts.iter().any(|i| matches!(i.op, Op::Phi { .. })) {
+        return None;
+    }
+    let mut nf = f.clone();
+    nf.blocks[bi].insts.pop(); // the jump into the target
+    let moved = std::mem::take(&mut nf.blocks[ti].insts);
+    nf.blocks[bi].insts.extend(moved);
+    // Edges that used to leave the target now leave the merged block.
+    let merged = BlockId::from_index(bi);
+    for block in &mut nf.blocks {
+        for inst in &mut block.insts {
+            if let Op::Phi { incomings, .. } = &mut inst.op {
+                for inc in incomings {
+                    if inc.block == target {
+                        inc.block = merged;
+                    }
+                }
+            }
+        }
+    }
+    let mut keep = vec![true; nf.blocks.len()];
+    keep[ti] = false;
+    rebuild(&nf, &keep, None)
 }
 
 /// Removes `funcs[fi]` if nothing references it, remapping later `FuncId`s.
@@ -458,11 +526,49 @@ mod tests {
         assert!(has_output(&small));
         assert!(verify_module(&small).is_ok());
         assert!(small.num_insts() < m.num_insts());
-        // The branch should be gone (resolved to one arm) and dead consts
-        // removed: one output, its const, two jumps and a ret remain (there
-        // is no block-merging pass).
+        // The branch resolves to one arm, dead consts go, and the
+        // block-merging pass collapses the surviving jump chain: a single
+        // block holding const + output + ret.
         assert_eq!(small.num_branches(), 0);
-        assert!(small.num_insts() <= 5, "got {}", small.num_insts());
+        assert_eq!(small.funcs[0].blocks.len(), 1, "chain did not merge");
+        assert_eq!(small.num_insts(), 3, "got {}", small.num_insts());
+    }
+
+    #[test]
+    fn straight_line_jump_chains_merge_to_one_block() {
+        // A chain of trivial blocks linked by unconditional jumps: each
+        // block's jump terminator is irremovable on its own, so without the
+        // merging pass this repro is stuck at four blocks forever.
+        let mut m = Module::new("chainy");
+        let mut b = FunctionBuilder::new("spmd", vec![], None);
+        let b1 = b.add_block("b1");
+        let b2 = b.add_block("b2");
+        let b3 = b.add_block("b3");
+        b.jump(b1);
+        b.switch_to(b1);
+        let x = b.const_i64(7);
+        b.jump(b2);
+        b.switch_to(b2);
+        b.output(x);
+        b.jump(b3);
+        b.switch_to(b3);
+        b.ret(None);
+        let spmd = m.add_func(b.finish());
+        m.spmd_entry = Some(spmd);
+        verify_module(&m).unwrap();
+
+        let has_output = |m: &Module| {
+            m.funcs
+                .iter()
+                .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+                .any(|i| matches!(i.op, Op::Output(_)))
+        };
+        let small = shrink(&m, has_output);
+        assert!(has_output(&small));
+        assert!(verify_module(&small).is_ok());
+        assert_eq!(small.funcs[0].blocks.len(), 1, "chain did not merge");
+        // const + output + ret.
+        assert_eq!(small.num_insts(), 3, "got {}", small.num_insts());
     }
 
     #[test]

@@ -19,11 +19,13 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bw_analysis::CheckKind;
 use bw_telemetry::{tm_gauge_max, tm_inc, Gauge, TelemetrySnapshot};
 
 use crate::checker::{check_instance, Report};
 use crate::event::BranchEvent;
 use crate::monitor::{CheckTable, Monitor, Violation};
+use crate::provenance::{window_capacity, FlightRecorder, ViolationReport, WindowEntry};
 use crate::spsc::Consumer;
 use crate::table::BranchTable;
 use crate::telemetry::MonitorTelemetry;
@@ -93,6 +95,8 @@ pub struct RootMonitor {
     nthreads: usize,
     table: BranchTable,
     violations: Vec<Violation>,
+    reports: Vec<ViolationReport>,
+    recorder: FlightRecorder,
     batches_processed: u64,
     events_dropped: u64,
     telemetry: MonitorTelemetry,
@@ -106,6 +110,8 @@ impl RootMonitor {
             nthreads,
             table: BranchTable::new(),
             violations: Vec::new(),
+            reports: Vec::new(),
+            recorder: FlightRecorder::new(window_capacity(nthreads)),
             batches_processed: 0,
             events_dropped: 0,
             telemetry: MonitorTelemetry::new(),
@@ -119,6 +125,19 @@ impl RootMonitor {
         let Some(kind) = self.checks.kind(batch.branch) else { return };
         let mut complete = None;
         for report in batch.reports {
+            // The root's message unit is the batch, so flight-recorder
+            // sequence numbers count batches, not individual events.
+            self.recorder.record(
+                batch.branch,
+                batch.site,
+                WindowEntry {
+                    thread: report.thread,
+                    witness: report.witness,
+                    taken: report.taken,
+                    iter: batch.iter,
+                    seq: self.batches_processed,
+                },
+            );
             if let Some(reports) =
                 self.table.record(batch.branch, batch.site, batch.iter, report, self.nthreads)
             {
@@ -127,16 +146,7 @@ impl RootMonitor {
         }
         tm_gauge_max!(self.telemetry.pending_high_water, self.table.len());
         if let Some(reports) = complete {
-            if let Err(vk) = check_instance(kind, &reports) {
-                tm_inc!(self.telemetry.violations_for(kind));
-                self.violations.push(Violation {
-                    branch: batch.branch,
-                    site: batch.site,
-                    iter: batch.iter,
-                    kind: vk,
-                    reporters: reports.len() as u32,
-                });
-            }
+            self.check(kind, batch.branch, batch.site, batch.iter, &reports);
         }
     }
 
@@ -148,24 +158,40 @@ impl RootMonitor {
         tm_gauge_max!(self.telemetry.flush_batch_max, pending.len());
         for (branch, site, iter, reports) in pending {
             if let Some(kind) = self.checks.kind(branch) {
-                if let Err(vk) = check_instance(kind, &reports) {
-                    tm_inc!(self.telemetry.violations_for(kind));
-                    self.violations.push(Violation {
-                        branch,
-                        site,
-                        iter,
-                        kind: vk,
-                        reporters: reports.len() as u32,
-                    });
-                }
+                self.check(kind, branch, site, iter, &reports);
             }
         }
         self.violations.len()
     }
 
+    fn check(&mut self, kind: CheckKind, branch: u32, site: u64, iter: u64, reports: &[Report]) {
+        if let Err(vk) = check_instance(kind, reports) {
+            tm_inc!(self.telemetry.violations_for(kind));
+            let violation =
+                Violation { branch, site, iter, kind: vk, reporters: reports.len() as u32 };
+            self.violations.push(violation);
+            #[cfg(feature = "provenance")]
+            self.reports.push(crate::provenance::build_report(
+                violation,
+                kind,
+                reports,
+                self.recorder.window(branch, site),
+                self.batches_processed,
+                self.table.len() as u64,
+            ));
+        }
+    }
+
     /// Violations found so far.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// Structured evidence for each violation, in the same order as
+    /// [`RootMonitor::violations`]. Empty without the `provenance`
+    /// feature.
+    pub fn violation_reports(&self) -> &[ViolationReport] {
+        &self.reports
     }
 
     /// Batches received from sub-monitors (the root's message load; compare

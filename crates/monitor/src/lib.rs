@@ -38,6 +38,7 @@ mod checker;
 mod event;
 mod hierarchy;
 mod monitor;
+pub mod provenance;
 mod spsc;
 mod table;
 mod telemetry;
@@ -48,6 +49,10 @@ pub use hierarchy::{
 };
 pub use event::{hash_words, BranchEvent, KeyHasher};
 pub use monitor::{CheckTable, EventSender, Monitor, MonitorThread, Violation};
+pub use provenance::{
+    category_name, kind_name, predicted_pattern, FlightRecorder, ViolationReport, WindowEntry,
+    PROVENANCE_ENABLED,
+};
 pub use spsc::{spsc_queue, Consumer, Producer, QueueFull};
 pub use table::{BranchTable, Instance};
 pub use telemetry::MonitorTelemetry;

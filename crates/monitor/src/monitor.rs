@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::checker::{check_instance, Report, ViolationKind};
 use crate::event::BranchEvent;
+use crate::provenance::{window_capacity, FlightRecorder, ViolationReport, WindowEntry};
 use crate::spsc::{Consumer, Producer, QueueFull};
 use crate::table::BranchTable;
 use crate::telemetry::MonitorTelemetry;
@@ -107,6 +108,8 @@ pub struct Monitor {
     nthreads: usize,
     table: BranchTable,
     violations: Vec<Violation>,
+    reports: Vec<ViolationReport>,
+    recorder: FlightRecorder,
     events_processed: u64,
     events_dropped: u64,
     telemetry: MonitorTelemetry,
@@ -121,6 +124,8 @@ impl Monitor {
             nthreads,
             table: BranchTable::new(),
             violations: Vec::new(),
+            reports: Vec::new(),
+            recorder: FlightRecorder::new(window_capacity(nthreads)),
             events_processed: 0,
             events_dropped: 0,
             telemetry: MonitorTelemetry::new(),
@@ -135,6 +140,19 @@ impl Monitor {
         };
         let report =
             Report { thread: event.thread, witness: event.witness, taken: event.taken };
+        // Flight recorder (provenance feature; compiles out otherwise):
+        // one ring write per instrumented event.
+        self.recorder.record(
+            event.branch,
+            event.site,
+            WindowEntry {
+                thread: event.thread,
+                witness: event.witness,
+                taken: event.taken,
+                iter: event.iter,
+                seq: self.events_processed,
+            },
+        );
         if let Some(reports) =
             self.table.record(event.branch, event.site, event.iter, report, self.nthreads)
         {
@@ -162,19 +180,41 @@ impl Monitor {
     fn check(&mut self, kind: CheckKind, branch: u32, site: u64, iter: u64, reports: &[Report]) {
         if let Err(vk) = check_instance(kind, reports) {
             tm_inc!(self.telemetry.violations_for(kind));
-            self.violations.push(Violation {
+            let violation = Violation {
                 branch,
                 site,
                 iter,
                 kind: vk,
                 reporters: reports.len() as u32,
-            });
+            };
+            self.violations.push(violation);
+            #[cfg(feature = "provenance")]
+            self.reports.push(crate::provenance::build_report(
+                violation,
+                kind,
+                reports,
+                self.recorder.window(branch, site),
+                self.events_processed,
+                self.table.len() as u64,
+            ));
         }
     }
 
     /// The violations detected so far.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// Structured evidence for each violation, in the same order as
+    /// [`Monitor::violations`]. Empty without the `provenance` feature.
+    pub fn violation_reports(&self) -> &[ViolationReport] {
+        &self.reports
+    }
+
+    /// The per-site flight recorder (empty shell without the `provenance`
+    /// feature).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Whether any violation has been detected.
@@ -441,6 +481,46 @@ mod tests {
         m.flush();
         assert!(!m.detected());
         assert_eq!(m.events_processed(), 8);
+    }
+
+    #[cfg(feature = "provenance")]
+    #[test]
+    fn violation_report_snapshots_every_reporter() {
+        let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
+        let mut m = Monitor::new(checks, 4);
+        // Thread 0 lies about the witness; the check fires when thread 3's
+        // report completes the instance.
+        for t in 0..4 {
+            let witness = if t == 0 { 7 } else { 5 };
+            m.process(ev(0, t, witness, true));
+        }
+        assert!(m.detected());
+        let reports = m.violation_reports();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.violation, m.violations()[0]);
+        // Snapshot completeness: every reporting thread is in the observed
+        // table, sorted by thread id, and the split singles out the liar.
+        let threads: Vec<u32> = r.observed.iter().map(|o| o.thread).collect();
+        assert_eq!(threads, vec![0, 1, 2, 3]);
+        assert_eq!(r.deviants, vec![0]);
+        assert_eq!(r.majority, vec![1, 2, 3]);
+        // The ring window holds all four events; the deviant reported at
+        // seq 1 and the check fired at seq 4, three messages later.
+        assert_eq!(r.window.len(), 4);
+        assert_eq!(r.detected_seq, 4);
+        assert_eq!(r.detection_latency, Some(3));
+    }
+
+    #[cfg(not(feature = "provenance"))]
+    #[test]
+    fn violation_reports_are_empty_without_the_feature() {
+        let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
+        let mut m = Monitor::new(checks, 2);
+        m.process(ev(0, 0, 5, true));
+        m.process(ev(0, 1, 6, true));
+        assert!(m.detected());
+        assert!(m.violation_reports().is_empty());
     }
 
     #[test]

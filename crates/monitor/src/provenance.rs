@@ -1,0 +1,556 @@
+//! Violation provenance: a per-site flight recorder and the structured
+//! [`ViolationReport`] evidence attached to every detection.
+//!
+//! A bare [`Violation`] says *that* the monitor flagged an instance; it
+//! does not say *why*. This module keeps, per `(branch, site)`, a bounded
+//! ring of the most recent reports (the **flight recorder**) and, at the
+//! moment a check fails, snapshots the ring together with the full
+//! per-thread outcome/witness vector, a majority/deviant split, and the
+//! monitor's position in the event stream into a [`ViolationReport`].
+//! Every detection then ships with the evidence that produced it — no
+//! re-execution needed.
+//!
+//! Recording is gated on the `provenance` cargo feature exactly like the
+//! `tm_*!` telemetry macros: with the feature off, [`FlightRecorder`] is a
+//! zero-sized type whose methods compile to nothing, and no report is ever
+//! allocated. The [`ViolationReport`] *type* always compiles so downstream
+//! structs ([`bw_vm::RunResult`]-style carriers) keep one shape in both
+//! configurations.
+//!
+//! [`bw_vm::RunResult`]: https://docs.rs/bw-vm
+
+use bw_analysis::{CheckKind, TidCheck};
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{Report, ViolationKind};
+use crate::monitor::Violation;
+
+/// One flight-recorder entry: a thread's report plus where in the
+/// monitor's event stream it was recorded.
+///
+/// `seq` is the monitor's processed-message counter at record time
+/// (events for the flat [`crate::Monitor`], sub-monitor batches for the
+/// hierarchical root), which makes detection latency a simple subtraction
+/// of sequence numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowEntry {
+    /// Reporting thread id.
+    pub thread: u32,
+    /// Condition witness hash.
+    pub witness: u64,
+    /// Branch outcome.
+    pub taken: bool,
+    /// Level-2 instance key (loop-iteration hash) the report belongs to.
+    pub iter: u64,
+    /// Monitor message sequence number when the report was recorded.
+    pub seq: u64,
+}
+
+/// Structured evidence for one [`Violation`]: everything the monitor knew
+/// about the instance at the moment the check failed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// The compact violation this report explains.
+    pub violation: Violation,
+    /// The similarity check that failed (the branch's static category).
+    pub check: CheckKind,
+    /// The full per-thread table of the violating instance, sorted by
+    /// thread id.
+    pub observed: Vec<Report>,
+    /// Threads whose reports agree with the modal behaviour.
+    pub majority: Vec<u32>,
+    /// Threads whose reports deviate from the modal behaviour — the likely
+    /// fault victims.
+    pub deviants: Vec<u32>,
+    /// The flight-recorder window of the violating `(branch, site)`,
+    /// oldest entry first: recent history across *all* iterations of the
+    /// site, not just the violating instance.
+    pub window: Vec<WindowEntry>,
+    /// Monitor message sequence number at which the check fired.
+    pub detected_seq: u64,
+    /// Instances still awaiting reporters when the check fired (pending
+    /// correlation-table depth — the monitor's backlog at detection time).
+    pub pending_depth: u64,
+    /// Messages between the first deviant report reaching the monitor and
+    /// the check firing (`detected_seq - deviant entry seq`). `None` when
+    /// the deviant's entry had already aged out of the ring, or when no
+    /// deviant could be singled out.
+    pub detection_latency: Option<u64>,
+}
+
+impl ViolationReport {
+    /// The paper's name for the branch's similarity category.
+    pub fn category(&self) -> &'static str {
+        category_name(self.check)
+    }
+
+    /// Human-readable statement of the cross-thread pattern the static
+    /// analysis predicted for this branch.
+    pub fn predicted(&self) -> &'static str {
+        predicted_pattern(self.check)
+    }
+
+    /// A multi-line human-readable rendering: the violation header, the
+    /// predicted pattern, and the per-thread table with each thread's
+    /// majority/deviant role.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.violation.describe();
+        out.push('\n');
+        let _ = writeln!(out, "  category {}; predicted: {}", self.category(), self.predicted());
+        let _ = writeln!(out, "  {:<8} {:<18} {:<6} role", "thread", "witness", "taken");
+        for r in &self.observed {
+            let role = if self.deviants.contains(&r.thread) { "DEVIANT" } else { "majority" };
+            let _ = writeln!(
+                out,
+                "  t{:<7} {:<18} {:<6} {role}",
+                r.thread,
+                format!("{:#x}", r.witness),
+                if r.taken { "T" } else { "F" }
+            );
+        }
+        let _ = write!(
+            out,
+            "  detected at seq {}, latency {}, {} pending instance(s)",
+            self.detected_seq,
+            match self.detection_latency {
+                Some(n) => format!("{n} message(s)"),
+                None => "unknown".to_string(),
+            },
+            self.pending_depth
+        );
+        out
+    }
+
+    /// The observed table as a compact flat string for the JSONL sink:
+    /// `t0=w2a:T,t1=w2b:F` (witnesses in hex).
+    pub fn observed_field(&self) -> String {
+        self.observed
+            .iter()
+            .map(|r| format!("t{}=w{:x}:{}", r.thread, r.witness, if r.taken { 'T' } else { 'F' }))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The flight-recorder window as a compact flat string:
+    /// `t0:i5:w2a:T:s12;...` (oldest first; iter/witness in hex).
+    pub fn window_field(&self) -> String {
+        self.window
+            .iter()
+            .map(|e| {
+                format!(
+                    "t{}:i{:x}:w{:x}:{}:s{}",
+                    e.thread,
+                    e.iter,
+                    e.witness,
+                    if e.taken { 'T' } else { 'F' },
+                    e.seq
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Comma-joined deviant thread ids (`"1,3"`; empty when none).
+    pub fn deviants_field(&self) -> String {
+        join_ids(&self.deviants)
+    }
+
+    /// Comma-joined majority thread ids.
+    pub fn majority_field(&self) -> String {
+        join_ids(&self.majority)
+    }
+}
+
+fn join_ids(ids: &[u32]) -> String {
+    ids.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// The paper's similarity-category name for a check kind (`shared`,
+/// `threadID`, `partial`).
+pub fn category_name(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::SharedUniform => "shared",
+        CheckKind::ThreadIdPredicate(_) => "threadID",
+        CheckKind::GroupByWitness => "partial",
+    }
+}
+
+/// Stable lowercase name of a violation kind, used in JSONL trace records.
+pub fn kind_name(kind: ViolationKind) -> &'static str {
+    match kind {
+        ViolationKind::WitnessMismatch => "witness_mismatch",
+        ViolationKind::DirectionMismatch => "direction_mismatch",
+        ViolationKind::GroupMismatch => "group_mismatch",
+        ViolationKind::TidPredicate => "tid_predicate",
+    }
+}
+
+/// Human-readable statement of the cross-thread pattern a check kind
+/// expects.
+pub fn predicted_pattern(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::SharedUniform => "all threads agree on witness and direction",
+        CheckKind::GroupByWitness => "threads with equal witnesses take the same direction",
+        CheckKind::ThreadIdPredicate(TidCheck::AtMostOneTaken) => {
+            "uniform witness; at most one thread takes the branch"
+        }
+        CheckKind::ThreadIdPredicate(TidCheck::AtMostOneNotTaken) => {
+            "uniform witness; at most one thread does not take the branch"
+        }
+        CheckKind::ThreadIdPredicate(TidCheck::TakenIsPrefix) => {
+            "uniform witness; taking threads form a thread-id prefix"
+        }
+        CheckKind::ThreadIdPredicate(TidCheck::TakenIsSuffix) => {
+            "uniform witness; taking threads form a thread-id suffix"
+        }
+    }
+}
+
+/// Splits an instance's reporters into (majority, deviants) thread-id
+/// lists, keyed on the aspect the violation is about: witnesses for
+/// witness mismatches, directions for direction/predicate failures, and
+/// per-witness-group direction minorities for group mismatches. Modal ties
+/// break towards the smaller key, so the split is deterministic.
+pub fn majority_split(kind: ViolationKind, reports: &[Report]) -> (Vec<u32>, Vec<u32>) {
+    match kind {
+        ViolationKind::WitnessMismatch => split_modal(reports, |r| r.witness),
+        ViolationKind::DirectionMismatch | ViolationKind::TidPredicate => {
+            split_modal(reports, |r| u64::from(r.taken))
+        }
+        ViolationKind::GroupMismatch => split_groups(reports),
+    }
+}
+
+/// Modal split over an arbitrary `u64` key: threads carrying the most
+/// frequent key value are the majority, everyone else deviates.
+fn split_modal(reports: &[Report], key: impl Fn(&Report) -> u64) -> (Vec<u32>, Vec<u32>) {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for r in reports {
+        *counts.entry(key(r)).or_default() += 1;
+    }
+    // BTreeMap iterates keys ascending, so `>` keeps the smaller key on a
+    // tie.
+    let modal = counts
+        .iter()
+        .fold((0u64, 0usize), |best, (&k, &n)| if n > best.1 { (k, n) } else { best })
+        .0;
+    partition(reports, |r| key(r) == modal)
+}
+
+/// Group-mismatch split: within each witness group with mixed directions,
+/// the less common direction is deviant (ties deviate the takers).
+fn split_groups(reports: &[Report]) -> (Vec<u32>, Vec<u32>) {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    for r in reports {
+        let g = groups.entry(r.witness).or_default();
+        if r.taken {
+            g.0 += 1;
+        } else {
+            g.1 += 1;
+        }
+    }
+    partition(reports, |r| {
+        let (taken, not_taken) = groups[&r.witness];
+        if taken == 0 || not_taken == 0 {
+            return true; // uniform group: not part of the conflict
+        }
+        if r.taken {
+            taken > not_taken
+        } else {
+            not_taken >= taken
+        }
+    })
+}
+
+fn partition(reports: &[Report], majority: impl Fn(&Report) -> bool) -> (Vec<u32>, Vec<u32>) {
+    let mut maj = Vec::new();
+    let mut dev = Vec::new();
+    for r in reports {
+        if majority(r) {
+            maj.push(r.thread);
+        } else {
+            dev.push(r.thread);
+        }
+    }
+    maj.sort_unstable();
+    dev.sort_unstable();
+    (maj, dev)
+}
+
+/// Assembles a [`ViolationReport`] at detection time: sorts the observed
+/// table, computes the majority/deviant split, and derives the detection
+/// latency from the deviants' flight-recorder entries.
+pub fn build_report(
+    violation: Violation,
+    check: CheckKind,
+    reports: &[Report],
+    window: Vec<WindowEntry>,
+    detected_seq: u64,
+    pending_depth: u64,
+) -> ViolationReport {
+    let mut observed = reports.to_vec();
+    observed.sort_unstable_by_key(|r| r.thread);
+    let (majority, deviants) = majority_split(violation.kind, reports);
+    // Latency: messages between the first deviant report of *this*
+    // instance reaching the monitor and the check firing. The entry may
+    // have aged out of the bounded ring, in which case it is unknown.
+    let detection_latency = window
+        .iter()
+        .filter(|e| e.iter == violation.iter && deviants.contains(&e.thread))
+        .map(|e| e.seq)
+        .min()
+        .map(|seq| detected_seq.saturating_sub(seq));
+    ViolationReport {
+        violation,
+        check,
+        observed,
+        majority,
+        deviants,
+        window,
+        detected_seq,
+        pending_depth,
+        detection_latency,
+    }
+}
+
+/// Ring capacity for a monitor serving `nthreads` reporters: a few full
+/// instances of history per site, bounded so a long campaign cannot grow
+/// the recorder past a fixed budget per `(branch, site)`.
+pub fn window_capacity(nthreads: usize) -> usize {
+    (4 * nthreads.max(1)).clamp(16, 1024)
+}
+
+/// Whether flight recording is compiled in (`provenance` cargo feature).
+pub const PROVENANCE_ENABLED: bool = cfg!(feature = "provenance");
+
+/// The per-site flight recorder: a fixed-capacity ring of recent
+/// [`WindowEntry`]s per `(branch, site)`.
+///
+/// With the `provenance` feature off this is a zero-sized type and
+/// [`FlightRecorder::record`] compiles to nothing — the hot path pays
+/// nothing, exactly like the `tm_*!` macros.
+#[cfg(feature = "provenance")]
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    rings: std::collections::HashMap<(u32, u64), SiteRing>,
+    capacity: usize,
+}
+
+#[cfg(feature = "provenance")]
+#[derive(Debug)]
+struct SiteRing {
+    /// Entries in ring order; meaningful up to `len`, overwritten at
+    /// `next` once full.
+    entries: Vec<WindowEntry>,
+    next: usize,
+}
+
+#[cfg(feature = "provenance")]
+impl FlightRecorder {
+    /// A recorder whose per-site rings hold `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { rings: std::collections::HashMap::new(), capacity: capacity.max(1) }
+    }
+
+    /// Appends one entry to the `(branch, site)` ring (hot path: one hash
+    /// lookup and one slot write; allocation only the first `capacity`
+    /// times a site is seen).
+    #[inline]
+    pub fn record(&mut self, branch: u32, site: u64, entry: WindowEntry) {
+        let capacity = self.capacity;
+        let ring = self
+            .rings
+            .entry((branch, site))
+            .or_insert_with(|| SiteRing { entries: Vec::new(), next: 0 });
+        if ring.entries.len() < capacity {
+            ring.entries.push(entry);
+        } else {
+            ring.entries[ring.next] = entry;
+            ring.next = (ring.next + 1) % capacity;
+        }
+    }
+
+    /// Snapshot of the `(branch, site)` ring, oldest entry first.
+    pub fn window(&self, branch: u32, site: u64) -> Vec<WindowEntry> {
+        match self.rings.get(&(branch, site)) {
+            Some(ring) => {
+                let mut out =
+                    Vec::with_capacity(ring.entries.len());
+                out.extend_from_slice(&ring.entries[ring.next..]);
+                out.extend_from_slice(&ring.entries[..ring.next]);
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of `(branch, site)` rings currently held.
+    pub fn sites(&self) -> usize {
+        self.rings.len()
+    }
+}
+
+/// The per-site flight recorder, compiled out (`provenance` feature off):
+/// zero-sized, never records, never allocates.
+#[cfg(not(feature = "provenance"))]
+#[derive(Debug, Default)]
+pub struct FlightRecorder;
+
+#[cfg(not(feature = "provenance"))]
+impl FlightRecorder {
+    /// A recorder whose per-site rings would hold `capacity` entries
+    /// (no-op in this configuration).
+    #[inline]
+    pub fn new(_capacity: usize) -> Self {
+        FlightRecorder
+    }
+
+    /// Recording compiles to nothing without the `provenance` feature.
+    #[inline]
+    pub fn record(&mut self, _branch: u32, _site: u64, _entry: WindowEntry) {}
+
+    /// Always empty without the `provenance` feature.
+    #[inline]
+    pub fn window(&self, _branch: u32, _site: u64) -> Vec<WindowEntry> {
+        Vec::new()
+    }
+
+    /// Always zero without the `provenance` feature.
+    #[inline]
+    pub fn sites(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(thread: u32, witness: u64, taken: bool) -> Report {
+        Report { thread, witness, taken }
+    }
+
+    #[test]
+    fn modal_split_singles_out_the_liar() {
+        let reports =
+            [rep(0, 42, true), rep(1, 999, true), rep(2, 42, true), rep(3, 42, true)];
+        let (maj, dev) = majority_split(ViolationKind::WitnessMismatch, &reports);
+        assert_eq!(maj, vec![0, 2, 3]);
+        assert_eq!(dev, vec![1]);
+    }
+
+    #[test]
+    fn direction_split_keys_on_taken() {
+        let reports = [rep(0, 7, true), rep(1, 7, false), rep(2, 7, true)];
+        let (maj, dev) = majority_split(ViolationKind::DirectionMismatch, &reports);
+        assert_eq!(maj, vec![0, 2]);
+        assert_eq!(dev, vec![1]);
+    }
+
+    #[test]
+    fn tie_breaks_toward_smaller_key() {
+        // 1 taken vs 1 not-taken: `false` (0) is the smaller key, so the
+        // taker deviates — deterministically.
+        let reports = [rep(0, 7, false), rep(1, 7, true)];
+        let (maj, dev) = majority_split(ViolationKind::DirectionMismatch, &reports);
+        assert_eq!(maj, vec![0]);
+        assert_eq!(dev, vec![1]);
+    }
+
+    #[test]
+    fn group_split_blames_the_minority_inside_the_conflicting_group() {
+        // Witness 5: two take, one doesn't → the one deviates. Witness 9:
+        // uniform → all majority.
+        let reports =
+            [rep(0, 5, true), rep(1, 5, false), rep(2, 5, true), rep(3, 9, false)];
+        let (maj, dev) = majority_split(ViolationKind::GroupMismatch, &reports);
+        assert_eq!(maj, vec![0, 2, 3]);
+        assert_eq!(dev, vec![1]);
+    }
+
+    #[test]
+    fn build_report_derives_latency_from_the_window() {
+        let violation = Violation {
+            branch: 3,
+            site: 0xabc,
+            iter: 7,
+            kind: ViolationKind::WitnessMismatch,
+            reporters: 2,
+        };
+        let reports = [rep(0, 42, true), rep(1, 99, true), rep(2, 42, true)];
+        let window = vec![
+            WindowEntry { thread: 0, witness: 42, taken: true, iter: 7, seq: 10 },
+            WindowEntry { thread: 1, witness: 99, taken: true, iter: 7, seq: 11 },
+            WindowEntry { thread: 2, witness: 42, taken: true, iter: 7, seq: 14 },
+        ];
+        let report =
+            build_report(violation, CheckKind::SharedUniform, &reports, window, 14, 2);
+        assert_eq!(report.deviants, vec![1]);
+        assert_eq!(report.majority, vec![0, 2]);
+        assert_eq!(report.detection_latency, Some(3));
+        assert_eq!(report.category(), "shared");
+        assert_eq!(report.observed_field(), "t0=w2a:T,t1=w63:T,t2=w2a:T");
+        assert_eq!(report.deviants_field(), "1");
+        let text = report.describe();
+        assert!(text.contains("DEVIANT"), "{text}");
+        assert!(text.contains("latency 3 message(s)"), "{text}");
+    }
+
+    #[test]
+    fn latency_is_unknown_when_the_deviant_aged_out() {
+        let violation = Violation {
+            branch: 0,
+            site: 0,
+            iter: 7,
+            kind: ViolationKind::WitnessMismatch,
+            reporters: 2,
+        };
+        let reports = [rep(0, 1, true), rep(1, 2, true)];
+        // Window only holds iterations after the violating one.
+        let window =
+            vec![WindowEntry { thread: 0, witness: 1, taken: true, iter: 8, seq: 20 }];
+        let report = build_report(violation, CheckKind::SharedUniform, &reports, window, 21, 0);
+        assert_eq!(report.detection_latency, None);
+        assert!(report.describe().contains("latency unknown"));
+    }
+
+    #[cfg(feature = "provenance")]
+    #[test]
+    fn ring_wraps_at_capacity_keeping_the_newest_entries() {
+        let mut fr = FlightRecorder::new(4);
+        for seq in 0..10u64 {
+            fr.record(
+                1,
+                0xfeed,
+                WindowEntry { thread: (seq % 2) as u32, witness: seq, taken: true, iter: seq, seq },
+            );
+        }
+        let window = fr.window(1, 0xfeed);
+        assert_eq!(window.len(), 4);
+        let seqs: Vec<u64> = window.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, newest kept");
+        assert!(fr.window(1, 0xbeef).is_empty());
+        assert_eq!(fr.sites(), 1);
+    }
+
+    #[cfg(not(feature = "provenance"))]
+    #[test]
+    fn recorder_is_zero_sized_and_inert_when_disabled() {
+        assert_eq!(std::mem::size_of::<FlightRecorder>(), 0);
+        let mut fr = FlightRecorder::new(64);
+        fr.record(0, 0, WindowEntry { thread: 0, witness: 0, taken: true, iter: 0, seq: 0 });
+        assert!(fr.window(0, 0).is_empty());
+        assert_eq!(fr.sites(), 0);
+        assert_eq!(PROVENANCE_ENABLED, cfg!(feature = "provenance"));
+    }
+
+    #[test]
+    fn window_capacity_scales_with_threads_within_bounds() {
+        assert_eq!(window_capacity(1), 16);
+        assert_eq!(window_capacity(8), 32);
+        assert_eq!(window_capacity(10_000), 1024);
+    }
+}

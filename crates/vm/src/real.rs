@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use bw_ir::Val;
 use bw_monitor::{
     spsc_queue, CheckTable, EventSender, HierarchicalMonitorThread, MonitorThread, Violation,
+    ViolationReport,
 };
 use bw_telemetry::TelemetrySnapshot;
 
@@ -44,15 +45,16 @@ enum AnyMonitor {
 }
 
 impl AnyMonitor {
-    /// Joins the monitor side: `(violations, events processed, events
-    /// dropped, monitor telemetry)`.
-    fn join(self) -> (Vec<Violation>, u64, u64, TelemetrySnapshot) {
+    /// Joins the monitor side: `(violations, violation reports, events
+    /// processed, events dropped, monitor telemetry)`.
+    fn join(self) -> (Vec<Violation>, Vec<ViolationReport>, u64, u64, TelemetrySnapshot) {
         match self {
             AnyMonitor::Flat(m) => {
                 let monitor = m.join();
                 let events = monitor.events_processed();
                 (
                     monitor.violations().to_vec(),
+                    monitor.violation_reports().to_vec(),
                     events,
                     monitor.events_dropped(),
                     monitor.snapshot(),
@@ -62,6 +64,7 @@ impl AnyMonitor {
                 let (root, events) = t.join();
                 (
                     root.violations().to_vec(),
+                    root.violation_reports().to_vec(),
                     events,
                     root.events_dropped(),
                     root.snapshot(),
@@ -351,11 +354,13 @@ pub(crate) fn run_real_engine(
                   outputs: Vec<Val>,
                   total_steps: u64,
                   events: (u64, u64, u64),
-                  violations: Vec<Violation>,
+                  mut violations: Vec<Violation>,
+                  mut violation_reports: Vec<ViolationReport>,
                   branches_per_thread: Vec<u64>,
                   steps_per_thread: Vec<u64>,
                   mut telemetry: TelemetrySnapshot| {
         let (events_sent, events_processed, events_dropped) = events;
+        crate::engine::sort_violations(&mut violations, &mut violation_reports);
         telemetry.push_counter("vm.engine.real", 1);
         telemetry.push_counter("vm.instructions", total_steps);
         telemetry.push_counter("vm.events_sent", events_sent);
@@ -369,6 +374,7 @@ pub(crate) fn run_real_engine(
             outputs,
             parallel_cycles: 0,
             violations,
+            violation_reports,
             total_steps,
             events_sent,
             events_processed,
@@ -390,6 +396,7 @@ pub(crate) fn run_real_engine(
                 outputs,
                 total_steps,
                 (0, 0, 0),
+                Vec::new(),
                 Vec::new(),
                 Vec::new(),
                 Vec::new(),
@@ -463,14 +470,16 @@ pub(crate) fn run_real_engine(
     });
 
     // All senders are gone, so the monitor drains the queues and exits.
-    let (mut violations, events_processed, events_dropped, monitor_telemetry) = match monitor {
-        Some(monitor) => monitor.join(),
-        None => (Vec::new(), 0, 0, TelemetrySnapshot::new()),
-    };
+    let (mut violations, mut violation_reports, events_processed, events_dropped, monitor_telemetry) =
+        match monitor {
+            Some(monitor) => monitor.join(),
+            None => (Vec::new(), Vec::new(), 0, 0, TelemetrySnapshot::new()),
+        };
     if config.monitor == MonitorMode::SendOnly {
         // The send path ran hot (queues drained for real), but verdicts are
         // discarded — the paper's 32-thread methodology.
         violations.clear();
+        violation_reports.clear();
     }
 
     // Aggregate workers: first trap (in thread-id order) wins, like the
@@ -513,6 +522,7 @@ pub(crate) fn run_real_engine(
         total_steps,
         (events_sent, events_processed, events_dropped),
         violations,
+        violation_reports,
         branches_per_thread,
         steps_per_thread,
         monitor_telemetry,

@@ -205,7 +205,7 @@ impl<'a> Sim<'a> {
         branches_per_thread: Vec<u64>,
         steps_per_thread: Vec<u64>,
     ) -> RunResult {
-        let violations = match self.monitor.as_mut() {
+        let (mut violations, mut violation_reports) = match self.monitor.as_mut() {
             Some(m) => {
                 // The end-of-run flush only happens if the program survived:
                 // a crash or hang kills the real monitor thread along with
@@ -213,10 +213,11 @@ impl<'a> Sim<'a> {
                 if outcome == RunOutcome::Completed {
                     m.flush();
                 }
-                m.violations().to_vec()
+                (m.violations().to_vec(), m.violation_reports().to_vec())
             }
-            None => Vec::new(),
+            None => (Vec::new(), Vec::new()),
         };
+        crate::engine::sort_violations(&mut violations, &mut violation_reports);
         let events_processed =
             self.monitor.as_ref().map_or(0, |m| m.events_processed());
         let mut telemetry = self.telemetry.snapshot();
@@ -238,6 +239,7 @@ impl<'a> Sim<'a> {
             outputs: self.outputs,
             parallel_cycles,
             violations,
+            violation_reports,
             total_steps: self.total_steps,
             events_sent: self.events_sent,
             events_processed,

@@ -20,6 +20,25 @@ cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 cargo run --release --quiet --bin bw -- fuzz --seeds 200 --inject 2
 cargo run --release --quiet --bin bw --no-default-features -- fuzz --seeds 200
 
+# Forensics smoke: a seeded campaign must leave a trace that `bw report`
+# can reconstruct into per-injection evidence, and that evidence must be
+# byte-identical at any worker count (the campaign seed is fixed, and the
+# report ignores arrival order, worker ids and timestamps). No abort flag
+# here: early-abort with multiple workers can overshoot differently.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 40 --workers 1 --telemetry "$tmpdir/w1.jsonl" >/dev/null
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 40 --workers 4 --telemetry "$tmpdir/w4.jsonl" >/dev/null
+cargo run --release --quiet --bin bw -- report "$tmpdir/w1.jsonl" \
+  > "$tmpdir/w1.txt"
+cargo run --release --quiet --bin bw -- report "$tmpdir/w4.jsonl" \
+  > "$tmpdir/w4.txt"
+diff "$tmpdir/w1.txt" "$tmpdir/w4.txt"
+grep -q "DEVIANT" "$tmpdir/w1.txt"
+grep -q "top violating sites" "$tmpdir/w1.txt"
+
 # Real-engine leg: the OS-thread scheduler must satisfy the same Engine
 # contract as the simulator on every SPLASH port (parity suite), and
 # survive a fuzz smoke with real-engine campaigns and the sim-vs-real
