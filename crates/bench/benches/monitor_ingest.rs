@@ -1,0 +1,91 @@
+//! End-to-end monitor ingest throughput: events/sec through the full
+//! producer → SPSC queue → monitor-worker path, swept over shard count at
+//! fixed thread count (and over thread count at fixed sharding).
+//!
+//! The flat topology funnels every producer into one draining thread; the
+//! sharded topology gives each `(site, branch)` slice its own worker, so
+//! on a multi-core host events/sec grows near-linearly with the shard
+//! count until the producers become the bottleneck. On a single core the
+//! sweep still runs (the verdict-equality invariants hold regardless) but
+//! the workers time-slice, so expect flat numbers there.
+
+use bw_analysis::CheckKind;
+use bw_monitor::{BranchEvent, CheckTable, MonitorBuilder, MonitorTopology};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Distinct call sites in the stream — enough to spread across 8 shards.
+const SITES: u64 = 64;
+/// Loop iterations per site per producer thread.
+const ITERS: u64 = 100;
+
+/// Pushes a clean uniform stream (every thread reports the same witness,
+/// so every instance completes and is checked eagerly) through the given
+/// topology and joins the monitor. Returns the processed-event count.
+fn run_once(checks: &CheckTable, nthreads: usize, topology: MonitorTopology) -> u64 {
+    let (senders, handle) =
+        MonitorBuilder::new(checks.clone(), nthreads).topology(topology).spawn();
+    std::thread::scope(|scope| {
+        for (t, mut sender) in senders.into_iter().enumerate() {
+            scope.spawn(move || {
+                for iter in 0..ITERS {
+                    for site in 0..SITES {
+                        sender.send(BranchEvent {
+                            branch: 0,
+                            thread: t as u32,
+                            site,
+                            iter,
+                            witness: 7,
+                            taken: true,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let verdict = handle.join();
+    assert!(verdict.violations.is_empty(), "clean stream must stay clean");
+    verdict.events_processed
+}
+
+fn bench_monitor_ingest(c: &mut Criterion) {
+    let checks = CheckTable::from_kinds(vec![Some(CheckKind::SharedUniform)]);
+
+    // Shard sweep at a fixed thread count: the tentpole scaling curve.
+    let nthreads = 4usize;
+    let events = (nthreads as u64) * SITES * ITERS;
+    let mut group = c.benchmark_group("monitor_ingest/shards");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .throughput(Throughput::Elements(events));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("t{nthreads}_s{shards}"), |b| {
+            b.iter(|| {
+                black_box(run_once(&checks, nthreads, MonitorTopology::Sharded { shards }))
+            });
+        });
+    }
+    group.finish();
+
+    // Thread sweep at fixed sharding: producer-side scaling next to the
+    // shard curve above.
+    let mut group = c.benchmark_group("monitor_ingest/threads");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for nthreads in [2usize, 4, 8] {
+        let events = (nthreads as u64) * SITES * ITERS;
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(format!("t{nthreads}_s4"), |b| {
+            b.iter(|| {
+                black_box(run_once(&checks, nthreads, MonitorTopology::Sharded { shards: 4 }))
+            });
+        });
+        group.bench_function(format!("t{nthreads}_flat"), |b| {
+            b.iter(|| black_box(run_once(&checks, nthreads, MonitorTopology::Flat)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor_ingest);
+criterion_main!(benches);

@@ -4,11 +4,13 @@
 //!
 //! ```text
 //! bw analyze  <file>                 print per-branch similarity categories
-//! bw run      <file> [--threads N] [--engine sim|real] [--stats]
-//!             [--telemetry T.jsonl]  run under the monitor
+//! bw run      <file> [--threads N] [--engine sim|real] [--monitor-shards S]
+//!             [--stats] [--telemetry T.jsonl]
+//!                                    run under the monitor
 //! bw ir       <file>                 dump the SSA IR
 //! bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
-//!             [--workers W] [--engine sim|real] [--progress] [--stats]
+//!             [--workers W] [--engine sim|real] [--monitor-shards S]
+//!             [--progress] [--stats]
 //!             [--telemetry T.jsonl]  fault-injection campaign with and
 //!                                    without BLOCKWATCH
 //! bw stats    <trace.jsonl>          summarize a JSONL telemetry trace
@@ -65,15 +67,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   bw analyze  <file>                  print per-branch similarity categories
-  bw run      <file> [--threads N] [--engine sim|real] [--stats]
-              [--telemetry T.jsonl]   run under the monitor
+  bw run      <file> [--threads N] [--engine sim|real] [--monitor-shards S]
+              [--stats] [--telemetry T.jsonl]
+                                      run under the monitor
   bw ir       <file>                  dump the SSA IR
   bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
-              [--workers W] [--engine sim|real] [--progress] [--stats]
-              [--telemetry T.jsonl]
+              [--workers W] [--engine sim|real] [--monitor-shards S]
+              [--progress] [--stats] [--telemetry T.jsonl]
   bw fuzz     [--seeds N] [--start S] [--threads T1,T2,..] [--inject K]
               [--max-stmts M] [--engine sim|real] [--real-cross-check]
-              [--require-coverage] [--telemetry T.jsonl]
+              [--monitor-shards S] [--require-coverage] [--telemetry T.jsonl]
                                       generate random SPMD programs and run
                                       the differential oracle; failures are
                                       shrunk and saved as fuzz-<seed>.bwir
@@ -84,6 +87,10 @@ const USAGE: &str = "usage:
 
   --engine selects the scheduler: `sim` (deterministic, default) or `real`
   (OS threads); `--real` remains a legacy alias on `bw run`.
+
+  --monitor-shards splits the monitor ingest across S workers, each owning
+  a disjoint (site, branch) slice. Verdicts are byte-identical at any S —
+  it is purely a throughput knob (see the monitor-ingest bench).
 
   <file> is a source path, a .bwir textual-IR dump (e.g. a fuzz repro), or
   splash:<name> (fft, fmm, radix, raytrace, water, ocean-contig,
@@ -158,6 +165,17 @@ fn threads(rest: &[String]) -> u32 {
     flag(rest, "--threads").and_then(|s| s.parse().ok()).unwrap_or(4)
 }
 
+/// Parses `--monitor-shards S` (must be positive when given).
+fn monitor_shards(rest: &[String]) -> Result<Option<usize>, String> {
+    match flag(rest, "--monitor-shards") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!("--monitor-shards needs a positive count, got `{s}`")),
+        },
+        None => Ok(None),
+    }
+}
+
 /// Parses `--engine sim|real` (with `--real` as a legacy alias for
 /// `--engine real`).
 fn engine_kind(rest: &[String]) -> Result<EngineKind, String> {
@@ -208,10 +226,11 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     let recorder = telemetry_recorder(rest)?;
 
     let kind = engine_kind(rest)?;
+    let shards = monitor_shards(rest)?;
 
     // The pipeline's own telemetry plus the run's: one merged snapshot.
     let mut telemetry = bw.telemetry();
-    let result = bw.run_on(kind, &ExecConfig::new(n));
+    let result = bw.run_on(kind, &ExecConfig::new(n).monitor_shards(shards));
     println!("outcome: {:?} ({} engine)", result.outcome, kind.name());
     match kind {
         EngineKind::Sim => {
@@ -283,6 +302,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
     }
     let kind = engine_kind(rest)?;
     let real_cross_check = rest.iter().any(|a| a == "--real-cross-check");
+    let shards = monitor_shards(rest)?;
     let recorder = telemetry_recorder(rest)?;
 
     let config = blockwatch::gen::FuzzConfig {
@@ -293,6 +313,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
         injections,
         engine: kind,
         real_cross_check,
+        monitor_shards: shards,
     };
     let report = match &recorder {
         Some(recorder) => blockwatch::gen::run_fuzz_recorded(&config, recorder),
@@ -361,6 +382,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
 
     let workers = flag(rest, "--workers").and_then(|s| s.parse().ok()).unwrap_or(0);
     let kind = engine_kind(rest)?;
+    let shards = monitor_shards(rest)?;
     let show_progress = rest.iter().any(|a| a == "--progress");
     let progress = |label: &'static str| {
         move |p: CampaignProgress| {
@@ -376,7 +398,8 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
             .campaign_runner(injections, model, n)
             .workers(workers)
             .engine(kind)
-            .monitor(monitor);
+            .monitor(monitor)
+            .monitor_shards(shards);
         let callback = progress(label);
         if show_progress {
             runner = runner.on_progress(callback);

@@ -620,6 +620,36 @@ impl TraceSummary {
                 let _ = writeln!(out, "  pending-table high water: {p} instance(s)");
             }
         }
+        // Per-shard ingest health (only present when the monitor ran
+        // sharded): each shard's share of the event stream, its drops and
+        // its queue high-water mark — an uneven split or a hot shard shows
+        // up here. Campaign traces carry these under the `golden.` prefix,
+        // `bw run` traces carry them bare; match the `monitor.shard.<i>.`
+        // segment wherever it sits, summing counters and maxing gauges.
+        let mut shards: std::collections::BTreeMap<u64, (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for (name, value) in self.counters.iter().chain(self.gauges.iter()) {
+            let Some(rest) = name.split("monitor.shard.").nth(1) else { continue };
+            let mut parts = rest.splitn(2, '.');
+            let Some(id) = parts.next().and_then(|s| s.parse::<u64>().ok()) else { continue };
+            let row = shards.entry(id).or_default();
+            match parts.next() {
+                Some("events_processed") => row.0 += value,
+                Some("events_dropped") => row.1 += value,
+                Some("queue_high_water") => row.2 = row.2.max(*value),
+                _ => {}
+            }
+        }
+        if !shards.is_empty() {
+            out.push_str("monitor shards:\n");
+            for (s, (processed, dropped, high_water)) in shards {
+                let _ = writeln!(
+                    out,
+                    "  shard {s:<3} processed {processed}  dropped {dropped}  \
+                     queue high water {high_water}"
+                );
+            }
+        }
         if !self.histograms.is_empty() {
             out.push_str("histogram aggregates:\n");
             for h in &self.histograms {
@@ -1008,6 +1038,41 @@ mod tests {
         let trace = r#"{"seq":0,"t_us":1,"ev":"counter","name":"vm.instructions","value":5}"#;
         let rendered = TraceSummary::parse(trace).unwrap().render();
         assert!(!rendered.contains("monitor health"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_summary_renders_per_shard_health() {
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"counter","name":"monitor.shard.0.events_processed","value":120}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"counter","name":"monitor.shard.1.events_processed","value":80}"#, "\n",
+            r#"{"seq":2,"t_us":3,"ev":"counter","name":"monitor.shard.1.events_dropped","value":3}"#, "\n",
+            r#"{"seq":3,"t_us":4,"ev":"gauge","name":"monitor.shard.0.queue_high_water","value":17}"#, "\n",
+        );
+        let rendered = TraceSummary::parse(trace).unwrap().render();
+        assert!(rendered.contains("monitor shards:"), "{rendered}");
+        assert!(
+            rendered.contains("shard 0   processed 120  dropped 0  queue high water 17"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("shard 1   processed 80  dropped 3  queue high water 0"),
+            "{rendered}"
+        );
+        // Campaign traces record the golden run's telemetry under a
+        // `golden.` prefix; the shard section must still pick it up.
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"counter","name":"golden.monitor.shard.0.events_processed","value":300}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"gauge","name":"golden.monitor.shard.0.queue_high_water","value":9}"#, "\n",
+        );
+        let rendered = TraceSummary::parse(trace).unwrap().render();
+        assert!(
+            rendered.contains("shard 0   processed 300  dropped 0  queue high water 9"),
+            "{rendered}"
+        );
+        // Unsharded traces get no shard section.
+        let trace = r#"{"seq":0,"t_us":1,"ev":"counter","name":"monitor.events_dropped","value":0}"#;
+        let rendered = TraceSummary::parse(trace).unwrap().render();
+        assert!(!rendered.contains("monitor shards"), "{rendered}");
     }
 
     /// A two-injection trace with one detection carrying full provenance.

@@ -40,6 +40,10 @@ pub struct FuzzConfig {
     /// Cross-check every fault-free oracle run against the real-threads
     /// engine (see [`crate::check_image_cross`]).
     pub real_cross_check: bool,
+    /// Monitor shard count for the injection-stage campaigns (`None` = one
+    /// monitor). The fault-free oracle stage always sweeps shard counts
+    /// regardless (the shard-neutrality invariant).
+    pub monitor_shards: Option<usize>,
 }
 
 impl Default for FuzzConfig {
@@ -52,6 +56,7 @@ impl Default for FuzzConfig {
             injections: 0,
             engine: EngineKind::Sim,
             real_cross_check: false,
+            monitor_shards: None,
         }
     }
 }
@@ -298,7 +303,10 @@ fn inject_batch(
     let nthreads = config.threads.iter().copied().max().unwrap_or(4);
     let mut batch = CampaignBatch::new();
     for (seed, image) in pending.iter() {
-        let sim = SimConfig::new(nthreads).seed(*seed).max_steps(2_000_000);
+        let sim = SimConfig::new(nthreads)
+            .seed(*seed)
+            .max_steps(2_000_000)
+            .monitor_shards(config.monitor_shards);
         let cc = CampaignConfig::new(config.injections, FaultModel::BranchFlip, nthreads)
             .seed(*seed)
             .sim(sim)
@@ -341,6 +349,7 @@ mod tests {
             injections: 0,
             engine: EngineKind::Sim,
             real_cross_check: false,
+            monitor_shards: None,
         }
     }
 
@@ -373,8 +382,9 @@ mod tests {
         cfg.real_cross_check = true;
         let r = run_fuzz(&cfg);
         assert!(r.ok(), "unexpected failures:\n{}", r.render());
-        // One extra (real-engine) run per thread count per seed.
-        assert_eq!(r.stats.runs, 2 * 2 * 4);
+        // 2 seeds x 2 thread counts x 9 runs (monitored, repeat,
+        // unmonitored, shard sweep of 4, real, real sharded).
+        assert_eq!(r.stats.runs, 2 * 2 * 9);
     }
 
     #[test]

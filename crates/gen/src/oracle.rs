@@ -19,6 +19,11 @@
 //!
 //! Plus a reproducibility gate: running the same configuration twice must be
 //! bitwise-identical, including the full `deterministic_part()` snapshot.
+//!
+//! And a **shard-neutrality** gate: sharding the monitor ingest
+//! (`ExecConfig::monitor_shards`) is a throughput knob, never a semantic
+//! one — every shard count must produce byte-identical violations,
+//! violation reports and program observables.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -99,6 +104,18 @@ pub enum OracleFailure {
         /// Which observable diverged.
         detail: String,
     },
+    /// Sharding the monitor ingest changed the verdict: a run with
+    /// `monitor_shards = Some(shards)` disagreed with the unsharded run on
+    /// an observable that must be shard-independent (outcome, outputs,
+    /// violations, violation reports, event totals).
+    ShardDivergence {
+        /// Thread count of the failing run.
+        nthreads: u32,
+        /// Shard count of the diverging run.
+        shards: usize,
+        /// Which observable diverged.
+        detail: String,
+    },
 }
 
 impl OracleFailure {
@@ -113,6 +130,7 @@ impl OracleFailure {
             OracleFailure::NotTransparent { .. } => "not-transparent",
             OracleFailure::NotReproducible { .. } => "not-reproducible",
             OracleFailure::EngineDivergence { .. } => "engine-divergence",
+            OracleFailure::ShardDivergence { .. } => "shard-divergence",
         }
     }
 }
@@ -144,6 +162,12 @@ impl fmt::Display for OracleFailure {
             }
             OracleFailure::EngineDivergence { nthreads, detail } => {
                 write!(f, "real engine diverges from sim at {nthreads} thread(s): {detail}")
+            }
+            OracleFailure::ShardDivergence { nthreads, shards, detail } => {
+                write!(
+                    f,
+                    "sharded monitor ({shards} shard(s)) diverges at {nthreads} thread(s): {detail}"
+                )
             }
         }
     }
@@ -226,7 +250,9 @@ impl CoverageCounts {
 /// Aggregate statistics from one oracle sweep, for fuzz reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OracleStats {
-    /// Simulated runs executed (three per thread count).
+    /// Runs executed (seven per thread count: monitored, repeat,
+    /// unmonitored, and the four-point shard sweep; nine with the real
+    /// cross-check).
     pub runs: u64,
     /// Branch events captured across all monitored runs.
     pub events: u64,
@@ -325,12 +351,24 @@ pub fn check_image_cross(
             return Err(OracleFailure::NotTransparent { nthreads: n, detail });
         }
 
+        // Shard neutrality: partitioning the monitor ingest must change
+        // nothing observable — same verdicts, same provenance, same
+        // program-visible results, same costs.
+        for shards in [1usize, 2, 4, 8] {
+            let cfg_sharded = cfg_on.clone().monitor_shards(Some(shards));
+            let r_sharded = run_sim(image, &cfg_sharded);
+            stats.runs += 1;
+            if let Some(detail) = diff_sharded(&r_on, &r_sharded) {
+                return Err(OracleFailure::ShardDivergence { nthreads: n, shards, detail });
+            }
+        }
+
         // Invariant 2: the event stream matches the static categories.
         stats.events += r_on.branch_events.len() as u64;
         check_category_patterns(image, &r_on, n, &mut stats)?;
 
         // Opt-in: the real-threads engine must agree on everything that
-        // does not depend on the schedule.
+        // does not depend on the schedule — flat and with sharded ingest.
         if real_cross {
             let cfg_real = cfg_on.clone().capture_events(false);
             let r_real = engine(EngineKind::Real).run(image, &cfg_real);
@@ -338,9 +376,51 @@ pub fn check_image_cross(
             if let Some(detail) = diff_engines(&r_on, &r_real) {
                 return Err(OracleFailure::EngineDivergence { nthreads: n, detail });
             }
+            let cfg_real_sharded = cfg_real.clone().monitor_shards(Some(4));
+            let r_real_sharded = engine(EngineKind::Real).run(image, &cfg_real_sharded);
+            stats.runs += 1;
+            if let Some(detail) = diff_engines(&r_on, &r_real_sharded) {
+                return Err(OracleFailure::ShardDivergence { nthreads: n, shards: 4, detail });
+            }
         }
     }
     Ok(stats)
+}
+
+/// Compares a sharded sim run against the unsharded reference: everything
+/// the program or the user can observe must match byte for byte.
+/// (Telemetry is excluded — per-shard health counters legitimately appear
+/// only on the sharded side.)
+fn diff_sharded(flat: &RunResult, sharded: &RunResult) -> Option<String> {
+    if flat.outcome != sharded.outcome {
+        return Some(format!("outcome {:?} flat vs {:?} sharded", flat.outcome, sharded.outcome));
+    }
+    if flat.outputs != sharded.outputs {
+        return Some("program outputs differ with sharded ingest".into());
+    }
+    if flat.violations != sharded.violations {
+        return Some(format!(
+            "violations differ: {} flat vs {} sharded",
+            flat.violations.len(),
+            sharded.violations.len()
+        ));
+    }
+    if flat.violation_reports != sharded.violation_reports {
+        return Some("violation reports differ with sharded ingest".into());
+    }
+    if flat.events_processed != sharded.events_processed {
+        return Some(format!(
+            "events_processed {} flat vs {} sharded",
+            flat.events_processed, sharded.events_processed
+        ));
+    }
+    if flat.total_steps != sharded.total_steps {
+        return Some("total_steps differ with sharded ingest".into());
+    }
+    if flat.parallel_cycles != sharded.parallel_cycles {
+        return Some("parallel_cycles differ with sharded ingest".into());
+    }
+    None
 }
 
 /// Compares the schedule-independent subset of a sim run and a real run.

@@ -124,10 +124,12 @@ impl RootMonitor {
         self.batches_processed += 1;
         let Some(kind) = self.checks.kind(batch.branch) else { return };
         let mut complete = None;
+        let mut site_seq = 0;
         for report in batch.reports {
-            // The root's message unit is the batch, so flight-recorder
-            // sequence numbers count batches, not individual events.
-            self.recorder.record(
+            // The recorder numbers each site's own report stream, so the
+            // root's windows and latencies match the flat monitor's even
+            // though its message unit is the batch.
+            site_seq = self.recorder.record(
                 batch.branch,
                 batch.site,
                 WindowEntry {
@@ -135,7 +137,7 @@ impl RootMonitor {
                     witness: report.witness,
                     taken: report.taken,
                     iter: batch.iter,
-                    seq: self.batches_processed,
+                    seq: 0, // assigned by the recorder
                 },
             );
             if let Some(reports) =
@@ -146,7 +148,7 @@ impl RootMonitor {
         }
         tm_gauge_max!(self.telemetry.pending_high_water, self.table.len());
         if let Some(reports) = complete {
-            self.check(kind, batch.branch, batch.site, batch.iter, &reports);
+            self.check(kind, batch.branch, batch.site, batch.iter, &reports, site_seq);
         }
     }
 
@@ -158,13 +160,23 @@ impl RootMonitor {
         tm_gauge_max!(self.telemetry.flush_batch_max, pending.len());
         for (branch, site, iter, reports) in pending {
             if let Some(kind) = self.checks.kind(branch) {
-                self.check(kind, branch, site, iter, &reports);
+                let site_seq = self.recorder.site_seq(branch, site);
+                self.check(kind, branch, site, iter, &reports, site_seq);
             }
         }
         self.violations.len()
     }
 
-    fn check(&mut self, kind: CheckKind, branch: u32, site: u64, iter: u64, reports: &[Report]) {
+    #[cfg_attr(not(feature = "provenance"), allow(unused_variables))]
+    fn check(
+        &mut self,
+        kind: CheckKind,
+        branch: u32,
+        site: u64,
+        iter: u64,
+        reports: &[Report],
+        detected_seq: u64,
+    ) {
         if let Err(vk) = check_instance(kind, reports) {
             tm_inc!(self.telemetry.violations_for(kind));
             let violation =
@@ -176,8 +188,8 @@ impl RootMonitor {
                 kind,
                 reports,
                 self.recorder.window(branch, site),
-                self.batches_processed,
-                self.table.len() as u64,
+                detected_seq,
+                self.table.pending_at(branch, site) as u64,
             ));
         }
     }
@@ -227,6 +239,10 @@ impl RootMonitor {
 
 /// A two-level monitor tree running on real threads: one OS thread per
 /// sub-monitor plus one root thread.
+///
+/// Legacy entry point: new code should spawn monitors through
+/// [`crate::MonitorBuilder`], which covers this shape as
+/// [`crate::MonitorTopology::Hierarchical`].
 pub struct HierarchicalMonitorThread {
     handles: Vec<std::thread::JoinHandle<(u64, Vec<InstanceBatch>)>>,
     root_handle: std::thread::JoinHandle<RootMonitor>,
@@ -243,19 +259,14 @@ impl HierarchicalMonitorThread {
     /// # Panics
     ///
     /// Panics if `fanout` is zero.
+    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Hierarchical")]
     pub fn spawn(
         checks: CheckTable,
         nthreads: usize,
         queues: Vec<Consumer<BranchEvent>>,
         fanout: usize,
     ) -> Self {
-        Self::spawn_with_drop_counter(
-            checks,
-            nthreads,
-            queues,
-            fanout,
-            Arc::new(AtomicU64::new(0)),
-        )
+        Self::spawn_internal(checks, nthreads, queues, fanout, Arc::new(AtomicU64::new(0)))
     }
 
     /// Like [`HierarchicalMonitorThread::spawn`], but shares `drops` with
@@ -265,7 +276,19 @@ impl HierarchicalMonitorThread {
     /// # Panics
     ///
     /// Panics if `fanout` is zero.
+    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Hierarchical")]
     pub fn spawn_with_drop_counter(
+        checks: CheckTable,
+        nthreads: usize,
+        queues: Vec<Consumer<BranchEvent>>,
+        fanout: usize,
+        drops: Arc<AtomicU64>,
+    ) -> Self {
+        Self::spawn_internal(checks, nthreads, queues, fanout, drops)
+    }
+
+    /// The non-deprecated spawn path [`crate::MonitorBuilder`] uses.
+    pub(crate) fn spawn_internal(
         checks: CheckTable,
         nthreads: usize,
         queues: Vec<Consumer<BranchEvent>>,
@@ -384,6 +407,7 @@ impl HierarchicalMonitorThread {
 
 /// Runs the same event stream through a flat [`Monitor`] (for differential
 /// testing of the hierarchy).
+#[deprecated(note = "drive a passive Monitor (or ShardedMonitor with one shard) directly")]
 pub fn run_flat(checks: CheckTable, nthreads: usize, events: &[BranchEvent]) -> Monitor {
     let mut m = Monitor::new(checks, nthreads);
     for &e in events {
@@ -408,6 +432,7 @@ mod tests {
 
     /// Flat and hierarchical monitors agree on a mixed clean/faulty stream.
     #[test]
+    #[allow(deprecated)] // run_flat is the legacy differential helper
     fn hierarchy_matches_flat_verdicts() {
         let nthreads = 8;
         let mut events = Vec::new();
@@ -473,6 +498,7 @@ mod tests {
 
     /// The threaded tree detects the same injected mismatch end to end.
     #[test]
+    #[allow(deprecated)] // exercising the legacy tree entry point
     fn threaded_hierarchy_detects() {
         use crate::spsc::spsc_queue;
         let nthreads = 8usize;

@@ -11,10 +11,21 @@
 //!
 //! Design goals carried over from the paper:
 //! 1. **Asynchronous** — senders never wait for the monitor (the queue push
-//!    returns immediately; [`MonitorThread`] runs on its own core).
+//!    returns immediately; the monitor threads run on their own cores).
 //! 2. **Unique branch identifier and fast lookup** — `(static branch id,
 //!    call-path hash)` at level 1, loop-iteration hash at level 2.
 //! 3. **Lock freedom** — no locks anywhere on the reporting path.
+//!
+//! Monitors are constructed through one surface: [`MonitorBuilder`], with
+//! the ingest shape chosen by [`MonitorTopology`] — `Flat` (the paper's
+//! single monitor thread), `Hierarchical` (the Section VI sub-monitor
+//! tree), or `Sharded` (N workers each owning a disjoint
+//! `(site, branch)` key-space slice, routed by [`shard_of`]). Every
+//! topology joins into the same [`MonitorVerdict`] shape, and sharded
+//! verdicts are byte-identical to flat ones by construction. The old
+//! per-topology entry points ([`MonitorThread`],
+//! [`HierarchicalMonitorThread`], [`run_flat`]) remain as deprecated
+//! wrappers.
 //!
 //! # Examples
 //!
@@ -39,16 +50,21 @@ mod event;
 mod hierarchy;
 mod monitor;
 pub mod provenance;
+mod shard;
 mod spsc;
 mod table;
 mod telemetry;
+mod topology;
 
 pub use checker::{check_instance, Report, ViolationKind};
+#[allow(deprecated)]
 pub use hierarchy::{
     run_flat, HierarchicalMonitorThread, InstanceBatch, RootMonitor, SubMonitor,
 };
 pub use event::{hash_words, BranchEvent, KeyHasher};
 pub use monitor::{CheckTable, EventSender, Monitor, MonitorThread, Violation};
+pub use shard::{per_shard_capacity, shard_of, ShardedMonitor, ShardedMonitorThread};
+pub use topology::{MonitorBuilder, MonitorHandle, MonitorTopology, MonitorVerdict};
 pub use provenance::{
     category_name, kind_name, predicted_pattern, FlightRecorder, ViolationReport, WindowEntry,
     PROVENANCE_ENABLED,

@@ -141,8 +141,10 @@ impl Monitor {
         let report =
             Report { thread: event.thread, witness: event.witness, taken: event.taken };
         // Flight recorder (provenance feature; compiles out otherwise):
-        // one ring write per instrumented event.
-        self.recorder.record(
+        // one ring write per instrumented event. The recorder numbers the
+        // site's own report stream, so the seq it returns is the same no
+        // matter which shard (or topology) this monitor is.
+        let site_seq = self.recorder.record(
             event.branch,
             event.site,
             WindowEntry {
@@ -150,13 +152,13 @@ impl Monitor {
                 witness: event.witness,
                 taken: event.taken,
                 iter: event.iter,
-                seq: self.events_processed,
+                seq: 0, // assigned by the recorder
             },
         );
         if let Some(reports) =
             self.table.record(event.branch, event.site, event.iter, report, self.nthreads)
         {
-            self.check(kind, event.branch, event.site, event.iter, &reports);
+            self.check(kind, event.branch, event.site, event.iter, &reports, site_seq);
         }
         tm_gauge_max!(self.telemetry.pending_high_water, self.table.len());
     }
@@ -171,13 +173,23 @@ impl Monitor {
         tm_gauge_max!(self.telemetry.flush_batch_max, pending.len());
         for (branch, site, iter, reports) in pending {
             if let Some(kind) = self.checks.kind(branch) {
-                self.check(kind, branch, site, iter, &reports);
+                let site_seq = self.recorder.site_seq(branch, site);
+                self.check(kind, branch, site, iter, &reports, site_seq);
             }
         }
         self.violations.len()
     }
 
-    fn check(&mut self, kind: CheckKind, branch: u32, site: u64, iter: u64, reports: &[Report]) {
+    #[cfg_attr(not(feature = "provenance"), allow(unused_variables))]
+    fn check(
+        &mut self,
+        kind: CheckKind,
+        branch: u32,
+        site: u64,
+        iter: u64,
+        reports: &[Report],
+        detected_seq: u64,
+    ) {
         if let Err(vk) = check_instance(kind, reports) {
             tm_inc!(self.telemetry.violations_for(kind));
             let violation = Violation {
@@ -194,8 +206,8 @@ impl Monitor {
                 kind,
                 reports,
                 self.recorder.window(branch, site),
-                self.events_processed,
-                self.table.len() as u64,
+                detected_seq,
+                self.table.pending_at(branch, site) as u64,
             ));
         }
     }
@@ -252,6 +264,12 @@ impl Monitor {
         &self.telemetry
     }
 
+    /// Decomposes the monitor into its owned verdict lists (used by the
+    /// topology layer when merging shards).
+    pub(crate) fn into_results(self) -> (Vec<Violation>, Vec<ViolationReport>) {
+        (self.violations, self.reports)
+    }
+
     /// Exports everything this monitor measured under `monitor.*` names.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut s = self.telemetry.snapshot();
@@ -266,44 +284,68 @@ impl Monitor {
 /// A sending endpoint one application thread uses. Pushes spin briefly when
 /// the queue is full (the paper sizes queues to make this rare) and count
 /// the overflow events that had to be dropped after the spin budget.
+///
+/// A sender owns one producer per monitor shard and routes each event to
+/// the shard owning its `(site, branch)` key via [`crate::shard_of`]; the
+/// common single-shard case skips the hash entirely.
 #[derive(Debug)]
 pub struct EventSender {
-    producer: Producer<BranchEvent>,
+    /// One queue producer per monitor shard, indexed by shard id.
+    producers: Vec<Producer<BranchEvent>>,
     sent: u64,
-    dropped: u64,
+    /// Per-shard drop counts, aligned with `producers`.
+    dropped: Vec<u64>,
     spin_budget: u32,
-    /// Shared sink the local drop count is flushed into when the sender
-    /// goes away, so the total survives the sender's lifetime (see
-    /// [`MonitorThread::spawn_with_drop_counter`]).
-    drop_sink: Option<Arc<AtomicU64>>,
+    /// Shared per-shard sinks the local drop counts are flushed into when
+    /// the sender goes away, so the totals survive the sender's lifetime
+    /// (see [`MonitorThread::spawn_with_drop_counter`]). Empty when no one
+    /// is counting; otherwise aligned with `producers`.
+    drop_sinks: Vec<Arc<AtomicU64>>,
 }
 
 impl EventSender {
-    /// Wraps a queue producer.
+    /// Wraps a single queue producer (unsharded ingest, no drop sink).
     pub fn new(producer: Producer<BranchEvent>) -> Self {
-        EventSender { producer, sent: 0, dropped: 0, spin_budget: 1024, drop_sink: None }
+        Self::fanned(vec![producer], Vec::new())
     }
 
-    /// Wraps a queue producer and flushes this sender's drop count into
-    /// `sink` when the sender is dropped. Before this existed, drop
+    /// Wraps a single queue producer and flushes this sender's drop count
+    /// into `sink` when the sender is dropped. Before this existed, drop
     /// counts died with their sender — a monitor that fell behind looked
     /// indistinguishable from one that kept up.
     pub fn with_drop_counter(producer: Producer<BranchEvent>, sink: Arc<AtomicU64>) -> Self {
-        EventSender {
-            producer,
-            sent: 0,
-            dropped: 0,
-            spin_budget: 1024,
-            drop_sink: Some(sink),
-        }
+        Self::fanned(vec![producer], vec![sink])
     }
 
-    /// Sends an event, spinning briefly if the queue is full; drops the
-    /// event (and counts it) if the monitor cannot keep up.
+    /// Wraps one producer per monitor shard (indexed by shard id), with an
+    /// optional matching vector of per-shard drop sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producers` is empty, or if `drop_sinks` is non-empty but
+    /// not the same length as `producers`.
+    pub fn fanned(producers: Vec<Producer<BranchEvent>>, drop_sinks: Vec<Arc<AtomicU64>>) -> Self {
+        assert!(!producers.is_empty(), "sender needs at least one shard producer");
+        assert!(
+            drop_sinks.is_empty() || drop_sinks.len() == producers.len(),
+            "drop sinks must match shard producers"
+        );
+        let dropped = vec![0; producers.len()];
+        EventSender { producers, sent: 0, dropped, spin_budget: 1024, drop_sinks }
+    }
+
+    /// Sends an event to the shard owning its key, spinning briefly if that
+    /// shard's queue is full; drops the event (and counts it against the
+    /// shard) if the monitor cannot keep up.
     pub fn send(&mut self, event: BranchEvent) {
+        let shard = if self.producers.len() == 1 {
+            0
+        } else {
+            crate::shard::shard_of(event.site, event.branch, self.producers.len())
+        };
         let mut ev = event;
         for _ in 0..self.spin_budget {
-            match self.producer.push(ev) {
+            match self.producers[shard].push(ev) {
                 Ok(()) => {
                     self.sent += 1;
                     return;
@@ -314,25 +356,30 @@ impl EventSender {
                 }
             }
         }
-        self.dropped += 1;
+        self.dropped[shard] += 1;
     }
 
-    /// Events successfully enqueued by this sender.
+    /// Events successfully enqueued by this sender (all shards).
     pub fn sent(&self) -> u64 {
         self.sent
     }
 
-    /// Events dropped due to sustained queue overflow.
+    /// Events dropped due to sustained queue overflow (all shards).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.iter().sum()
+    }
+
+    /// Number of monitor shards this sender routes across.
+    pub fn shards(&self) -> usize {
+        self.producers.len()
     }
 }
 
 impl Drop for EventSender {
     fn drop(&mut self) {
-        if let Some(sink) = &self.drop_sink {
-            if self.dropped > 0 {
-                sink.fetch_add(self.dropped, Ordering::AcqRel);
+        for (sink, &dropped) in self.drop_sinks.iter().zip(&self.dropped) {
+            if dropped > 0 {
+                sink.fetch_add(dropped, Ordering::AcqRel);
             }
         }
     }
@@ -341,6 +388,11 @@ impl Drop for EventSender {
 /// The monitor thread for the real-threads engine: owns the consumer ends
 /// of all per-thread queues and polls them round-robin until asked to stop
 /// (after the application threads join), then drains what is left.
+///
+/// Legacy entry point: new code should spawn monitors through
+/// [`crate::MonitorBuilder`], which covers this flat shape as
+/// [`crate::MonitorTopology::Flat`] alongside the hierarchical and sharded
+/// ones.
 pub struct MonitorThread {
     handle: std::thread::JoinHandle<Monitor>,
     stop: Arc<AtomicBool>,
@@ -351,7 +403,9 @@ impl MonitorThread {
     /// Spawns the monitor thread with a private drop counter; pair the
     /// producers with [`EventSender::new`] (no senders report drops into
     /// this monitor) or use [`MonitorThread::spawn_with_drop_counter`].
+    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Flat")]
     pub fn spawn(checks: CheckTable, nthreads: usize, queues: Vec<Consumer<BranchEvent>>) -> Self {
+        #[allow(deprecated)]
         Self::spawn_with_drop_counter(checks, nthreads, queues, Arc::new(AtomicU64::new(0)))
     }
 
@@ -359,6 +413,7 @@ impl MonitorThread {
     /// threads' senders (created via [`EventSender::with_drop_counter`]).
     /// At [`MonitorThread::join`] the accumulated count is folded into
     /// the returned monitor's [`Monitor::events_dropped`].
+    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Flat")]
     pub fn spawn_with_drop_counter(
         checks: CheckTable,
         nthreads: usize,
@@ -524,6 +579,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercising the legacy flat entry point
     fn monitor_thread_end_to_end() {
         let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
         let nthreads = 4;

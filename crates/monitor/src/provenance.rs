@@ -6,7 +6,7 @@
 //! ring of the most recent reports (the **flight recorder**) and, at the
 //! moment a check fails, snapshots the ring together with the full
 //! per-thread outcome/witness vector, a majority/deviant split, and the
-//! monitor's position in the event stream into a [`ViolationReport`].
+//! site's position in its own report stream into a [`ViolationReport`].
 //! Every detection then ships with the evidence that produced it — no
 //! re-execution needed.
 //!
@@ -26,12 +26,15 @@ use crate::checker::{Report, ViolationKind};
 use crate::monitor::Violation;
 
 /// One flight-recorder entry: a thread's report plus where in the
-/// monitor's event stream it was recorded.
+/// *site's* report stream it was recorded.
 ///
-/// `seq` is the monitor's processed-message counter at record time
-/// (events for the flat [`crate::Monitor`], sub-monitor batches for the
-/// hierarchical root), which makes detection latency a simple subtraction
-/// of sequence numbers.
+/// `seq` is the per-`(branch, site)` record counter at record time
+/// (1-based; thread reports for the flat [`crate::Monitor`], sub-monitor
+/// batch entries for the hierarchical root), which makes detection latency
+/// a simple subtraction of sequence numbers. Site-local numbering — rather
+/// than a monitor-global message counter — keeps reports byte-identical no
+/// matter how the key space is partitioned across monitor shards, since a
+/// site's events always land on one shard in their original order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WindowEntry {
     /// Reporting thread id.
@@ -42,7 +45,8 @@ pub struct WindowEntry {
     pub taken: bool,
     /// Level-2 instance key (loop-iteration hash) the report belongs to.
     pub iter: u64,
-    /// Monitor message sequence number when the report was recorded.
+    /// Per-site record sequence number assigned when the report was
+    /// recorded (see [`FlightRecorder::record`]).
     pub seq: u64,
 }
 
@@ -66,15 +70,16 @@ pub struct ViolationReport {
     /// oldest entry first: recent history across *all* iterations of the
     /// site, not just the violating instance.
     pub window: Vec<WindowEntry>,
-    /// Monitor message sequence number at which the check fired.
+    /// Per-site record sequence number at which the check fired (the seq
+    /// of the site's most recent report; topology-independent).
     pub detected_seq: u64,
-    /// Instances still awaiting reporters when the check fired (pending
-    /// correlation-table depth — the monitor's backlog at detection time).
+    /// Instances of *this* `(branch, site)` still awaiting reporters when
+    /// the check fired — the site's correlation backlog at detection time.
     pub pending_depth: u64,
-    /// Messages between the first deviant report reaching the monitor and
-    /// the check firing (`detected_seq - deviant entry seq`). `None` when
-    /// the deviant's entry had already aged out of the ring, or when no
-    /// deviant could be singled out.
+    /// Site-stream records between the first deviant report reaching the
+    /// monitor and the check firing (`detected_seq - deviant entry seq`).
+    /// `None` when the deviant's entry had already aged out of the ring,
+    /// or when no deviant could be singled out.
     pub detection_latency: Option<u64>,
 }
 
@@ -346,6 +351,9 @@ struct SiteRing {
     /// `next` once full.
     entries: Vec<WindowEntry>,
     next: usize,
+    /// Records ever made to this site's ring (1-based seq of the newest
+    /// entry), including entries that have since aged out.
+    seq: u64,
 }
 
 #[cfg(feature = "provenance")]
@@ -355,22 +363,34 @@ impl FlightRecorder {
         FlightRecorder { rings: std::collections::HashMap::new(), capacity: capacity.max(1) }
     }
 
-    /// Appends one entry to the `(branch, site)` ring (hot path: one hash
-    /// lookup and one slot write; allocation only the first `capacity`
-    /// times a site is seen).
+    /// Appends one entry to the `(branch, site)` ring and returns the
+    /// per-site sequence number it was assigned — `entry.seq` is
+    /// overwritten with the site stream's next value (1-based), so callers
+    /// never number entries themselves. Hot path: one hash lookup and one
+    /// slot write; allocation only the first `capacity` times a site is
+    /// seen.
     #[inline]
-    pub fn record(&mut self, branch: u32, site: u64, entry: WindowEntry) {
+    pub fn record(&mut self, branch: u32, site: u64, mut entry: WindowEntry) -> u64 {
         let capacity = self.capacity;
         let ring = self
             .rings
             .entry((branch, site))
-            .or_insert_with(|| SiteRing { entries: Vec::new(), next: 0 });
+            .or_insert_with(|| SiteRing { entries: Vec::new(), next: 0, seq: 0 });
+        ring.seq += 1;
+        entry.seq = ring.seq;
         if ring.entries.len() < capacity {
             ring.entries.push(entry);
         } else {
             ring.entries[ring.next] = entry;
             ring.next = (ring.next + 1) % capacity;
         }
+        ring.seq
+    }
+
+    /// The per-site sequence number of the most recent record at
+    /// `(branch, site)`; zero when the site was never recorded.
+    pub fn site_seq(&self, branch: u32, site: u64) -> u64 {
+        self.rings.get(&(branch, site)).map_or(0, |r| r.seq)
     }
 
     /// Snapshot of the `(branch, site)` ring, oldest entry first.
@@ -408,9 +428,18 @@ impl FlightRecorder {
         FlightRecorder
     }
 
-    /// Recording compiles to nothing without the `provenance` feature.
+    /// Recording compiles to nothing without the `provenance` feature;
+    /// the returned sequence number is always zero.
     #[inline]
-    pub fn record(&mut self, _branch: u32, _site: u64, _entry: WindowEntry) {}
+    pub fn record(&mut self, _branch: u32, _site: u64, _entry: WindowEntry) -> u64 {
+        0
+    }
+
+    /// Always zero without the `provenance` feature.
+    #[inline]
+    pub fn site_seq(&self, _branch: u32, _site: u64) -> u64 {
+        0
+    }
 
     /// Always empty without the `provenance` feature.
     #[inline]
@@ -521,19 +550,34 @@ mod tests {
     #[test]
     fn ring_wraps_at_capacity_keeping_the_newest_entries() {
         let mut fr = FlightRecorder::new(4);
-        for seq in 0..10u64 {
-            fr.record(
+        for i in 0..10u64 {
+            let assigned = fr.record(
                 1,
                 0xfeed,
-                WindowEntry { thread: (seq % 2) as u32, witness: seq, taken: true, iter: seq, seq },
+                WindowEntry { thread: (i % 2) as u32, witness: i, taken: true, iter: i, seq: 0 },
             );
+            assert_eq!(assigned, i + 1, "seq is 1-based and site-local");
         }
         let window = fr.window(1, 0xfeed);
         assert_eq!(window.len(), 4);
         let seqs: Vec<u64> = window.iter().map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, newest kept");
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest-first, newest kept");
         assert!(fr.window(1, 0xbeef).is_empty());
         assert_eq!(fr.sites(), 1);
+        assert_eq!(fr.site_seq(1, 0xfeed), 10);
+        assert_eq!(fr.site_seq(1, 0xbeef), 0);
+    }
+
+    #[cfg(feature = "provenance")]
+    #[test]
+    fn site_seq_streams_are_independent() {
+        let mut fr = FlightRecorder::new(8);
+        let entry = |t: u32| WindowEntry { thread: t, witness: 1, taken: true, iter: 0, seq: 0 };
+        assert_eq!(fr.record(0, 0xa, entry(0)), 1);
+        assert_eq!(fr.record(0, 0xb, entry(0)), 1, "each site numbers its own stream");
+        assert_eq!(fr.record(0, 0xa, entry(1)), 2);
+        assert_eq!(fr.site_seq(0, 0xa), 2);
+        assert_eq!(fr.site_seq(0, 0xb), 1);
     }
 
     #[cfg(not(feature = "provenance"))]
@@ -541,9 +585,12 @@ mod tests {
     fn recorder_is_zero_sized_and_inert_when_disabled() {
         assert_eq!(std::mem::size_of::<FlightRecorder>(), 0);
         let mut fr = FlightRecorder::new(64);
-        fr.record(0, 0, WindowEntry { thread: 0, witness: 0, taken: true, iter: 0, seq: 0 });
+        let seq =
+            fr.record(0, 0, WindowEntry { thread: 0, witness: 0, taken: true, iter: 0, seq: 0 });
+        assert_eq!(seq, 0);
         assert!(fr.window(0, 0).is_empty());
         assert_eq!(fr.sites(), 0);
+        assert_eq!(fr.site_seq(0, 0), 0);
         assert_eq!(PROVENANCE_ENABLED, cfg!(feature = "provenance"));
     }
 

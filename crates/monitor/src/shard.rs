@@ -1,0 +1,379 @@
+//! Sharded monitor ingest: N monitors, each owning a disjoint slice of the
+//! `(site, branch)` key space.
+//!
+//! The flat monitor is the first component to saturate at high thread
+//! counts — every application thread funnels into one drain loop. But the
+//! monitor's correlation is strictly per-key: two events interact only when
+//! they share `(branch, site)`, so the key space can be partitioned across
+//! independent workers with **no cross-shard coordination at all**. Each
+//! shard owns its own pending [`crate::BranchTable`], checker, and
+//! (feature-gated) flight recorder; producers route every event to the
+//! owning shard's SPSC queue ([`shard_of`]), and shards drain in batches
+//! ([`crate::Consumer::pop_batch`]) to amortize per-event synchronization.
+//!
+//! Determinism: a site's events always land on exactly one shard, in the
+//! order the producing thread sent them, and flight-recorder sequence
+//! numbers are site-local — so every shard computes byte-identical
+//! violations and [`crate::ViolationReport`]s to what a flat monitor would
+//! have computed for those keys. Merging at join sorts both lists in the
+//! engine's canonical `(site, branch, iter, kind)` order, making the final
+//! verdict independent of the shard count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bw_telemetry::tm_gauge_max;
+
+use crate::event::{hash_words, BranchEvent};
+use crate::monitor::{CheckTable, Monitor};
+use crate::spsc::Consumer;
+use crate::topology::MonitorVerdict;
+
+/// How many events a shard worker moves out of one queue per batch; bounds
+/// the worker's scratch buffer while amortizing the acquire/release pair of
+/// a queue drain over many events.
+pub(crate) const DRAIN_BATCH: usize = 256;
+
+/// The shard owning a `(site, branch)` key, for a monitor split `shards`
+/// ways: `hash(site, branch) % shards`. One shard short-circuits to 0
+/// without hashing. The hash is the same stable FNV-1a used for the
+/// runtime keys ([`hash_words`]), so the mapping is identical across runs,
+/// platforms, and engines.
+pub fn shard_of(site: u64, branch: u32, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (hash_words([site, u64::from(branch)]) % shards as u64) as usize
+}
+
+/// Per-shard queue capacity when a total per-thread budget of `total` slots
+/// is split `shards` ways. An even split, but never below the smaller of
+/// the total and 1024 slots — tiny queues turn routing imbalance straight
+/// into drops. One shard keeps the full budget.
+pub fn per_shard_capacity(total: usize, shards: usize) -> usize {
+    let shards = shards.max(1);
+    (total / shards).max(total.min(1024)).max(1)
+}
+
+/// A passive sharded monitor: routes each event to the owning shard's
+/// [`Monitor`], exactly as the threaded ingest pipeline would, but driven
+/// inline by a single caller (the deterministic simulator).
+///
+/// With one shard this is a plain [`Monitor`] behind a bounds check — the
+/// flat topology is the `shards == 1` special case, not a separate code
+/// path.
+#[derive(Debug)]
+pub struct ShardedMonitor {
+    monitors: Vec<Monitor>,
+}
+
+impl ShardedMonitor {
+    /// Creates `shards` monitors (at least one), each expecting reports
+    /// from all `nthreads` application threads for the keys it owns.
+    pub fn new(checks: CheckTable, nthreads: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let monitors =
+            (0..shards).map(|_| Monitor::new(checks.clone(), nthreads)).collect();
+        ShardedMonitor { monitors }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Routes one event to the shard owning its `(site, branch)` key.
+    pub fn process(&mut self, event: BranchEvent) {
+        let shard = shard_of(event.site, event.branch, self.monitors.len());
+        self.monitors[shard].process(event);
+    }
+
+    /// Flushes every shard's partially-reported instances; returns the
+    /// total number of violations found so far across all shards.
+    pub fn flush(&mut self) -> usize {
+        self.monitors.iter_mut().map(|m| m.flush()).sum()
+    }
+
+    /// Whether any shard has detected a violation.
+    pub fn detected(&self) -> bool {
+        self.monitors.iter().any(|m| m.detected())
+    }
+
+    /// Total events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.monitors.iter().map(|m| m.events_processed()).sum()
+    }
+
+    /// Total instances awaiting more reporters across all shards.
+    pub fn pending_instances(&self) -> usize {
+        self.monitors.iter().map(|m| m.pending_instances()).sum()
+    }
+
+    /// Merges the shards into one verdict: violations and reports in the
+    /// engine's canonical order, counters summed, telemetry merged (plus
+    /// per-shard `monitor.shard.<i>.*` metrics when sharded).
+    pub fn into_verdict(self) -> MonitorVerdict {
+        MonitorVerdict::merge_monitors(self.monitors)
+    }
+}
+
+/// The sharded monitor backend for the real-threads engine: one OS thread
+/// per shard (`bw-shard-<i>`), each draining its own per-producer queues in
+/// batches and running a full [`Monitor`] over its slice of the key space.
+///
+/// Spawn through [`crate::MonitorBuilder`] (topology
+/// [`crate::MonitorTopology::Sharded`] — or `Flat`, which is one shard);
+/// this type is public so tests can drive pre-filled queues directly.
+pub struct ShardedMonitorThread {
+    handles: Vec<std::thread::JoinHandle<Monitor>>,
+    stop: Arc<AtomicBool>,
+    shard_drops: Vec<Arc<AtomicU64>>,
+}
+
+impl ShardedMonitorThread {
+    /// Spawns one worker per shard. `shard_queues[s]` holds shard `s`'s
+    /// consumer ends (one per producing thread, every producer routing by
+    /// [`shard_of`]); `shard_drops[s]` is the sink shard `s`'s senders
+    /// flush their drop counts into (see
+    /// [`crate::EventSender::fanned`]) — folded into shard `s`'s monitor at
+    /// [`ShardedMonitorThread::join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_queues` is empty or `shard_drops` has a different
+    /// length.
+    pub fn spawn(
+        checks: CheckTable,
+        nthreads: usize,
+        shard_queues: Vec<Vec<Consumer<BranchEvent>>>,
+        shard_drops: Vec<Arc<AtomicU64>>,
+    ) -> Self {
+        assert!(!shard_queues.is_empty(), "at least one shard");
+        assert_eq!(shard_queues.len(), shard_drops.len(), "one drop sink per shard");
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = shard_queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, queues)| {
+                let checks = checks.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("bw-shard-{i}"))
+                    .spawn(move || shard_worker(checks, nthreads, &queues, &stop))
+                    .expect("spawn shard monitor")
+            })
+            .collect();
+        ShardedMonitorThread { handles, stop, shard_drops }
+    }
+
+    /// Signals every shard to finish once its queues are empty, folds each
+    /// shard's sender-side drop count into its monitor, and merges the
+    /// shards into one deterministic verdict (callers must drop or join
+    /// the sending threads first so the drop counts have been flushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    pub fn join(self) -> MonitorVerdict {
+        self.stop.store(true, Ordering::Release);
+        let monitors = self
+            .handles
+            .into_iter()
+            .zip(&self.shard_drops)
+            .map(|(handle, drops)| {
+                let mut monitor = handle.join().expect("shard monitor panicked");
+                monitor.record_dropped(drops.load(Ordering::Acquire));
+                monitor
+            })
+            .collect();
+        MonitorVerdict::merge_monitors(monitors)
+    }
+}
+
+/// One shard's drain loop: batch-pop each producer queue round-robin until
+/// stopped and empty, then a final sweep and flush.
+fn shard_worker(
+    checks: CheckTable,
+    nthreads: usize,
+    queues: &[Consumer<BranchEvent>],
+    stop: &AtomicBool,
+) -> Monitor {
+    let mut monitor = Monitor::new(checks, nthreads);
+    let mut batch: Vec<BranchEvent> = Vec::with_capacity(DRAIN_BATCH);
+    loop {
+        let mut drained_any = false;
+        for q in queues {
+            tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
+            while q.pop_batch(&mut batch, DRAIN_BATCH) > 0 {
+                drained_any = true;
+                for event in batch.drain(..) {
+                    monitor.process(event);
+                }
+            }
+        }
+        if !drained_any {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    // Producers are done: one final sweep, then flush.
+    for q in queues {
+        tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
+        while q.pop_batch(&mut batch, DRAIN_BATCH) > 0 {
+            for event in batch.drain(..) {
+                monitor.process(event);
+            }
+        }
+    }
+    monitor.flush();
+    monitor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_analysis::CheckKind;
+
+    fn checks() -> CheckTable {
+        CheckTable::from_kinds(vec![Some(CheckKind::SharedUniform)])
+    }
+
+    fn ev(thread: u32, site: u64, iter: u64, witness: u64, taken: bool) -> BranchEvent {
+        BranchEvent { branch: 0, thread, site, iter, witness, taken }
+    }
+
+    /// A deterministic mixed stream over many sites: iteration 17 of every
+    /// fourth site carries a lying witness, and one trailing two-reporter
+    /// instance disagrees on direction (caught at flush).
+    fn mixed_stream(nthreads: u32) -> Vec<BranchEvent> {
+        let mut events = Vec::new();
+        for site in 0..32u64 {
+            for iter in 0..20u64 {
+                for t in 0..nthreads {
+                    let lie = site % 4 == 0 && iter == 17 && t == 1;
+                    let witness = if lie { 0xbad } else { iter };
+                    events.push(ev(t, site, iter, witness, true));
+                }
+            }
+        }
+        events.push(ev(0, 99, 0, 7, true));
+        events.push(ev(1, 99, 0, 7, false));
+        events
+    }
+
+    #[test]
+    fn shard_of_partitions_the_key_space() {
+        assert_eq!(shard_of(0xdead, 3, 1), 0);
+        for shards in [2usize, 4, 8] {
+            let mut seen = vec![0u32; shards];
+            for site in 0..256u64 {
+                for branch in 0..4u32 {
+                    let s = shard_of(site, branch, shards);
+                    assert!(s < shards);
+                    assert_eq!(s, shard_of(site, branch, shards), "stable");
+                    seen[s] += 1;
+                }
+            }
+            // FNV spreads 1024 keys well enough that no shard starves.
+            assert!(seen.iter().all(|&n| n > 0), "{shards} shards: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn per_shard_capacity_splits_with_a_floor() {
+        assert_eq!(per_shard_capacity(1 << 14, 1), 1 << 14);
+        assert_eq!(per_shard_capacity(1 << 14, 4), 4096);
+        assert_eq!(per_shard_capacity(1 << 14, 32), 1024);
+        assert_eq!(per_shard_capacity(4, 2), 4, "small budgets are not split");
+        assert_eq!(per_shard_capacity(0, 4), 1);
+    }
+
+    /// The headline determinism claim: any shard count produces exactly the
+    /// verdict (violations *and* full provenance reports) of the flat
+    /// monitor.
+    #[test]
+    fn any_shard_count_matches_the_flat_verdict() {
+        let nthreads = 4u32;
+        let events = mixed_stream(nthreads);
+        let flat = {
+            let mut m = ShardedMonitor::new(checks(), nthreads as usize, 1);
+            for &e in &events {
+                m.process(e);
+            }
+            m.flush();
+            m.into_verdict()
+        };
+        assert_eq!(flat.violations.len(), 9, "8 eager + 1 flush-time");
+        for shards in [2usize, 3, 4, 8] {
+            let mut m = ShardedMonitor::new(checks(), nthreads as usize, shards);
+            for &e in &events {
+                m.process(e);
+            }
+            m.flush();
+            let sharded = m.into_verdict();
+            assert_eq!(sharded.violations, flat.violations, "{shards} shards");
+            assert_eq!(
+                sharded.violation_reports, flat.violation_reports,
+                "{shards} shards: reports must be byte-identical"
+            );
+            assert_eq!(sharded.events_processed, flat.events_processed);
+        }
+    }
+
+    /// The threaded pipeline end to end: concurrent producers, batch
+    /// drains, merged verdict.
+    #[test]
+    fn threaded_shards_detect_and_merge() {
+        use crate::monitor::EventSender;
+        use crate::spsc::spsc_queue;
+        let nthreads = 4usize;
+        let shards = 4usize;
+        let shard_drops: Vec<Arc<AtomicU64>> =
+            (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut shard_queues: Vec<Vec<Consumer<BranchEvent>>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut senders = Vec::new();
+        for _ in 0..nthreads {
+            let mut producers = Vec::new();
+            for qs in shard_queues.iter_mut() {
+                let (p, c) = spsc_queue(1024);
+                producers.push(p);
+                qs.push(c);
+            }
+            senders.push(EventSender::fanned(
+                producers,
+                shard_drops.iter().map(Arc::clone).collect(),
+            ));
+        }
+        let monitor =
+            ShardedMonitorThread::spawn(checks(), nthreads, shard_queues, shard_drops);
+        let handles: Vec<_> = senders
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut sender)| {
+                std::thread::spawn(move || {
+                    for site in 0..16u64 {
+                        for iter in 0..50u64 {
+                            // Thread 2 lies at site 9, iteration 25.
+                            let lie = t == 2 && site == 9 && iter == 25;
+                            let witness = if lie { 999 } else { iter };
+                            sender.send(ev(t as u32, site, iter, witness, true));
+                        }
+                    }
+                    assert_eq!(sender.dropped(), 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let verdict = monitor.join();
+        assert_eq!(verdict.events_processed, 4 * 16 * 50);
+        assert_eq!(verdict.events_dropped, 0);
+        assert_eq!(verdict.violations.len(), 1);
+        assert_eq!(verdict.violations[0].site, 9);
+        assert_eq!(verdict.violations[0].iter, 25);
+    }
+}

@@ -125,6 +125,35 @@ impl<T> Consumer<T> {
         Some(value)
     }
 
+    /// Moves up to `max` elements from the front of the queue into `out`,
+    /// returning how many were moved.
+    ///
+    /// This amortizes the cross-core synchronization of [`Consumer::pop`]:
+    /// one acquire load of the producer's tail and one release store of the
+    /// head cover the whole batch, instead of one pair per element. The
+    /// sharded monitor drains its queues through this path.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let ring = &*self.ring;
+        let slots = ring.buf.len();
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        let available = (tail + slots - head) % slots;
+        let take = available.min(max);
+        if take == 0 {
+            return 0;
+        }
+        out.reserve(take);
+        for i in 0..take {
+            // SAFETY: each slot in `head..head+take` was fully written before
+            // the producer released `tail` past it (acquired above), and only
+            // this consumer reads slots behind `tail`.
+            let value = unsafe { (*ring.buf[(head + i) % slots].get()).assume_init_read() };
+            out.push(value);
+        }
+        ring.head.store((head + take) % slots, Ordering::Release);
+        take
+    }
+
     /// Number of elements currently queued (racy, for diagnostics).
     pub fn len(&self) -> usize {
         queue_len(&self.ring)
@@ -229,6 +258,69 @@ mod tests {
             if let Some(v) = c.pop() {
                 assert_eq!(v, expected);
                 expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_preserves_fifo_order_across_wraparound() {
+        let (p, c) = spsc_queue(4);
+        let mut out = Vec::new();
+        assert_eq!(c.pop_batch(&mut out, 16), 0);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..10 {
+            while p.push(next_in).is_ok() {
+                next_in += 1;
+            }
+            let n = c.pop_batch(&mut out, 3);
+            assert!(n <= 3);
+            for v in out.drain(..) {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+        }
+        // Drain the rest in one over-sized batch.
+        let n = c.pop_batch(&mut out, usize::MAX);
+        assert_eq!(n, out.len());
+        for v in out.drain(..) {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, next_in);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_cross_thread_stress() {
+        let (p, c) = spsc_queue(64);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match p.push(v) {
+                        Ok(()) => break,
+                        Err(QueueFull(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        let mut batch = Vec::new();
+        while expected < N {
+            if c.pop_batch(&mut batch, 32) > 0 {
+                for v in batch.drain(..) {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
             } else {
                 std::hint::spin_loop();
             }

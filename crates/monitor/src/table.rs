@@ -85,6 +85,14 @@ impl BranchTable {
         self.len
     }
 
+    /// Number of pending instances at one `(branch, site)` key — the
+    /// site-local backlog a [`crate::ViolationReport`] records as its
+    /// `pending_depth`. Unlike [`BranchTable::len`], this is invariant
+    /// under sharding the key space across monitors.
+    pub fn pending_at(&self, branch: u32, site: u64) -> usize {
+        self.level1.get(&(branch, site)).map_or(0, |level2| level2.len())
+    }
+
     /// Whether no instances are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -117,6 +125,20 @@ mod tests {
         t.record(2, 0, 0, r(1, true), 2); // different branch
         t.record(1, 7, 0, r(1, true), 2); // different call path
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn pending_at_counts_one_site_only() {
+        let mut t = BranchTable::new();
+        t.record(1, 0, 0, r(0, true), 2);
+        t.record(1, 0, 1, r(0, true), 2);
+        t.record(1, 7, 0, r(0, true), 2);
+        assert_eq!(t.pending_at(1, 0), 2);
+        assert_eq!(t.pending_at(1, 7), 1);
+        assert_eq!(t.pending_at(9, 9), 0);
+        // Completing an instance removes it from the site's backlog.
+        t.record(1, 0, 0, r(1, true), 2);
+        assert_eq!(t.pending_at(1, 0), 1);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The unified monitor construction surface: one [`MonitorBuilder`] covers
+//! every ingest shape behind a [`MonitorTopology`] enum.
+//!
+//! Before this existed each topology had its own ad-hoc constructor —
+//! [`crate::MonitorThread`] for flat ingest,
+//! [`crate::HierarchicalMonitorThread`] for the Section VI tree, and
+//! callers wired queues, senders, and drop counters by hand, differently
+//! each time. The builder owns that wiring: it creates the queues, hands
+//! back one routing [`EventSender`] per application thread, and returns a
+//! [`MonitorHandle`] whose `join` produces a [`MonitorVerdict`] with the
+//! same shape for every topology. Choosing sharded ingest is flipping an
+//! enum variant, not adopting a parallel code path.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use bw_telemetry::TelemetrySnapshot;
+
+use crate::event::BranchEvent;
+use crate::hierarchy::HierarchicalMonitorThread;
+use crate::monitor::{CheckTable, EventSender, Monitor, Violation};
+use crate::provenance::ViolationReport;
+use crate::shard::{per_shard_capacity, ShardedMonitorThread};
+use crate::spsc::{spsc_queue, Consumer};
+
+/// How monitor ingest is laid out across OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorTopology {
+    /// One monitor thread drains every producer queue (the paper's base
+    /// design). Equivalent to `Sharded { shards: 1 }`.
+    Flat,
+    /// The Section VI tree: sub-monitor threads aggregate subgroups of
+    /// `fanout` producers each and forward instance batches to one root.
+    Hierarchical {
+        /// Producer threads per sub-monitor (must be positive).
+        fanout: usize,
+    },
+    /// `shards` monitor threads, each owning the `(site, branch)` keys that
+    /// hash to it ([`crate::shard_of`]); producers route per event.
+    Sharded {
+        /// Number of key-space shards (must be positive).
+        shards: usize,
+    },
+}
+
+impl MonitorTopology {
+    /// How many shard queues a producer routes across (1 for flat and
+    /// hierarchical ingest).
+    pub fn shard_count(&self) -> usize {
+        match *self {
+            MonitorTopology::Sharded { shards } => shards,
+            MonitorTopology::Flat | MonitorTopology::Hierarchical { .. } => 1,
+        }
+    }
+}
+
+/// Everything a monitor topology reports at join, in one shape.
+#[derive(Debug)]
+pub struct MonitorVerdict {
+    /// Detected violations, in the engine's canonical
+    /// `(site, branch, iter, kind)` order.
+    pub violations: Vec<Violation>,
+    /// Structured evidence, in lockstep with `violations` (empty without
+    /// the `provenance` feature).
+    pub violation_reports: Vec<ViolationReport>,
+    /// Events processed across every monitor worker.
+    pub events_processed: u64,
+    /// Sender-side drops across every monitor worker. Nonzero means
+    /// verdicts may have missed violations.
+    pub events_dropped: u64,
+    /// Merged `monitor.*` telemetry (counters summed, gauges maxed), plus
+    /// per-shard `monitor.shard.<i>.*` metrics when sharded.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl MonitorVerdict {
+    /// Whether any violation was detected.
+    pub fn detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Merges per-shard monitors into one verdict. Violations and reports
+    /// are sorted into the engine's canonical order so the result is
+    /// independent of how the key space was partitioned; counters sum,
+    /// telemetry merges. With more than one shard, per-shard
+    /// `monitor.shard.<i>.{events_processed, events_dropped}` counters and
+    /// `monitor.shard.<i>.queue_high_water` gauges are appended so `bw
+    /// stats` can show ingest balance.
+    pub(crate) fn merge_monitors(monitors: Vec<Monitor>) -> MonitorVerdict {
+        let sharded = monitors.len() > 1;
+        let mut events_processed = 0;
+        let mut events_dropped = 0;
+        let mut telemetry = TelemetrySnapshot::new();
+        let mut violations = Vec::new();
+        let mut violation_reports = Vec::new();
+        for (i, monitor) in monitors.into_iter().enumerate() {
+            events_processed += monitor.events_processed();
+            events_dropped += monitor.events_dropped();
+            telemetry.merge(&monitor.snapshot());
+            if sharded {
+                telemetry.push_counter(
+                    format!("monitor.shard.{i}.events_processed"),
+                    monitor.events_processed(),
+                );
+                telemetry.push_counter(
+                    format!("monitor.shard.{i}.events_dropped"),
+                    monitor.events_dropped(),
+                );
+                telemetry.push_gauge(
+                    format!("monitor.shard.{i}.queue_high_water"),
+                    monitor.telemetry().queue_high_water.get(),
+                );
+            }
+            let (v, r) = monitor.into_results();
+            violations.extend(v);
+            violation_reports.extend(r);
+        }
+        violations.sort_unstable_by_key(|v| (v.site, v.branch, v.iter, v.kind));
+        violation_reports
+            .sort_by_key(|r| (r.violation.site, r.violation.branch, r.violation.iter, r.violation.kind));
+        MonitorVerdict {
+            violations,
+            violation_reports,
+            events_processed,
+            events_dropped,
+            telemetry,
+        }
+    }
+}
+
+/// A running monitor of any topology; join to collect the verdict.
+pub struct MonitorHandle {
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    /// Flat and sharded ingest share one implementation: flat is one shard.
+    Sharded(ShardedMonitorThread),
+    Tree(HierarchicalMonitorThread),
+}
+
+impl MonitorHandle {
+    /// Stops the monitor once its queues drain and merges the final state
+    /// into a [`MonitorVerdict`] (drop or join the sending threads first so
+    /// drop counts have been flushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a monitor thread panicked.
+    pub fn join(self) -> MonitorVerdict {
+        match self.inner {
+            HandleInner::Sharded(t) => t.join(),
+            HandleInner::Tree(t) => {
+                let (root, events_processed) = t.join();
+                let mut violations = root.violations().to_vec();
+                let mut violation_reports = root.violation_reports().to_vec();
+                violations.sort_unstable_by_key(|v| (v.site, v.branch, v.iter, v.kind));
+                violation_reports.sort_by_key(|r| {
+                    (r.violation.site, r.violation.branch, r.violation.iter, r.violation.kind)
+                });
+                MonitorVerdict {
+                    violations,
+                    violation_reports,
+                    events_processed,
+                    events_dropped: root.events_dropped(),
+                    telemetry: root.snapshot(),
+                }
+            }
+        }
+    }
+}
+
+/// Builds and spawns a monitor of any [`MonitorTopology`], wiring queues,
+/// routing senders, and drop accounting uniformly.
+///
+/// ```ignore
+/// let (senders, handle) = MonitorBuilder::new(checks, nthreads)
+///     .topology(MonitorTopology::Sharded { shards: 4 })
+///     .queue_capacity(1 << 14)
+///     .spawn();
+/// // ... one EventSender per application thread ...
+/// let verdict = handle.join();
+/// ```
+#[derive(Debug)]
+pub struct MonitorBuilder {
+    checks: CheckTable,
+    nthreads: usize,
+    topology: MonitorTopology,
+    queue_capacity: usize,
+}
+
+impl MonitorBuilder {
+    /// A builder for `nthreads` application threads checking according to
+    /// `checks`; flat topology and a 16Ki-slot per-thread queue budget by
+    /// default.
+    pub fn new(checks: CheckTable, nthreads: usize) -> Self {
+        MonitorBuilder { checks, nthreads, topology: MonitorTopology::Flat, queue_capacity: 1 << 14 }
+    }
+
+    /// Selects the ingest topology.
+    pub fn topology(mut self, topology: MonitorTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the *total* per-thread queue budget in events. Sharded ingest
+    /// splits the budget across shards ([`per_shard_capacity`]); flat and
+    /// hierarchical ingest give the single queue the whole budget.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Spawns the monitor threads and returns one routing [`EventSender`]
+    /// per application thread (index = thread id) plus the handle to join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's fanout or shard count is zero, or if the
+    /// queue capacity is zero.
+    pub fn spawn(self) -> (Vec<EventSender>, MonitorHandle) {
+        match self.topology {
+            MonitorTopology::Hierarchical { fanout } => {
+                assert!(fanout > 0, "fanout must be positive");
+                let drops = Arc::new(AtomicU64::new(0));
+                let mut senders = Vec::with_capacity(self.nthreads);
+                let mut queues = Vec::with_capacity(self.nthreads);
+                for _ in 0..self.nthreads {
+                    let (p, c) = spsc_queue(self.queue_capacity);
+                    senders.push(EventSender::with_drop_counter(p, Arc::clone(&drops)));
+                    queues.push(c);
+                }
+                let tree = HierarchicalMonitorThread::spawn_internal(
+                    self.checks,
+                    self.nthreads,
+                    queues,
+                    fanout,
+                    drops,
+                );
+                (senders, MonitorHandle { inner: HandleInner::Tree(tree) })
+            }
+            MonitorTopology::Flat | MonitorTopology::Sharded { .. } => {
+                let shards = self.topology.shard_count();
+                assert!(shards > 0, "shard count must be positive");
+                let capacity = per_shard_capacity(self.queue_capacity, shards);
+                let shard_drops: Vec<Arc<AtomicU64>> =
+                    (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+                let mut shard_queues: Vec<Vec<Consumer<BranchEvent>>> =
+                    (0..shards).map(|_| Vec::with_capacity(self.nthreads)).collect();
+                let mut senders = Vec::with_capacity(self.nthreads);
+                for _ in 0..self.nthreads {
+                    let mut producers = Vec::with_capacity(shards);
+                    for queues in shard_queues.iter_mut() {
+                        let (p, c) = spsc_queue(capacity);
+                        producers.push(p);
+                        queues.push(c);
+                    }
+                    senders.push(EventSender::fanned(
+                        producers,
+                        shard_drops.iter().map(Arc::clone).collect(),
+                    ));
+                }
+                let monitor = ShardedMonitorThread::spawn(
+                    self.checks,
+                    self.nthreads,
+                    shard_queues,
+                    shard_drops,
+                );
+                (senders, MonitorHandle { inner: HandleInner::Sharded(monitor) })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_analysis::CheckKind;
+
+    fn checks() -> CheckTable {
+        CheckTable::from_kinds(vec![Some(CheckKind::SharedUniform)])
+    }
+
+    fn drive(topology: MonitorTopology) -> MonitorVerdict {
+        let nthreads = 4usize;
+        let (senders, handle) =
+            MonitorBuilder::new(checks(), nthreads).topology(topology).spawn();
+        let producers: Vec<_> = senders
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut sender)| {
+                std::thread::spawn(move || {
+                    for site in 0..8u64 {
+                        for iter in 0..25u64 {
+                            // Thread 1 lies at site 3, iteration 7.
+                            let lie = t == 1 && site == 3 && iter == 7;
+                            let witness = if lie { 0xbad } else { iter };
+                            sender.send(BranchEvent {
+                                branch: 0,
+                                thread: t as u32,
+                                site,
+                                iter,
+                                witness,
+                                taken: true,
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        handle.join()
+    }
+
+    #[test]
+    fn every_topology_reaches_the_same_verdict() {
+        for topology in [
+            MonitorTopology::Flat,
+            MonitorTopology::Hierarchical { fanout: 2 },
+            MonitorTopology::Sharded { shards: 1 },
+            MonitorTopology::Sharded { shards: 4 },
+        ] {
+            let verdict = drive(topology);
+            assert_eq!(verdict.events_processed, 4 * 8 * 25, "{topology:?}");
+            assert_eq!(verdict.events_dropped, 0, "{topology:?}");
+            assert_eq!(verdict.violations.len(), 1, "{topology:?}");
+            assert_eq!(verdict.violations[0].site, 3, "{topology:?}");
+            assert_eq!(verdict.violations[0].iter, 7, "{topology:?}");
+            assert_eq!(
+                verdict.violation_reports.len(),
+                if cfg!(feature = "provenance") { 1 } else { 0 },
+                "{topology:?}"
+            );
+            assert!(verdict.detected());
+        }
+    }
+
+    #[test]
+    fn sharded_verdicts_carry_per_shard_metrics() {
+        let verdict = drive(MonitorTopology::Sharded { shards: 4 });
+        let counters = verdict.telemetry.counters();
+        let per_shard: Vec<&(String, u64)> = counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("monitor.shard."))
+            .collect();
+        let processed: u64 = per_shard
+            .iter()
+            .filter(|(name, _)| name.ends_with(".events_processed"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(processed, verdict.events_processed, "shard counters sum to the total");
+        // Flat verdicts stay label-free.
+        let flat = drive(MonitorTopology::Flat);
+        assert!(flat
+            .telemetry
+            .counters()
+            .iter()
+            .all(|(name, _)| !name.starts_with("monitor.shard.")));
+    }
+
+    #[test]
+    fn shard_count_is_one_except_for_sharded() {
+        assert_eq!(MonitorTopology::Flat.shard_count(), 1);
+        assert_eq!(MonitorTopology::Hierarchical { fanout: 4 }.shard_count(), 1);
+        assert_eq!(MonitorTopology::Sharded { shards: 8 }.shard_count(), 8);
+    }
+}

@@ -160,6 +160,13 @@ pub struct ExecConfig {
     /// of one flat monitor thread. [`SimEngine`] ignores it (the inline
     /// monitor checks the same table either way).
     pub hierarchy_fanout: Option<usize>,
+    /// When set, the monitor ingest is sharded across this many workers,
+    /// each owning a disjoint `(site, branch)` key-space slice (routed by
+    /// [`bw_monitor::shard_of`]). Takes precedence over `hierarchy_fanout`
+    /// — see [`ExecConfig::monitor_topology`]. On [`SimEngine`] the inline
+    /// monitor partitions its pending tables the same way, so verdicts are
+    /// byte-identical at any shard count.
+    pub monitor_shards: Option<usize>,
 }
 
 impl ExecConfig {
@@ -178,6 +185,7 @@ impl ExecConfig {
             queue_capacity: 1 << 14,
             watchdog_ms: 10_000,
             hierarchy_fanout: None,
+            monitor_shards: None,
         }
     }
 
@@ -240,6 +248,25 @@ impl ExecConfig {
     pub fn hierarchy_fanout(mut self, fanout: Option<usize>) -> Self {
         self.hierarchy_fanout = fanout;
         self
+    }
+
+    /// Shards the monitor ingest across `shards` workers (`None` = one
+    /// monitor, i.e. whatever `hierarchy_fanout` selects).
+    pub fn monitor_shards(mut self, shards: Option<usize>) -> Self {
+        self.monitor_shards = shards;
+        self
+    }
+
+    /// The monitor topology this configuration selects, in precedence
+    /// order: `monitor_shards` wins over `hierarchy_fanout`, and neither
+    /// means the paper's single flat monitor thread.
+    pub fn monitor_topology(&self) -> bw_monitor::MonitorTopology {
+        use bw_monitor::MonitorTopology;
+        match (self.monitor_shards, self.hierarchy_fanout) {
+            (Some(shards), _) => MonitorTopology::Sharded { shards },
+            (None, Some(fanout)) => MonitorTopology::Hierarchical { fanout },
+            (None, None) => MonitorTopology::Flat,
+        }
     }
 }
 
@@ -500,5 +527,17 @@ mod tests {
         assert_eq!(sim, real);
         assert_eq!(real.queue_capacity, 1 << 14);
         assert_eq!(real.hierarchy_fanout, None);
+        assert_eq!(real.monitor_shards, None);
+    }
+
+    #[test]
+    fn monitor_topology_precedence() {
+        use bw_monitor::MonitorTopology;
+        let cfg = ExecConfig::new(4);
+        assert_eq!(cfg.monitor_topology(), MonitorTopology::Flat);
+        let cfg = cfg.hierarchy_fanout(Some(2));
+        assert_eq!(cfg.monitor_topology(), MonitorTopology::Hierarchical { fanout: 2 });
+        let cfg = cfg.monitor_shards(Some(4));
+        assert_eq!(cfg.monitor_topology(), MonitorTopology::Sharded { shards: 4 });
     }
 }

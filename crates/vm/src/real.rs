@@ -19,15 +19,12 @@
 //! process kills every thread, which is also exactly what the simulator
 //! models.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bw_ir::Val;
-use bw_monitor::{
-    spsc_queue, CheckTable, EventSender, HierarchicalMonitorThread, MonitorThread, Violation,
-    ViolationReport,
-};
+use bw_monitor::{CheckTable, EventSender, MonitorBuilder, Violation, ViolationReport};
 use bw_telemetry::TelemetrySnapshot;
 
 use crate::engine::{
@@ -38,41 +35,6 @@ use crate::image::ProgramImage;
 use crate::memory::AtomicMemory;
 use crate::thread::{StepOutcome, ThreadState};
 use crate::trap::TrapKind;
-
-enum AnyMonitor {
-    Flat(MonitorThread),
-    Tree(HierarchicalMonitorThread),
-}
-
-impl AnyMonitor {
-    /// Joins the monitor side: `(violations, violation reports, events
-    /// processed, events dropped, monitor telemetry)`.
-    fn join(self) -> (Vec<Violation>, Vec<ViolationReport>, u64, u64, TelemetrySnapshot) {
-        match self {
-            AnyMonitor::Flat(m) => {
-                let monitor = m.join();
-                let events = monitor.events_processed();
-                (
-                    monitor.violations().to_vec(),
-                    monitor.violation_reports().to_vec(),
-                    events,
-                    monitor.events_dropped(),
-                    monitor.snapshot(),
-                )
-            }
-            AnyMonitor::Tree(t) => {
-                let (root, events) = t.join();
-                (
-                    root.violations().to_vec(),
-                    root.violation_reports().to_vec(),
-                    events,
-                    root.events_dropped(),
-                    root.snapshot(),
-                )
-            }
-        }
-    }
-}
 
 /// How a blocking wait ended.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -413,38 +375,20 @@ pub(crate) fn run_real_engine(
     let stop = AtomicBool::new(false);
     let deadline = Instant::now() + Duration::from_millis(config.watchdog_ms);
 
-    // One drop counter shared by every sender and the monitor: each sender
-    // flushes its drop count into it when it goes away (even on early
-    // thread exit), and the joined monitor folds in the total.
-    let drops = Arc::new(AtomicU64::new(0));
-    let (senders, monitor) = match config.monitor {
-        MonitorMode::Off => ((0..n).map(|_| None).collect::<Vec<_>>(), None),
+    // The builder wires the full monitor side for whichever topology the
+    // config selects — flat, hierarchical tree, or sharded ingest — and
+    // hands back one routing sender per SPMD thread. Sender-side drop
+    // counts flow into per-shard sinks that the joined verdict folds in,
+    // so counts survive worker threads that exit early.
+    let (senders, monitor): (Vec<Option<EventSender>>, _) = match config.monitor {
+        MonitorMode::Off => ((0..n).map(|_| None).collect(), None),
         MonitorMode::Enabled | MonitorMode::SendOnly => {
-            let mut producers = Vec::new();
-            let mut consumers = Vec::new();
-            for _ in 0..n {
-                let (p, c) = spsc_queue(config.queue_capacity);
-                producers.push(Some(EventSender::with_drop_counter(p, Arc::clone(&drops))));
-                consumers.push(c);
-            }
-            let monitor = match config.hierarchy_fanout {
-                Some(fanout) => {
-                    AnyMonitor::Tree(HierarchicalMonitorThread::spawn_with_drop_counter(
-                        CheckTable::from_plan(&image.plan),
-                        n as usize,
-                        consumers,
-                        fanout,
-                        Arc::clone(&drops),
-                    ))
-                }
-                None => AnyMonitor::Flat(MonitorThread::spawn_with_drop_counter(
-                    CheckTable::from_plan(&image.plan),
-                    n as usize,
-                    consumers,
-                    Arc::clone(&drops),
-                )),
-            };
-            (producers, Some(monitor))
+            let (senders, handle) =
+                MonitorBuilder::new(CheckTable::from_plan(&image.plan), n as usize)
+                    .topology(config.monitor_topology())
+                    .queue_capacity(config.queue_capacity)
+                    .spawn();
+            (senders.into_iter().map(Some).collect(), Some(handle))
         }
     };
 
@@ -472,7 +416,16 @@ pub(crate) fn run_real_engine(
     // All senders are gone, so the monitor drains the queues and exits.
     let (mut violations, mut violation_reports, events_processed, events_dropped, monitor_telemetry) =
         match monitor {
-            Some(monitor) => monitor.join(),
+            Some(handle) => {
+                let verdict = handle.join();
+                (
+                    verdict.violations,
+                    verdict.violation_reports,
+                    verdict.events_processed,
+                    verdict.events_dropped,
+                    verdict.telemetry,
+                )
+            }
             None => (Vec::new(), Vec::new(), 0, 0, TelemetrySnapshot::new()),
         };
     if config.monitor == MonitorMode::SendOnly {
@@ -611,6 +564,40 @@ mod tests {
         assert_eq!(result.outcome, RunOutcome::Completed);
         assert!(!result.detected(), "{:?}", result.violations);
         assert!(result.events_processed > 0);
+    }
+
+    #[test]
+    fn sharded_monitor_is_clean_on_real_program() {
+        let image = image(
+            r#"
+            shared int n = 24;
+            barrier b;
+            @spmd func f() {
+                var t: int = threadid();
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i == t) { output(i); }
+                }
+                barrier(b);
+            }
+            "#,
+        );
+        let config = RealConfig::new(8).monitor_shards(Some(4));
+        let result = run_real(&image, &config);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert!(!result.detected(), "{:?}", result.violations);
+        assert_eq!(result.events_dropped, 0);
+        assert_eq!(result.events_sent, result.events_processed);
+        // Per-shard health counters surface in the run telemetry and sum
+        // to the merged total.
+        let per_shard: u64 = (0..4)
+            .map(|s| {
+                result
+                    .telemetry
+                    .counter(&format!("monitor.shard.{s}.events_processed"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(per_shard, result.events_processed);
     }
 
     #[test]

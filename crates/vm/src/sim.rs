@@ -19,7 +19,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use bw_ir::Val;
-use bw_monitor::{BranchEvent, CheckTable, Monitor};
+use bw_monitor::{BranchEvent, CheckTable, ShardedMonitor};
 use bw_telemetry::tm_add;
 
 use crate::engine::{ExecMode, MonitorMode, RunOutcome, RunResult, SimConfig};
@@ -65,7 +65,7 @@ struct Sim<'a> {
     image: &'a ProgramImage,
     config: &'a SimConfig,
     mem: SimMemory,
-    monitor: Option<Monitor>,
+    monitor: Option<ShardedMonitor>,
     outputs: Vec<Val>,
     total_steps: u64,
     events_sent: u64,
@@ -78,9 +78,14 @@ struct Sim<'a> {
 impl<'a> Sim<'a> {
     fn new(image: &'a ProgramImage, config: &'a SimConfig) -> Self {
         let monitor = match config.monitor {
-            MonitorMode::Enabled => Some(Monitor::new(
+            // The inline monitor partitions its pending tables across the
+            // configured shard count exactly as the real engine's shard
+            // workers do, so `--monitor-shards` is observable (and
+            // verifiably verdict-neutral) on the deterministic engine too.
+            MonitorMode::Enabled => Some(ShardedMonitor::new(
                 CheckTable::from_plan(&image.plan),
                 config.nthreads as usize,
+                config.monitor_shards.unwrap_or(1),
             )),
             _ => None,
         };
@@ -205,21 +210,21 @@ impl<'a> Sim<'a> {
         branches_per_thread: Vec<u64>,
         steps_per_thread: Vec<u64>,
     ) -> RunResult {
-        let (mut violations, mut violation_reports) = match self.monitor.as_mut() {
-            Some(m) => {
-                // The end-of-run flush only happens if the program survived:
-                // a crash or hang kills the real monitor thread along with
-                // the process, so only eagerly detected violations count.
-                if outcome == RunOutcome::Completed {
-                    m.flush();
-                }
-                (m.violations().to_vec(), m.violation_reports().to_vec())
+        let verdict = self.monitor.take().map(|mut m| {
+            // The end-of-run flush only happens if the program survived:
+            // a crash or hang kills the real monitor thread along with
+            // the process, so only eagerly detected violations count.
+            if outcome == RunOutcome::Completed {
+                m.flush();
             }
-            None => (Vec::new(), Vec::new()),
-        };
+            m.into_verdict()
+        });
+        let (mut violations, mut violation_reports, events_processed, monitor_telemetry) =
+            match verdict {
+                Some(v) => (v.violations, v.violation_reports, v.events_processed, Some(v.telemetry)),
+                None => (Vec::new(), Vec::new(), 0, None),
+            };
         crate::engine::sort_violations(&mut violations, &mut violation_reports);
-        let events_processed =
-            self.monitor.as_ref().map_or(0, |m| m.events_processed());
         let mut telemetry = self.telemetry.snapshot();
         telemetry.push_counter("vm.engine.sim", 1);
         telemetry.push_counter("vm.instructions", self.total_steps);
@@ -231,8 +236,8 @@ impl<'a> Sim<'a> {
         for (tid, steps) in steps_per_thread.iter().enumerate() {
             telemetry.push_counter(format!("vm.thread.{tid}.steps"), *steps);
         }
-        if let Some(m) = self.monitor.as_ref() {
-            telemetry.merge(&m.snapshot());
+        if let Some(snapshot) = monitor_telemetry.as_ref() {
+            telemetry.merge(snapshot);
         }
         RunResult {
             outcome,
@@ -671,6 +676,39 @@ mod tests {
         assert_eq!(a.parallel_cycles, b.parallel_cycles);
         assert_eq!(b.violations.len(), 0);
         assert_eq!(a.events_sent, b.events_sent);
+    }
+
+    #[test]
+    fn sharded_monitor_is_verdict_and_cost_neutral() {
+        let image = compile(
+            r#"
+            shared int n = 48;
+            int data[512];
+            @init func setup() {
+                for (var i: int = 0; i < 512; i = i + 1) { data[i] = rand(100); }
+            }
+            @spmd func f() {
+                var t: int = threadid();
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (data[t * n + i] > 50) { output(i); }
+                }
+            }
+            "#,
+        );
+        let flat = run_sim(&image, &SimConfig::new(4));
+        assert_eq!(flat.outcome, RunOutcome::Completed);
+        assert!(flat.events_processed > 0);
+        for shards in [1usize, 2, 4, 8] {
+            let sharded =
+                run_sim(&image, &SimConfig::new(4).monitor_shards(Some(shards)));
+            assert_eq!(sharded.outcome, flat.outcome, "shards={shards}");
+            assert_eq!(sharded.outputs, flat.outputs, "shards={shards}");
+            assert_eq!(sharded.parallel_cycles, flat.parallel_cycles, "shards={shards}");
+            assert_eq!(sharded.total_steps, flat.total_steps, "shards={shards}");
+            assert_eq!(sharded.events_processed, flat.events_processed, "shards={shards}");
+            assert_eq!(sharded.violations, flat.violations, "shards={shards}");
+            assert_eq!(sharded.violation_reports, flat.violation_reports, "shards={shards}");
+        }
     }
 
     #[test]

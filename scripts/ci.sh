@@ -39,6 +39,26 @@ diff "$tmpdir/w1.txt" "$tmpdir/w4.txt"
 grep -q "DEVIANT" "$tmpdir/w1.txt"
 grep -q "top violating sites" "$tmpdir/w1.txt"
 
+# Sharded-ingest leg: sharding the monitor is a throughput knob, never a
+# semantic one. The same seeded campaign with 1 and 4 monitor shards (and
+# any worker count) must reconstruct byte-identical forensics, and the
+# sharded trace must carry per-shard health counters for `bw stats`.
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 40 --workers 4 --monitor-shards 1 \
+  --telemetry "$tmpdir/s1.jsonl" >/dev/null
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 40 --workers 4 --monitor-shards 4 \
+  --telemetry "$tmpdir/s4.jsonl" >/dev/null
+cargo run --release --quiet --bin bw -- report "$tmpdir/s1.jsonl" \
+  > "$tmpdir/s1.txt"
+cargo run --release --quiet --bin bw -- report "$tmpdir/s4.jsonl" \
+  > "$tmpdir/s4.txt"
+diff "$tmpdir/s1.txt" "$tmpdir/s4.txt"
+# Sharded or not, the forensics must match the unsharded campaign above.
+diff "$tmpdir/w1.txt" "$tmpdir/s4.txt"
+cargo run --release --quiet --bin bw -- stats "$tmpdir/s4.jsonl" \
+  | grep -q "monitor shards:"
+
 # Real-engine leg: the OS-thread scheduler must satisfy the same Engine
 # contract as the simulator on every SPLASH port (parity suite), and
 # survive a fuzz smoke with real-engine campaigns and the sim-vs-real
