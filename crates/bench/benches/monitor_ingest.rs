@@ -8,6 +8,12 @@
 //! count until the producers become the bottleneck. On a single core the
 //! sweep still runs (the verdict-equality invariants hold regardless) but
 //! the workers time-slice, so expect flat numbers there.
+//!
+//! For a CI-friendly one-shot variant of the same workload (no criterion,
+//! machine-readable output, baseline regression gating) use
+//! `bw bench-suite --json results/BENCH.json --baseline BASE.json` — it
+//! runs this sweep sized down alongside campaign and pipeline-stage
+//! timings and emits a flat `bw-bench-suite/v1` JSON object.
 
 use bw_analysis::CheckKind;
 use bw_monitor::{BranchEvent, CheckTable, MonitorBuilder, MonitorTopology};

@@ -1,0 +1,327 @@
+//! The `bw bench-suite` perf-trajectory harness.
+//!
+//! One seeded, self-timed pass over the three throughput-critical paths —
+//! monitor ingest (events/sec over a shard sweep), fault campaigns
+//! (injections/sec on the FFT port) and pipeline preparation (per-stage
+//! wall clock from [`ProgramImage::try_prepare_timed`](bw_vm::ProgramImage))
+//! — emitted as one flat JSON object CI can archive and diff across
+//! commits. Criterion (in `bw-bench`) answers "is this change faster?";
+//! this suite answers "did throughput fall off a cliff since the committed
+//! baseline?" cheaply enough to run on every push.
+//!
+//! Numbers are wall-clock and machine-dependent: the baseline check
+//! ([`BenchSuiteResult::check_against`]) therefore only fails on
+//! order-of-magnitude regressions (default 20×), never on noise.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bw_analysis::CheckKind;
+use bw_monitor::{BranchEvent, CheckTable, MonitorBuilder, MonitorTopology};
+use bw_splash::{Benchmark, Size};
+use bw_telemetry::{parse_flat_object, write_json_object, Value};
+
+use crate::{Blockwatch, Error, FaultModel};
+
+/// Schema tag stamped into every result object.
+pub const BENCH_SUITE_SCHEMA: &str = "bw-bench-suite/v1";
+
+/// Tuning knobs of one suite pass.
+#[derive(Clone, Debug)]
+pub struct BenchSuiteConfig {
+    /// Campaign target-selection seed.
+    pub seed: u64,
+    /// Campaign size (injections).
+    pub injections: usize,
+    /// SPMD thread count for ingest and campaign.
+    pub nthreads: u32,
+    /// Monitor shard counts to sweep.
+    pub shards: Vec<usize>,
+    /// Timed repetitions per measurement (best-of is reported, so a
+    /// descheduled rep doesn't poison the number).
+    pub reps: usize,
+}
+
+impl Default for BenchSuiteConfig {
+    fn default() -> Self {
+        BenchSuiteConfig {
+            seed: 42,
+            injections: 60,
+            nthreads: 4,
+            shards: vec![1, 2, 4],
+            reps: 3,
+        }
+    }
+}
+
+/// The flat key→value result of one suite pass — serialized by
+/// [`to_json`](BenchSuiteResult::to_json), read back (e.g. as a committed
+/// baseline) by [`parse`](BenchSuiteResult::parse).
+#[derive(Clone, Debug, Default)]
+pub struct BenchSuiteResult {
+    /// Flat fields in emission order, `schema` first.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl BenchSuiteResult {
+    fn push(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.fields.push((key.into(), value.into()));
+    }
+
+    /// The named field, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes as one flat JSON object (dotted keys, scalar values),
+    /// round-trippable by [`bw_telemetry::parse_flat_object`].
+    pub fn to_json(&self) -> String {
+        let refs: Vec<(&str, Value)> =
+            self.fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let mut out = String::new();
+        write_json_object(&mut out, &refs);
+        out.push('\n');
+        out
+    }
+
+    /// Parses a result previously written by [`to_json`]. Rejects objects
+    /// without the [`BENCH_SUITE_SCHEMA`] tag — a wrong or future schema
+    /// must fail loudly, not compare garbage.
+    pub fn parse(text: &str) -> Result<BenchSuiteResult, String> {
+        let fields = parse_flat_object(text.trim()).map_err(|e| e.to_string())?;
+        let result = BenchSuiteResult { fields };
+        match result.get("schema").and_then(Value::as_str) {
+            Some(BENCH_SUITE_SCHEMA) => Ok(result),
+            Some(other) => Err(format!(
+                "unsupported bench-suite schema {other:?} (expected {BENCH_SUITE_SCHEMA:?})"
+            )),
+            None => Err("not a bench-suite result: no `schema` field".to_string()),
+        }
+    }
+
+    /// Compares this (current) result against a committed `baseline`.
+    ///
+    /// Every `*_per_sec` key of the baseline must exist here (a vanished
+    /// measurement is a harness regression) and must be no worse than
+    /// `tolerance`× slower. Wall-clock `*_us` keys are informational only —
+    /// CI machines differ too much for them to gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of human-readable failures.
+    pub fn check_against(
+        &self,
+        baseline: &BenchSuiteResult,
+        tolerance: f64,
+    ) -> Result<(), Vec<String>> {
+        let mut failures = Vec::new();
+        for (key, base) in &baseline.fields {
+            if !key.ends_with("_per_sec") {
+                continue;
+            }
+            let Some(base) = base.as_f64() else { continue };
+            match self.get(key).and_then(Value::as_f64) {
+                None => failures.push(format!("baseline key `{key}` missing from current run")),
+                Some(cur) if base > 0.0 && cur * tolerance < base => failures.push(format!(
+                    "`{key}` regressed {:.1}x beyond the {tolerance:.0}x tolerance: \
+                     {cur:.0}/s now vs {base:.0}/s baseline",
+                    base / cur.max(f64::MIN_POSITIVE),
+                )),
+                Some(_) => {}
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures)
+        }
+    }
+
+    /// Renders a human-readable table of the result.
+    pub fn render(&self) -> String {
+        let width = self.fields.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (key, value) in &self.fields {
+            let rendered = match value {
+                Value::F64(x) => format!("{x:.1}"),
+                Value::U64(n) => n.to_string(),
+                Value::I64(n) => n.to_string(),
+                Value::Bool(b) => b.to_string(),
+                Value::Null => "null".to_string(),
+                Value::Str(s) => s.clone(),
+            };
+            let _ = writeln!(out, "  {key:<width$}  {rendered}");
+        }
+        out
+    }
+}
+
+/// Times one clean uniform event stream through the monitor at the given
+/// topology and returns (events processed, elapsed microseconds). The same
+/// workload as the `monitor_ingest` Criterion bench, sized down for CI.
+fn ingest_once(checks: &CheckTable, nthreads: usize, topology: MonitorTopology) -> (u64, u64) {
+    const SITES: u64 = 64;
+    const ITERS: u64 = 50;
+    let started = Instant::now();
+    let (senders, handle) =
+        MonitorBuilder::new(checks.clone(), nthreads).topology(topology).spawn();
+    std::thread::scope(|scope| {
+        for (t, mut sender) in senders.into_iter().enumerate() {
+            scope.spawn(move || {
+                for iter in 0..ITERS {
+                    for site in 0..SITES {
+                        sender.send(BranchEvent {
+                            branch: 0,
+                            thread: t as u32,
+                            site,
+                            iter,
+                            witness: 7,
+                            taken: true,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let verdict = handle.join();
+    (verdict.events_processed, started.elapsed().as_micros() as u64)
+}
+
+/// Runs the full suite with `config`, returning the flat result.
+///
+/// # Errors
+///
+/// Returns [`Error`] when a benchmark port fails to compile or a campaign
+/// cannot run — both indicate a broken build, not a slow one.
+pub fn run_bench_suite(config: &BenchSuiteConfig) -> Result<BenchSuiteResult, Error> {
+    let reps = config.reps.max(1);
+    let mut result = BenchSuiteResult::default();
+    result.push("schema", BENCH_SUITE_SCHEMA);
+    result.push("seed", config.seed);
+    result.push("nthreads", config.nthreads as u64);
+    result.push("reps", reps as u64);
+
+    // Monitor ingest: events/sec over the shard sweep (flat topology is
+    // `Sharded { 1 }`-equivalent, so sharded-only keeps the key space flat).
+    let checks = CheckTable::from_kinds(vec![Some(CheckKind::SharedUniform)]);
+    for &shards in &config.shards {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            let (events, us) =
+                ingest_once(&checks, config.nthreads as usize, MonitorTopology::Sharded { shards });
+            if us > 0 {
+                best = best.max(events as f64 * 1e6 / us as f64);
+            }
+        }
+        result.push(
+            format!("monitor_ingest.t{}.s{shards}.events_per_sec", config.nthreads),
+            best,
+        );
+    }
+
+    // Campaign throughput: seeded branch-flip injections/sec on the FFT
+    // port. The golden run is timed separately so the per-injection rate
+    // isn't diluted by one-time profiling.
+    let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test)?)?;
+    let golden_started = Instant::now();
+    bw.golden(&bw_vm::SimConfig::new(config.nthreads));
+    result.push("campaign.fft.golden_us", golden_started.elapsed().as_micros() as u64);
+    let mut best = 0.0f64;
+    let mut detected = 0u64;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let campaign = bw
+            .campaign_runner(config.injections, FaultModel::BranchFlip, config.nthreads)
+            .seed(config.seed)
+            .run()?;
+        let us = started.elapsed().as_micros() as u64;
+        detected = campaign.counts.detected as u64;
+        if us > 0 {
+            best = best.max(config.injections as f64 * 1e6 / us as f64);
+        }
+    }
+    result.push("campaign.fft.injections", config.injections as u64);
+    result.push("campaign.fft.detected", detected);
+    result.push("campaign.fft.injections_per_sec", best);
+
+    // Pipeline preparation: per-stage wall clock of the slowest port
+    // (ocean-contiguous) plus FFT, fresh-compiled so parse is included.
+    for bench in [Benchmark::Fft, Benchmark::OceanContig] {
+        let mut parse_best = u64::MAX;
+        let mut timings = None;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let bw = Blockwatch::compile(&bench.source(Size::Test))?;
+            let parse_us = started.elapsed().as_micros() as u64;
+            if parse_us < parse_best {
+                parse_best = parse_us;
+                timings = Some(bw.prepare_timings());
+            }
+        }
+        let timings = timings.expect("reps >= 1");
+        // Key slug: the paper spelling has spaces and capitals
+        // ("continuous ocean"), dotted keys want neither.
+        let name = bench.name().to_lowercase().replace(' ', "-");
+        result.push(format!("pipeline.{name}.compile_us"), parse_best);
+        result.push(format!("pipeline.{name}.verify_us"), timings.verify_us);
+        result.push(format!("pipeline.{name}.analyze_us"), timings.analyze_us);
+        result.push(format!("pipeline.{name}.instrument_us"), timings.instrument_us);
+        result.push(format!("pipeline.{name}.link_us"), timings.link_us);
+    }
+
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast config for tests: one rep, tiny campaign, two shard points.
+    fn quick() -> BenchSuiteConfig {
+        BenchSuiteConfig { seed: 7, injections: 6, nthreads: 2, shards: vec![1, 2], reps: 1 }
+    }
+
+    #[test]
+    fn suite_emits_schema_and_roundtrips() {
+        let result = run_bench_suite(&quick()).unwrap();
+        assert_eq!(result.get("schema").and_then(Value::as_str), Some(BENCH_SUITE_SCHEMA));
+        assert!(result.get("monitor_ingest.t2.s1.events_per_sec").is_some());
+        assert!(result.get("monitor_ingest.t2.s2.events_per_sec").is_some());
+        assert!(result.get("campaign.fft.injections_per_sec").is_some());
+        assert!(result.get("pipeline.fft.analyze_us").is_some());
+        assert!(result.get("pipeline.continuous-ocean.link_us").is_some());
+        let parsed = BenchSuiteResult::parse(&result.to_json()).unwrap();
+        assert_eq!(parsed.fields.len(), result.fields.len());
+        assert!(!result.render().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_or_missing_schema() {
+        assert!(BenchSuiteResult::parse(r#"{"schema":"bw-bench-suite/v9"}"#).is_err());
+        assert!(BenchSuiteResult::parse(r#"{"x":1}"#).is_err());
+        assert!(BenchSuiteResult::parse("not json").is_err());
+    }
+
+    #[test]
+    fn baseline_check_fails_only_on_cliffs() {
+        let mk = |rate: f64| {
+            let mut r = BenchSuiteResult::default();
+            r.push("schema", BENCH_SUITE_SCHEMA);
+            r.push("monitor_ingest.t4.s2.events_per_sec", rate);
+            r.push("campaign.fft.golden_us", 100u64);
+            r
+        };
+        let baseline = mk(1_000_000.0);
+        // Half the speed: noise, passes. 100x slower: fails.
+        assert!(mk(500_000.0).check_against(&baseline, 20.0).is_ok());
+        let failures = mk(10_000.0).check_against(&baseline, 20.0).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{}", failures[0]);
+        // A vanished measurement is a failure; extra current keys are not.
+        let empty = BenchSuiteResult {
+            fields: vec![("schema".into(), Value::from(BENCH_SUITE_SCHEMA))],
+        };
+        assert!(empty.check_against(&baseline, 20.0).is_err());
+        assert!(baseline.check_against(&empty, 20.0).is_ok());
+    }
+}

@@ -13,9 +13,17 @@
 //!             [--progress] [--stats]
 //!             [--telemetry T.jsonl]  fault-injection campaign with and
 //!                                    without BLOCKWATCH
-//! bw stats    <trace.jsonl>          summarize a JSONL telemetry trace
+//! bw stats    <trace.jsonl> [--series] [--format text|json]
+//!                                    summarize a JSONL telemetry trace
+//! bw top      <trace.jsonl>          time-series view of a sampled trace
+//! bw bench-suite [--json OUT.json] [--baseline BASE.json]
+//!                                    seeded perf-trajectory suite
 //! bw report   <trace.jsonl>          violation forensics from a trace
 //! ```
+//!
+//! Traced commands also take `--sample-interval-ms MS` (background
+//! sampler appending `sample` records for `bw top`) and
+//! `--metrics-addr HOST:PORT` (live Prometheus `/metrics` endpoint).
 //!
 //! Every executing command takes `--engine sim|real`: `sim` is the
 //! deterministic simulated scheduler, `real` runs on OS threads (`--real`
@@ -26,10 +34,13 @@
 //! `--size test|small|reference`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use blockwatch::bench_suite::{run_bench_suite, BenchSuiteConfig, BenchSuiteResult};
 use blockwatch::ir::ModulePrinter;
-use blockwatch::reports::{render_telemetry, ForensicsReport, TraceSummary};
-use blockwatch::telemetry::{JsonlRecorder, Recorder};
+use blockwatch::reports::{render_telemetry, ForensicsReport, SeriesReport, TraceSummary};
+use blockwatch::telemetry::{JsonlRecorder, MetricRegistry, MetricsServer, Recorder, Sampler};
 use blockwatch::vm::MonitorMode;
 use blockwatch::{
     Benchmark, Blockwatch, CampaignProgress, EngineKind, ExecConfig, FaultModel, RunOutcome,
@@ -49,6 +60,8 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(rest),
         "fuzz" => cmd_fuzz(rest),
         "stats" => cmd_stats(rest),
+        "top" => cmd_top(rest),
+        "bench-suite" => cmd_bench_suite(rest),
         "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -68,19 +81,30 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   bw analyze  <file>                  print per-branch similarity categories
   bw run      <file> [--threads N] [--engine sim|real] [--monitor-shards S]
-              [--stats] [--telemetry T.jsonl]
+              [--stats] [--telemetry T.jsonl] [--sample-interval-ms MS]
+              [--metrics-addr HOST:PORT]
                                       run under the monitor
   bw ir       <file>                  dump the SSA IR
   bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
               [--workers W] [--engine sim|real] [--monitor-shards S]
               [--progress] [--stats] [--telemetry T.jsonl]
+              [--sample-interval-ms MS] [--metrics-addr HOST:PORT]
   bw fuzz     [--seeds N] [--start S] [--threads T1,T2,..] [--inject K]
               [--max-stmts M] [--engine sim|real] [--real-cross-check]
               [--monitor-shards S] [--require-coverage] [--telemetry T.jsonl]
+              [--sample-interval-ms MS] [--metrics-addr HOST:PORT]
                                       generate random SPMD programs and run
                                       the differential oracle; failures are
                                       shrunk and saved as fuzz-<seed>.bwir
-  bw stats    <trace.jsonl>           summarize a JSONL telemetry trace
+  bw stats    <trace.jsonl> [--series] [--format text|json]
+                                      summarize a JSONL telemetry trace
+  bw top      <trace.jsonl>           time-series view of a sampled trace:
+                                      per-tick events/s, campaign progress
+                                      with ETA, per-shard queue depth
+  bw bench-suite [--json OUT.json] [--baseline BASE.json] [--seed S]
+              [--threads N] [--injections K] [--reps R]
+                                      seeded perf-trajectory suite (monitor
+                                      ingest, campaign, pipeline stages)
   bw report   <trace.jsonl>           violation forensics from a trace:
                                       per-category detection matrix, top
                                       violating sites, deviant-thread tables
@@ -91,6 +115,13 @@ const USAGE: &str = "usage:
   --monitor-shards splits the monitor ingest across S workers, each owning
   a disjoint (site, branch) slice. Verdicts are byte-identical at any S —
   it is purely a throughput knob (see the monitor-ingest bench).
+
+  --sample-interval-ms starts a background sampler that appends timestamped
+  `sample` records (counter deltas, gauge levels) to the --telemetry trace;
+  render them with `bw top` or `bw stats --series`. --metrics-addr serves
+  the live registry as Prometheus text at http://HOST:PORT/metrics. Both
+  are observability-only: verdicts, results and `bw report` output are
+  byte-identical with or without them.
 
   <file> is a source path, a .bwir textual-IR dump (e.g. a fuzz repro), or
   splash:<name> (fft, fmm, radix, raytrace, water, ocean-contig,
@@ -129,13 +160,68 @@ fn load(spec: &str, rest: &[String]) -> Result<Blockwatch, String> {
 }
 
 /// Opens the JSONL recorder named by `--telemetry`, if the flag is given.
-fn telemetry_recorder(rest: &[String]) -> Result<Option<JsonlRecorder>, String> {
+/// Shared (`Arc`) so the background sampler can append to the same trace.
+fn telemetry_recorder(rest: &[String]) -> Result<Option<Arc<JsonlRecorder>>, String> {
     match flag(rest, "--telemetry") {
         Some(path) => JsonlRecorder::create(std::path::Path::new(&path))
-            .map(Some)
+            .map(|r| Some(Arc::new(r)))
             .map_err(|e| format!("cannot create `{path}`: {e}")),
         None => Ok(None),
     }
+}
+
+/// Live-observability guards: the background sampler and the `/metrics`
+/// endpoint stay up while this value is alive and shut down on drop.
+struct Observability {
+    sampler: Option<Sampler>,
+    server: Option<MetricsServer>,
+}
+
+impl Observability {
+    /// Stops the sampler (flushing its final tick) before the caller
+    /// flushes and closes the trace.
+    fn finish(&mut self) {
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+    }
+}
+
+/// Starts the observability sidecars requested by `--sample-interval-ms`
+/// and `--metrics-addr`, both reading the global [`MetricRegistry`].
+fn start_observability(
+    rest: &[String],
+    recorder: Option<&Arc<JsonlRecorder>>,
+) -> Result<Observability, String> {
+    let mut obs = Observability { sampler: None, server: None };
+    if let Some(ms) = flag(rest, "--sample-interval-ms") {
+        let ms: u64 = ms
+            .parse()
+            .ok()
+            .filter(|&ms| ms > 0)
+            .ok_or_else(|| format!("--sample-interval-ms needs a positive count, got `{ms}`"))?;
+        let Some(recorder) = recorder else {
+            return Err("--sample-interval-ms needs --telemetry to give the samples a file".into());
+        };
+        if !blockwatch::telemetry::ENABLED {
+            eprintln!(
+                "warning: built without the `telemetry` feature; \
+                 --sample-interval-ms records nothing"
+            );
+        }
+        obs.sampler = Some(Sampler::start(
+            MetricRegistry::global(),
+            Arc::clone(recorder) as Arc<dyn Recorder>,
+            Duration::from_millis(ms),
+        ));
+    }
+    if let Some(addr) = flag(rest, "--metrics-addr") {
+        let server = MetricsServer::bind(&addr, MetricRegistry::global())
+            .map_err(|e| format!("cannot serve metrics on `{addr}`: {e}"))?;
+        eprintln!("serving metrics at http://{}/metrics", server.local_addr());
+        obs.server = Some(server);
+    }
+    Ok(obs)
 }
 
 /// Warns on stderr when the monitor lost events to full queues.
@@ -152,6 +238,16 @@ fn warn_dropped(telemetry: &TelemetrySnapshot) {
 
 fn flag(rest: &[String], name: &str) -> Option<String> {
     rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).cloned()
+}
+
+/// Writes a rendered report to stdout. A closed pipe (`bw top … | head`,
+/// `… | grep -q`) is a normal way to consume these, so EPIPE is a clean
+/// exit, not a panic like `print!` would give.
+fn emit(s: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(s.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
 }
 
 fn file_arg(rest: &[String]) -> Result<String, String> {
@@ -224,6 +320,7 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     let bw = load(&file_arg(rest)?, rest)?;
     let n = threads(rest);
     let recorder = telemetry_recorder(rest)?;
+    let mut obs = start_observability(rest, recorder.as_ref())?;
 
     let kind = engine_kind(rest)?;
     let shards = monitor_shards(rest)?;
@@ -231,6 +328,7 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     // The pipeline's own telemetry plus the run's: one merged snapshot.
     let mut telemetry = bw.telemetry();
     let result = bw.run_on(kind, &ExecConfig::new(n).monitor_shards(shards));
+    obs.finish();
     println!("outcome: {:?} ({} engine)", result.outcome, kind.name());
     match kind {
         EngineKind::Sim => {
@@ -258,7 +356,7 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     }
     warn_dropped(&telemetry);
     if let Some(recorder) = &recorder {
-        telemetry.record_to(recorder);
+        telemetry.record_to(recorder.as_ref());
         recorder.flush();
     }
     if rest.iter().any(|a| a == "--stats") {
@@ -304,6 +402,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
     let real_cross_check = rest.iter().any(|a| a == "--real-cross-check");
     let shards = monitor_shards(rest)?;
     let recorder = telemetry_recorder(rest)?;
+    let mut obs = start_observability(rest, recorder.as_ref())?;
 
     let config = blockwatch::gen::FuzzConfig {
         seeds,
@@ -316,10 +415,11 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
         monitor_shards: shards,
     };
     let report = match &recorder {
-        Some(recorder) => blockwatch::gen::run_fuzz_recorded(&config, recorder),
+        Some(recorder) => blockwatch::gen::run_fuzz_recorded(&config, recorder.as_ref()),
         None => blockwatch::gen::run_fuzz(&config),
     };
-    print!("{}", report.render());
+    obs.finish();
+    emit(&report.render());
 
     // Save each minimized reproducer; replay with `bw run fuzz-<seed>.bwir`.
     for f in &report.failures {
@@ -349,7 +449,78 @@ fn cmd_stats(rest: &[String]) -> Result<(), String> {
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let summary = TraceSummary::parse(&text)?;
-    print!("{}", summary.render());
+    match flag(rest, "--format").as_deref() {
+        None | Some("text") => emit(&summary.render()),
+        Some("json") => emit(&summary.to_json()),
+        Some(other) => return Err(format!("unknown format `{other}` (use text|json)")),
+    }
+    if rest.iter().any(|a| a == "--series") {
+        emit(&SeriesReport::parse(&text)?.render());
+    }
+    Ok(())
+}
+
+fn cmd_top(rest: &[String]) -> Result<(), String> {
+    let path = file_arg(rest)?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let series = SeriesReport::parse(&text)?;
+    emit(&series.render());
+    // Latency context under the series: the trace's histogram aggregates
+    // (detection latency, injection duration) with quantiles from their
+    // recorded buckets.
+    let summary = TraceSummary::parse(&text)?;
+    if !summary.histograms.is_empty() {
+        let mut snapshot = TelemetrySnapshot::new();
+        for h in &summary.histograms {
+            snapshot.push_histogram(h.name.as_str(), h.snapshot());
+        }
+        emit(&render_telemetry(&snapshot));
+    }
+    Ok(())
+}
+
+fn cmd_bench_suite(rest: &[String]) -> Result<(), String> {
+    let mut config = BenchSuiteConfig::default();
+    if let Some(seed) = flag(rest, "--seed").and_then(|s| s.parse().ok()) {
+        config.seed = seed;
+    }
+    if let Some(n) = flag(rest, "--threads").and_then(|s| s.parse().ok()) {
+        config.nthreads = n;
+    }
+    if let Some(k) = flag(rest, "--injections").and_then(|s| s.parse().ok()) {
+        config.injections = k;
+    }
+    if let Some(r) = flag(rest, "--reps").and_then(|s| s.parse().ok()) {
+        config.reps = r;
+    }
+    let result = run_bench_suite(&config).map_err(|e| format!("{e}"))?;
+    emit(&result.render());
+    if let Some(path) = flag(rest, "--json") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(&path, result.to_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag(rest, "--baseline") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let baseline = BenchSuiteResult::parse(&text)?;
+        match result.check_against(&baseline, 20.0) {
+            Ok(()) => println!("baseline check: ok (within 20x of {path})"),
+            Err(failures) => {
+                return Err(format!(
+                    "baseline check failed:\n  {}",
+                    failures.join("\n  ")
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -358,7 +529,7 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let report = ForensicsReport::parse(&text)?;
-    print!("{}", report.render());
+    emit(&report.render());
     if !report.has_detections() {
         eprintln!(
             "note: no detections in this trace; run the campaign with \
@@ -372,6 +543,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     let bw = load(&file_arg(rest)?, rest)?;
     let n = threads(rest);
     let recorder = telemetry_recorder(rest)?;
+    let mut obs = start_observability(rest, recorder.as_ref())?;
     let injections =
         flag(rest, "--injections").and_then(|s| s.parse().ok()).unwrap_or(200);
     let model = match flag(rest, "--model").as_deref() {
@@ -386,7 +558,16 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     let show_progress = rest.iter().any(|a| a == "--progress");
     let progress = |label: &'static str| {
         move |p: CampaignProgress| {
-            eprint!("\r{label}: {}/{}", p.completed, p.total);
+            match p.eta_us() {
+                Some(eta) => eprint!(
+                    "\r{label}: {}/{} ({:.1} inj/s, eta {:.1}s) ",
+                    p.completed,
+                    p.total,
+                    p.rate(),
+                    eta as f64 / 1e6
+                ),
+                None => eprint!("\r{label}: {}/{}", p.completed, p.total),
+            }
             if p.completed == p.total {
                 eprintln!();
             }
@@ -406,7 +587,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
         }
         if traced {
             if let Some(recorder) = &recorder {
-                runner = runner.recorder(recorder);
+                runner = runner.recorder(recorder.as_ref());
             }
         }
         runner.run().map_err(|e| e.to_string())
@@ -416,6 +597,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     // one campaign, not two interleaved ones.
     let protected = run(MonitorMode::Enabled, "with BLOCKWATCH", true)?;
     let baseline = run(MonitorMode::Off, "without BLOCKWATCH", false)?;
+    obs.finish();
 
     println!("{model:?}, {injections} injections, {n} threads, {} engine", kind.name());
     println!("  without BLOCKWATCH: {:?}", baseline.counts);
@@ -435,7 +617,7 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     }
     warn_dropped(&protected.telemetry);
     if let Some(recorder) = &recorder {
-        protected.telemetry.record_to(recorder);
+        protected.telemetry.record_to(recorder.as_ref());
         recorder.flush();
     }
     if rest.iter().any(|a| a == "--stats") {

@@ -45,12 +45,15 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_suite;
 mod error;
 mod pipeline;
 pub mod reports;
 
+pub use bench_suite::{run_bench_suite, BenchSuiteConfig, BenchSuiteResult, BENCH_SUITE_SCHEMA};
 pub use error::Error;
 pub use pipeline::{Blockwatch, CampaignRunner};
+pub use reports::{ForensicsReport, SampleTick, SeriesReport, TraceSummary};
 
 pub use bw_analysis as analysis;
 pub use bw_fault as fault;
@@ -67,7 +70,10 @@ pub use bw_fault::{
     FaultModel, FaultOutcome, OutcomeCounts, WorkerStats,
 };
 pub use bw_splash::{Benchmark, Size};
-pub use bw_telemetry::{JsonlRecorder, Recorder, TelemetrySnapshot, NULL_RECORDER};
+pub use bw_telemetry::{
+    JsonlRecorder, MetricRegistry, MetricsServer, Recorder, Sampler, TelemetrySnapshot,
+    NULL_RECORDER,
+};
 pub use bw_vm::{
     EngineKind, ExecConfig, MachineModel, MonitorMode, RunOutcome, RunResult, SimConfig,
 };

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use bw_analysis::ModuleAnalysis;
 use bw_fault::{CampaignConfig, FaultModel, OutcomeCounts};
 use bw_splash::{Benchmark, Size};
-use bw_telemetry::{parse_flat_object, TelemetrySnapshot, Value};
+use bw_telemetry::{parse_flat_object, write_json_object, HistogramSnapshot, TelemetrySnapshot, Value};
 use bw_vm::{
     run_sim, ExecMode, MonitorMode, ProgramImage, RunOutcome, SimConfig,
 };
@@ -361,9 +361,12 @@ pub fn render_telemetry(snapshot: &TelemetrySnapshot) -> String {
         for (name, h) in snapshot.histograms() {
             let _ = writeln!(
                 out,
-                "  {name:<width$}  count {}  mean {:.1}  max {}",
+                "  {name:<width$}  count {}  mean {:.1}  p50 {:.0}  p90 {:.0}  p99 {:.0}  max {}",
                 h.count,
                 h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
                 h.max
             );
         }
@@ -444,6 +447,22 @@ pub struct TraceHistogram {
     pub sum: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Sparse power-of-two buckets as `(inclusive upper bound, count)`,
+    /// merged across records. Empty for traces written before the
+    /// `buckets` field existed; quantiles are unavailable then.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl TraceHistogram {
+    /// The aggregate as a [`HistogramSnapshot`], for quantile estimation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self.buckets.clone(),
+        }
+    }
 }
 
 /// An aggregated view of a JSONL telemetry trace — what `bw stats` prints.
@@ -536,17 +555,31 @@ impl TraceSummary {
                         field_u64(&fields, "sum"),
                         field_u64(&fields, "max"),
                     );
+                    // Optional: pre-`buckets` traces still parse, they just
+                    // can't answer quantile queries.
+                    let buckets = field(&fields, "buckets")
+                        .and_then(Value::as_str)
+                        .map(HistogramSnapshot::decode_buckets)
+                        .unwrap_or_default();
                     match summary.histograms.iter_mut().find(|h| h.name == name) {
                         Some(h) => {
                             h.count += count;
                             h.sum += sum;
                             h.max = h.max.max(max);
+                            for (bound, n) in buckets {
+                                match h.buckets.iter_mut().find(|(b, _)| *b == bound) {
+                                    Some((_, c)) => *c += n,
+                                    None => h.buckets.push((bound, n)),
+                                }
+                            }
+                            h.buckets.sort_by_key(|&(b, _)| b);
                         }
                         None => summary.histograms.push(TraceHistogram {
                             name: name.to_string(),
                             count,
                             sum,
                             max,
+                            buckets,
                         }),
                     }
                 }
@@ -654,11 +687,25 @@ impl TraceSummary {
             out.push_str("histogram aggregates:\n");
             for h in &self.histograms {
                 let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
-                let _ = writeln!(
-                    out,
-                    "  {:<28}  count {}  mean {mean:.1}  max {}",
-                    h.name, h.count, h.max
-                );
+                if h.buckets.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  {:<28}  count {}  mean {mean:.1}  max {}",
+                        h.name, h.count, h.max
+                    );
+                } else {
+                    let snap = h.snapshot();
+                    let _ = writeln!(
+                        out,
+                        "  {:<28}  count {}  mean {mean:.1}  p50 {:.0}  p90 {:.0}  p99 {:.0}  max {}",
+                        h.name,
+                        h.count,
+                        snap.p50(),
+                        snap.p90(),
+                        snap.p99(),
+                        h.max
+                    );
+                }
             }
         }
         if !self.spans.is_empty() {
@@ -694,6 +741,254 @@ impl TraceSummary {
                 );
             }
         }
+        out
+    }
+
+    /// Renders the summary as one flat JSON object with dotted keys
+    /// (`counter.<name>`, `hist.<name>.p99`, …), round-trippable by
+    /// [`bw_telemetry::parse_flat_object`]. What `bw stats --format json`
+    /// prints.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Value)> = vec![("records".into(), Value::from(self.records))];
+        for (name, count) in &self.events {
+            fields.push((format!("events.{name}"), Value::from(*count)));
+        }
+        for (name, value) in &self.counters {
+            fields.push((format!("counter.{name}"), Value::from(*value)));
+        }
+        for (name, value) in &self.gauges {
+            fields.push((format!("gauge.{name}"), Value::from(*value)));
+        }
+        for h in &self.histograms {
+            fields.push((format!("hist.{}.count", h.name), Value::from(h.count)));
+            fields.push((format!("hist.{}.sum", h.name), Value::from(h.sum)));
+            fields.push((format!("hist.{}.max", h.name), Value::from(h.max)));
+            if !h.buckets.is_empty() {
+                let snap = h.snapshot();
+                fields.push((format!("hist.{}.p50", h.name), Value::from(snap.p50())));
+                fields.push((format!("hist.{}.p90", h.name), Value::from(snap.p90())));
+                fields.push((format!("hist.{}.p99", h.name), Value::from(snap.p99())));
+            }
+        }
+        for s in &self.spans {
+            fields.push((format!("span.{}.count", s.name), Value::from(s.dur.count)));
+            fields.push((format!("span.{}.total_us", s.name), Value::from(s.dur.total_us)));
+            fields.push((format!("span.{}.max_us", s.name), Value::from(s.dur.max_us)));
+        }
+        for (outcome, count) in &self.injections {
+            fields.push((format!("injection.{outcome}"), Value::from(*count)));
+        }
+        if self.injection_us.count > 0 {
+            fields.push(("injection_us.count".into(), Value::from(self.injection_us.count)));
+            fields.push(("injection_us.total".into(), Value::from(self.injection_us.total_us)));
+            fields.push(("injection_us.max".into(), Value::from(self.injection_us.max_us)));
+        }
+        for w in &self.workers {
+            fields.push((format!("worker.{}.injections", w.worker), Value::from(w.injections)));
+            fields.push((format!("worker.{}.wall_us", w.worker), Value::from(w.wall_us)));
+            fields.push((format!("worker.{}.busy_us", w.worker), Value::from(w.busy_us)));
+        }
+        let refs: Vec<(&str, Value)> =
+            fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let mut out = String::new();
+        write_json_object(&mut out, &refs);
+        out.push('\n');
+        out
+    }
+}
+
+/// One `sample` record of a trace: a timestamped delta snapshot emitted
+/// by the background [`bw_telemetry::Sampler`].
+#[derive(Clone, Debug, Default)]
+pub struct SampleTick {
+    /// 1-based sample index.
+    pub tick: u64,
+    /// Wall-clock microseconds covered by this tick.
+    pub dt_us: u64,
+    /// True when the sampler flagged the interval (nonzero
+    /// `events_dropped` delta).
+    pub warn: bool,
+    /// Counter *deltas* and absolute gauge values, in record order.
+    pub values: Vec<(String, u64)>,
+}
+
+impl SampleTick {
+    /// The named value in this tick, if present.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A counter delta as a per-second rate over this tick's interval.
+    pub fn rate(&self, name: &str) -> f64 {
+        if self.dt_us == 0 {
+            return 0.0;
+        }
+        self.value(name).unwrap_or(0) as f64 * 1e6 / self.dt_us as f64
+    }
+}
+
+/// The time-series view of a JSONL trace — what `bw top` and
+/// `bw stats --series` print.
+///
+/// Reconstructed purely from the trace's `sample` records (wall-clock
+/// material the deterministic views ignore): per-tick engine throughput,
+/// campaign progress with an ETA extrapolated from the cumulative rate,
+/// and per-shard monitor queue depth.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesReport {
+    /// Sample ticks in trace order.
+    pub ticks: Vec<SampleTick>,
+}
+
+impl SeriesReport {
+    /// Parses a JSONL trace, keeping the `sample` records. Blank lines are
+    /// skipped; a malformed line fails the whole parse with its number.
+    pub fn parse(text: &str) -> Result<SeriesReport, String> {
+        let mut report = SeriesReport::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_flat_object(line)
+                .map_err(|e| format!("line {}: {} (offset {})", lineno + 1, e.message, e.offset))?;
+            let ev = field(&fields, "ev")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: record has no `ev` field", lineno + 1))?;
+            if ev != "sample" {
+                continue;
+            }
+            let mut tick = SampleTick {
+                tick: field_u64(&fields, "tick"),
+                dt_us: field_u64(&fields, "dt_us"),
+                warn: field(&fields, "warn").is_some(),
+                values: Vec::new(),
+            };
+            for (name, value) in &fields {
+                if matches!(name.as_str(), "seq" | "t_us" | "ev" | "tick" | "dt_us" | "warn") {
+                    continue;
+                }
+                if let Some(v) = value.as_u64() {
+                    tick.values.push((name.clone(), v));
+                }
+            }
+            report.ticks.push(tick);
+        }
+        Ok(report)
+    }
+
+    /// Shard ids with a `live.monitor.shard.<i>.queue_depth` gauge
+    /// anywhere in the series, sorted.
+    pub fn shard_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = Vec::new();
+        for tick in &self.ticks {
+            for (name, _) in &tick.values {
+                let Some(rest) = name.strip_prefix("live.monitor.shard.") else { continue };
+                let Some(id) = rest.strip_suffix(".queue_depth") else { continue };
+                if let Ok(id) = id.parse::<u64>() {
+                    if !ids.contains(&id) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Renders the series as a per-tick table with a totals footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.ticks.is_empty() {
+            out.push_str(
+                "(no sample records in trace — run with --sample-interval-ms to collect them)\n",
+            );
+            return out;
+        }
+        let total_us: u64 = self.ticks.iter().map(|t| t.dt_us).sum();
+        let _ = writeln!(
+            out,
+            "samples: {} tick(s) over {:.2} s",
+            self.ticks.len(),
+            total_us as f64 / 1e6
+        );
+        let shards = self.shard_ids();
+        let has_campaign = self
+            .ticks
+            .iter()
+            .any(|t| t.values.iter().any(|(n, _)| n.starts_with("live.campaign.")));
+        let _ = write!(out, "{:>5}  {:>8}  {:>10}", "tick", "dt_ms", "events/s");
+        if has_campaign {
+            let _ = write!(out, "  {:>7}  {:>15}  {:>7}", "inj/s", "progress", "eta_s");
+        }
+        for id in &shards {
+            let _ = write!(out, "  {:>5}", format!("q{id}"));
+        }
+        out.push_str("  warn\n");
+        let (mut planned, mut completed, mut detected) = (0u64, 0u64, 0u64);
+        let (mut elapsed_us, mut events_total) = (0u64, 0u64);
+        let mut warned = 0u64;
+        for tick in &self.ticks {
+            elapsed_us += tick.dt_us;
+            let events = tick.value("live.engine.events_processed").unwrap_or(0);
+            events_total += events;
+            let _ = write!(
+                out,
+                "{:>5}  {:>8.1}  {:>10.0}",
+                tick.tick,
+                tick.dt_us as f64 / 1e3,
+                tick.rate("live.engine.events_processed")
+            );
+            if has_campaign {
+                planned += tick.value("live.campaign.planned").unwrap_or(0);
+                completed += tick.value("live.campaign.completed").unwrap_or(0);
+                detected += tick.value("live.campaign.detected").unwrap_or(0);
+                let progress = if planned > 0 {
+                    format!("{completed}/{planned} {:.0}%", completed as f64 * 100.0 / planned as f64)
+                } else {
+                    "-".to_string()
+                };
+                // ETA extrapolates the cumulative rate so far; unknowable
+                // before the first completion or once the plan is done.
+                let eta = if completed > 0 && planned > completed {
+                    let remaining = (planned - completed) as f64;
+                    format!("{:.1}", remaining * elapsed_us as f64 / completed as f64 / 1e6)
+                } else {
+                    "-".to_string()
+                };
+                let _ = write!(
+                    out,
+                    "  {:>7.1}  {progress:>15}  {eta:>7}",
+                    tick.rate("live.campaign.completed")
+                );
+            }
+            for id in &shards {
+                let depth = tick
+                    .value(&format!("live.monitor.shard.{id}.queue_depth"))
+                    .unwrap_or(0);
+                let _ = write!(out, "  {depth:>5}");
+            }
+            if tick.warn {
+                warned += 1;
+                out.push_str("  !");
+            }
+            out.push('\n');
+        }
+        let _ = write!(
+            out,
+            "totals: {events_total} events ({:.0}/s avg)",
+            if elapsed_us == 0 { 0.0 } else { events_total as f64 * 1e6 / elapsed_us as f64 }
+        );
+        if has_campaign {
+            let _ = write!(
+                out,
+                "; {completed}/{planned} injections ({:.1}/s avg), {detected} detected",
+                if elapsed_us == 0 { 0.0 } else { completed as f64 * 1e6 / elapsed_us as f64 }
+            );
+        }
+        if warned > 0 {
+            let _ = write!(out, "; {warned} tick(s) saw dropped events");
+        }
+        out.push('\n');
         out
     }
 }
@@ -1149,6 +1444,102 @@ mod tests {
         assert!(err.contains("line 2"), "{err}");
         let err = TraceSummary::parse("{\"seq\":1}\n").unwrap_err();
         assert!(err.contains("no `ev`"), "{err}");
+    }
+
+    #[test]
+    fn trace_summary_histogram_quantiles_from_buckets() {
+        // Two records of the same histogram merge their buckets; the render
+        // then carries p50/p90/p99 estimated from them.
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"histogram","name":"campaign.injection_us","count":3,"sum":30,"max":10,"buckets":"15:3"}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"histogram","name":"campaign.injection_us","count":1,"sum":900,"max":900,"buckets":"1023:1"}"#, "\n",
+        );
+        let s = TraceSummary::parse(trace).unwrap();
+        assert_eq!(s.histograms.len(), 1);
+        let h = &s.histograms[0];
+        assert_eq!((h.count, h.sum, h.max), (4, 930, 900));
+        assert_eq!(h.buckets, vec![(15, 3), (1023, 1)]);
+        let snap = h.snapshot();
+        assert!(snap.p50() <= 15.0, "p50 {}", snap.p50());
+        assert!(snap.p99() > 100.0, "p99 {}", snap.p99());
+        let rendered = s.render();
+        assert!(rendered.contains("p50"), "{rendered}");
+        assert!(rendered.contains("p99"), "{rendered}");
+        // Pre-`buckets` traces still render, without quantiles.
+        let legacy = r#"{"seq":0,"t_us":1,"ev":"histogram","name":"x","count":2,"sum":4,"max":3}"#;
+        let rendered = TraceSummary::parse(legacy).unwrap().render();
+        assert!(rendered.contains("count 2"), "{rendered}");
+        assert!(!rendered.contains("p50"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_summary_flat_json_roundtrips() {
+        let trace = concat!(
+            r#"{"seq":0,"t_us":1,"ev":"counter","name":"monitor.violations","value":3}"#, "\n",
+            r#"{"seq":1,"t_us":2,"ev":"injection","index":0,"worker":0,"outcome":"detected","dur_us":100}"#, "\n",
+            r#"{"seq":2,"t_us":3,"ev":"histogram","name":"h","count":2,"sum":6,"max":5,"buckets":"7:2"}"#, "\n",
+        );
+        let json = TraceSummary::parse(trace).unwrap().to_json();
+        let fields = parse_flat_object(json.trim()).expect("flat JSON parses back");
+        let get = |name: &str| field(&fields, name).cloned();
+        assert_eq!(get("records"), Some(Value::U64(3)));
+        assert_eq!(get("counter.monitor.violations"), Some(Value::U64(3)));
+        assert_eq!(get("injection.detected"), Some(Value::U64(1)));
+        assert_eq!(get("hist.h.count"), Some(Value::U64(2)));
+        assert!(get("hist.h.p99").is_some());
+        assert_eq!(get("injection_us.count"), Some(Value::U64(1)));
+    }
+
+    /// A three-tick sampled campaign trace (two shards, one warned tick).
+    fn series_trace() -> &'static str {
+        concat!(
+            r#"{"seq":0,"t_us":1,"ev":"injection","index":0,"worker":0,"outcome":"detected","dur_us":10}"#, "\n",
+            r#"{"seq":1,"t_us":50000,"ev":"sample","tick":1,"dt_us":50000,"live.campaign.planned":100,"live.campaign.completed":10,"live.campaign.detected":4,"live.engine.events_processed":50000,"live.monitor.shard.0.queue_depth":3,"live.monitor.shard.1.queue_depth":1}"#, "\n",
+            r#"{"seq":2,"t_us":100000,"ev":"sample","tick":2,"dt_us":50000,"live.campaign.completed":30,"live.campaign.detected":12,"live.engine.events_processed":250000,"live.monitor.shard.0.queue_depth":8,"live.monitor.shard.1.queue_depth":0,"live.monitor.events_dropped":2,"warn":"events_dropped"}"#, "\n",
+            r#"{"seq":3,"t_us":150000,"ev":"sample","tick":3,"dt_us":50000,"live.campaign.completed":10,"live.campaign.detected":4,"live.engine.events_processed":250000,"live.monitor.shard.0.queue_depth":0,"live.monitor.shard.1.queue_depth":0}"#, "\n",
+        )
+    }
+
+    #[test]
+    fn series_report_parses_sample_records_only() {
+        let r = SeriesReport::parse(series_trace()).unwrap();
+        assert_eq!(r.ticks.len(), 3);
+        assert_eq!(r.ticks[0].tick, 1);
+        assert_eq!(r.ticks[0].value("live.campaign.planned"), Some(100));
+        assert!(!r.ticks[0].warn);
+        assert!(r.ticks[1].warn);
+        // 250000 events over 50 ms = 5M events/s.
+        assert!((r.ticks[1].rate("live.engine.events_processed") - 5e6).abs() < 1.0);
+        assert_eq!(r.shard_ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn series_report_renders_progress_eta_and_queues() {
+        let r = SeriesReport::parse(series_trace()).unwrap();
+        let text = r.render();
+        assert!(text.contains("samples: 3 tick(s)"), "{text}");
+        // Tick 1: 10/100 done in 50 ms → 90 remaining at 200/s → 0.5 s ETA.
+        assert!(text.contains("10/100 10%"), "{text}");
+        assert!(text.contains("0.5"), "{text}");
+        // Tick 2 carries the drop warning and shard 0's depth of 8.
+        assert!(text.contains('!'), "{text}");
+        assert!(text.contains("8"), "{text}");
+        assert!(text.contains("50/100 50%"), "{text}");
+        assert!(text.contains("1 tick(s) saw dropped events"), "{text}");
+        assert!(text.contains("20 detected"), "{text}");
+        // A sampler-less trace renders the hint, not an empty table.
+        let empty = SeriesReport::parse(r#"{"seq":0,"t_us":1,"ev":"counter","name":"x","value":1}"#)
+            .unwrap();
+        assert!(empty.render().contains("no sample records"), "{}", empty.render());
+    }
+
+    #[test]
+    fn series_report_without_campaign_omits_progress_columns() {
+        let trace = r#"{"seq":0,"t_us":1,"ev":"sample","tick":1,"dt_us":1000,"live.engine.events_processed":500}"#;
+        let text = SeriesReport::parse(trace).unwrap().render();
+        assert!(text.contains("events/s"), "{text}");
+        assert!(!text.contains("progress"), "{text}");
+        assert!(!text.contains("eta"), "{text}");
     }
 
     #[test]

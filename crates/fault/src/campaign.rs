@@ -212,6 +212,32 @@ pub struct CampaignProgress {
     pub completed: usize,
     /// Number of injections planned.
     pub total: usize,
+    /// Microseconds since the campaign's execute stage started. Wall
+    /// clock: display material only — it never flows into results, so
+    /// same-seed determinism is unaffected.
+    pub elapsed_us: u64,
+}
+
+impl CampaignProgress {
+    /// Completed injections per second so far (`0.0` before the clock
+    /// has measurably advanced).
+    pub fn rate(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1e6 / self.elapsed_us as f64
+        }
+    }
+
+    /// Estimated microseconds until the remaining injections finish at
+    /// the current rate; `None` until there is a rate to extrapolate.
+    pub fn eta_us(&self) -> Option<u64> {
+        if self.completed == 0 || self.elapsed_us == 0 {
+            return None;
+        }
+        let remaining = self.total.saturating_sub(self.completed) as f64;
+        Some((remaining * self.elapsed_us as f64 / self.completed as f64) as u64)
+    }
 }
 
 /// The progress-callback type accepted by the `*_with` campaign entry
@@ -583,6 +609,39 @@ struct ExecInstruments<'a> {
     recorder: &'a dyn Recorder,
 }
 
+/// Live-registry handles campaign workers bump once per injection. These
+/// are process-cumulative (`live.campaign.*` keeps growing across the
+/// protected and baseline campaigns of one `bw campaign` invocation, and
+/// across fuzz batches), which is what turns them into rates under the
+/// sampler. They feed the trace/`/metrics` side only — never the
+/// campaign's own result snapshot.
+struct CampaignLive {
+    planned: std::sync::Arc<bw_telemetry::Counter>,
+    completed: std::sync::Arc<bw_telemetry::Counter>,
+    detected: std::sync::Arc<bw_telemetry::Counter>,
+    injection_us: std::sync::Arc<Histogram>,
+}
+
+impl CampaignLive {
+    /// Resolves the handles (cold: once per campaign) and accounts the
+    /// new plan into `live.campaign.planned`. `None` when telemetry is
+    /// compiled out.
+    fn resolve(planned: usize) -> Option<CampaignLive> {
+        if !bw_telemetry::ENABLED {
+            return None;
+        }
+        let registry = bw_telemetry::MetricRegistry::global();
+        let live = CampaignLive {
+            planned: registry.counter("live.campaign.planned"),
+            completed: registry.counter("live.campaign.completed"),
+            detected: registry.counter("live.campaign.detected"),
+            injection_us: registry.histogram("live.campaign.injection_us"),
+        };
+        live.planned.add(planned as u64);
+        Some(live)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute_campaign(
     image: &ProgramImage,
@@ -594,6 +653,9 @@ fn execute_campaign(
     _instruments: &ExecInstruments<'_>,
 ) -> (Vec<(usize, InjectionRecord)>, Vec<WorkerStats>) {
     let eng = engine(config.engine);
+    let campaign_started = Instant::now();
+    let live = CampaignLive::resolve(plans.len());
+    let live = live.as_ref();
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -620,6 +682,13 @@ fn execute_campaign(
             stats.injections += 1;
             stats.busy_us += run_us;
             tm_observe!(_instruments.inj_hist, run_us);
+            if let Some(live) = live {
+                live.completed.inc();
+                if outcome == FaultOutcome::Detected {
+                    live.detected.inc();
+                }
+                live.injection_us.observe(run_us);
+            }
             let _category = injection_category(image, record.branch);
             tm_event!(_instruments.recorder, "injection",
                 "index" => index,
@@ -662,6 +731,7 @@ fn execute_campaign(
                     outcome,
                     completed: done,
                     total: plans.len(),
+                    elapsed_us: campaign_started.elapsed().as_micros() as u64,
                 });
             }
         }
@@ -937,5 +1007,22 @@ mod tests {
         assert_eq!(records.len(), 4);
         assert_eq!(counts.sdc, 2);
         assert_eq!(records.last().unwrap().outcome, FaultOutcome::Sdc);
+    }
+
+    #[test]
+    fn progress_rate_and_eta_extrapolate() {
+        let progress = CampaignProgress {
+            index: 49,
+            outcome: FaultOutcome::Masked,
+            completed: 50,
+            total: 200,
+            elapsed_us: 2_000_000,
+        };
+        assert!((progress.rate() - 25.0).abs() < 1e-9);
+        // 150 remaining at 25/s = 6 more seconds.
+        assert_eq!(progress.eta_us(), Some(6_000_000));
+        let cold = CampaignProgress { completed: 0, elapsed_us: 0, ..progress };
+        assert_eq!(cold.rate(), 0.0);
+        assert_eq!(cold.eta_us(), None);
     }
 }

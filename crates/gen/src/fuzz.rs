@@ -222,6 +222,13 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
 /// configuration; only the trace carries wall-clock data.
 pub fn run_fuzz_recorded(config: &FuzzConfig, recorder: &dyn Recorder) -> FuzzReport {
     let mut report = FuzzReport::default();
+    // Live registry handles for the sampler / `/metrics` endpoint: seeds
+    // swept and failures found so far. Cold per-seed updates, trace-side
+    // only — the report stays a pure function of the configuration.
+    let live = bw_telemetry::ENABLED.then(|| {
+        let registry = bw_telemetry::MetricRegistry::global();
+        (registry.counter("live.fuzz.seeds"), registry.counter("live.fuzz.failures"))
+    });
     // Generated programs index per-thread array slots by thread ID; make
     // sure they are sized for the largest swept thread count.
     let mut gen = config.gen;
@@ -231,6 +238,9 @@ pub fn run_fuzz_recorded(config: &FuzzConfig, recorder: &dyn Recorder) -> FuzzRe
     for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
         let module = generate_module(seed, &gen);
         report.seeds_run += 1;
+        if let Some((seeds, _)) = &live {
+            seeds.inc();
+        }
         match check_module_cross(&module, &config.threads, seed, config.real_cross_check) {
             Ok(stats) => {
                 recorder.record(
@@ -248,6 +258,9 @@ pub fn run_fuzz_recorded(config: &FuzzConfig, recorder: &dyn Recorder) -> FuzzRe
                 }
             }
             Err(failure) => {
+                if let Some((_, failures)) = &live {
+                    failures.inc();
+                }
                 recorder.record(
                     "fuzz.seed",
                     &[

@@ -48,6 +48,7 @@
 mod checker;
 mod event;
 mod hierarchy;
+mod live;
 mod monitor;
 pub mod provenance;
 mod shard;

@@ -1,0 +1,86 @@
+//! Live (process-cumulative) monitor metrics for the global registry.
+//!
+//! The per-run [`crate::MonitorVerdict`] numbers only exist once a run
+//! finishes; this module is what the sampler and the `/metrics` endpoint
+//! see *while* monitors are running. Everything here is additive across
+//! runs (Prometheus counter semantics) and flows only into the global
+//! [`MetricRegistry`] — never into a verdict — so watching a run cannot
+//! change its results.
+//!
+//! Cost: the dropped-event counter sits on the sender's overflow path
+//! (already cold — the queue was full and the spin budget exhausted), and
+//! the per-shard handles are resolved once per shard-worker spawn, then
+//! updated with relaxed atomics per drain sweep.
+
+use std::sync::{Arc, OnceLock};
+
+use bw_telemetry::{Counter, Gauge, MetricRegistry, MetricSource, TelemetrySnapshot};
+
+/// Events dropped by any [`crate::EventSender`] in this process, counted
+/// the moment they are dropped (the per-run tally only surfaces at join).
+static EVENTS_DROPPED: Counter = Counter::new();
+
+struct MonitorLiveSource;
+
+impl MetricSource for MonitorLiveSource {
+    fn collect(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("live.monitor.events_dropped", EVENTS_DROPPED.get());
+        s
+    }
+}
+
+/// Registers the monitor's live metrics into the global registry.
+/// Idempotent; a no-op without the `telemetry` feature.
+pub(crate) fn register() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if bw_telemetry::ENABLED {
+            MetricRegistry::global().register_source("monitor.live", Arc::new(MonitorLiveSource));
+        }
+    });
+}
+
+/// Counts one sender-side dropped event (cold path: queue overflow).
+#[inline]
+pub(crate) fn record_dropped_event() {
+    bw_telemetry::tm_inc!(EVENTS_DROPPED);
+}
+
+/// The live handles a shard worker updates per drain sweep: cumulative
+/// events processed and current total queue depth for shard `shard`.
+/// `None` without the `telemetry` feature.
+pub(crate) fn shard_handles(shard: usize) -> Option<(Arc<Counter>, Arc<Gauge>)> {
+    if !bw_telemetry::ENABLED {
+        return None;
+    }
+    let registry = MetricRegistry::global();
+    Some((
+        registry.counter(&format!("live.monitor.shard.{shard}.events_processed")),
+        registry.gauge(&format!("live.monitor.shard.{shard}.queue_depth")),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_counter_feeds_the_global_registry() {
+        register();
+        let before = EVENTS_DROPPED.get();
+        record_dropped_event();
+        if bw_telemetry::ENABLED {
+            assert_eq!(EVENTS_DROPPED.get(), before + 1);
+            let snap = MetricRegistry::global().snapshot();
+            assert!(snap.counter("live.monitor.events_dropped").unwrap_or(0) > before);
+        } else {
+            assert_eq!(EVENTS_DROPPED.get(), 0);
+        }
+    }
+
+    #[test]
+    fn shard_handles_match_the_feature() {
+        assert_eq!(shard_handles(0).is_some(), bw_telemetry::ENABLED);
+    }
+}

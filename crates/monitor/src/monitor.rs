@@ -357,6 +357,9 @@ impl EventSender {
             }
         }
         self.dropped[shard] += 1;
+        // Cold path: surface the drop immediately in the live registry so
+        // the sampler can warn mid-run, not just at join.
+        crate::live::record_dropped_event();
     }
 
     /// Events successfully enqueued by this sender (all shards).

@@ -151,6 +151,7 @@ impl ShardedMonitorThread {
         assert!(!shard_queues.is_empty(), "at least one shard");
         assert_eq!(shard_queues.len(), shard_drops.len(), "one drop sink per shard");
         let stop = Arc::new(AtomicBool::new(false));
+        crate::live::register();
         let handles = shard_queues
             .into_iter()
             .enumerate()
@@ -159,7 +160,7 @@ impl ShardedMonitorThread {
                 let stop = Arc::clone(&stop);
                 std::thread::Builder::new()
                     .name(format!("bw-shard-{i}"))
-                    .spawn(move || shard_worker(checks, nthreads, &queues, &stop))
+                    .spawn(move || shard_worker(checks, nthreads, &queues, &stop, i))
                     .expect("spawn shard monitor")
             })
             .collect();
@@ -191,25 +192,44 @@ impl ShardedMonitorThread {
 }
 
 /// One shard's drain loop: batch-pop each producer queue round-robin until
-/// stopped and empty, then a final sweep and flush.
+/// stopped and empty, then a final sweep and flush. Feeds the live
+/// registry (`live.monitor.shard.<i>.*`) once per sweep so the sampler
+/// sees queue depth and throughput mid-run.
 fn shard_worker(
     checks: CheckTable,
     nthreads: usize,
     queues: &[Consumer<BranchEvent>],
     stop: &AtomicBool,
+    shard: usize,
 ) -> Monitor {
     let mut monitor = Monitor::new(checks, nthreads);
     let mut batch: Vec<BranchEvent> = Vec::with_capacity(DRAIN_BATCH);
+    let live = crate::live::shard_handles(shard);
     loop {
         let mut drained_any = false;
+        let mut depth = 0usize;
+        let mut processed = 0u64;
         for q in queues {
-            tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
-            while q.pop_batch(&mut batch, DRAIN_BATCH) > 0 {
+            let qlen = q.len();
+            depth += qlen;
+            tm_gauge_max!(monitor.telemetry().queue_high_water, qlen);
+            loop {
+                let n = q.pop_batch(&mut batch, DRAIN_BATCH);
+                if n == 0 {
+                    break;
+                }
                 drained_any = true;
+                processed += n as u64;
                 for event in batch.drain(..) {
                     monitor.process(event);
                 }
             }
+        }
+        if let Some((events, queue_depth)) = &live {
+            if processed > 0 {
+                events.add(processed);
+            }
+            queue_depth.set(depth as u64);
         }
         if !drained_any {
             if stop.load(Ordering::Acquire) {
@@ -219,13 +239,25 @@ fn shard_worker(
         }
     }
     // Producers are done: one final sweep, then flush.
+    let mut tail = 0u64;
     for q in queues {
         tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
-        while q.pop_batch(&mut batch, DRAIN_BATCH) > 0 {
+        loop {
+            let n = q.pop_batch(&mut batch, DRAIN_BATCH);
+            if n == 0 {
+                break;
+            }
+            tail += n as u64;
             for event in batch.drain(..) {
                 monitor.process(event);
             }
         }
+    }
+    if let Some((events, queue_depth)) = &live {
+        if tail > 0 {
+            events.add(tail);
+        }
+        queue_depth.set(0);
     }
     monitor.flush();
     monitor

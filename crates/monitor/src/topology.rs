@@ -219,6 +219,7 @@ impl MonitorBuilder {
     /// Panics if the topology's fanout or shard count is zero, or if the
     /// queue capacity is zero.
     pub fn spawn(self) -> (Vec<EventSender>, MonitorHandle) {
+        crate::live::register();
         match self.topology {
             MonitorTopology::Hierarchical { fanout } => {
                 assert!(fanout > 0, "fanout must be positive");

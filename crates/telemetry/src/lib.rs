@@ -29,15 +29,34 @@
 //! histograms and trace records only, and
 //! [`TelemetrySnapshot::deterministic_part`] strips it for
 //! reproducibility checks.
+//!
+//! ## Live observability
+//!
+//! On top of the per-run snapshots sits a live layer: the process-wide
+//! [`MetricRegistry`] the monitor shards, campaign workers and engines
+//! register into, the background [`Sampler`] that turns it into
+//! timestamped `sample` trace records, the Prometheus text exposition
+//! ([`TelemetrySnapshot::to_prometheus`]) and the stdlib
+//! [`MetricsServer`] `/metrics` endpoint. The live layer only *reads*
+//! run state and only *writes* to traces and HTTP responses — never into
+//! result snapshots — so observing a run cannot change its verdicts.
 
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod recorder;
+pub mod registry;
+pub mod sampler;
+pub mod serve;
 pub mod snapshot;
 
 pub use json::{parse_flat_object, write_json_object, write_json_str, JsonError, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use prometheus::{escape_label_value, sanitize_metric_name};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, Span, NULL_RECORDER};
+pub use registry::{MetricRegistry, MetricSource};
+pub use sampler::{sample_fields, Sampler};
+pub use serve::MetricsServer;
 pub use snapshot::TelemetrySnapshot;
 
 /// Whether this build records telemetry (the `telemetry` cargo feature).

@@ -177,6 +177,85 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) by linear
+    /// interpolation inside the power-of-two buckets.
+    ///
+    /// The true sample values are gone — only bucket counts survive — so
+    /// the estimate assumes samples are spread uniformly across each
+    /// bucket's `[lower, upper]` range. The error is bounded by the bucket
+    /// width (a factor of two), which is plenty for order-of-magnitude
+    /// latency reporting. The top non-empty bucket is clamped to the exact
+    /// recorded `max`, so `quantile(1.0) == max`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for &(bound, n) in &self.buckets {
+            let n = n as f64;
+            if cum + n >= target {
+                let lower = Self::bucket_lower(bound) as f64;
+                let upper = bound.min(self.max) as f64;
+                let frac = ((target - cum) / n).clamp(0.0, 1.0);
+                return (lower + frac * (upper - lower).max(0.0)).min(self.max as f64);
+            }
+            cum += n;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Inclusive lower edge of the bucket whose inclusive upper bound is
+    /// `bound` (the buckets tile `u64`: 0, 1, 2–3, 4–7, …).
+    fn bucket_lower(bound: u64) -> u64 {
+        match bound {
+            0 => 0,
+            u64::MAX => 1u64 << 63,
+            b => b.div_ceil(2),
+        }
+    }
+
+    /// Encodes the non-empty buckets as `"bound:count;…"` — a flat-JSON
+    /// friendly string so histogram trace records can carry their shape
+    /// through the scalar-only [`crate::parse_flat_object`] parser.
+    pub fn encode_buckets(&self) -> String {
+        let mut out = String::new();
+        for (i, (bound, n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(&format!("{bound}:{n}"));
+        }
+        out
+    }
+
+    /// Parses a [`HistogramSnapshot::encode_buckets`] string back into
+    /// `(bound, count)` pairs. Malformed entries are skipped rather than
+    /// failing the whole record — trace readers are best-effort.
+    pub fn decode_buckets(s: &str) -> Vec<(u64, u64)> {
+        s.split(';')
+            .filter_map(|pair| {
+                let (bound, n) = pair.split_once(':')?;
+                Some((bound.parse().ok()?, n.parse().ok()?))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

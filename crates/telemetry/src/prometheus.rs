@@ -1,0 +1,234 @@
+//! Prometheus text-format exposition (stdlib only).
+//!
+//! [`TelemetrySnapshot::to_prometheus`] renders a snapshot in the
+//! Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+//! per metric family, `bw_`-prefixed sanitized names, and power-of-two
+//! histogram buckets mapped onto cumulative `_bucket{le="…"}` series
+//! (the buckets' inclusive upper bounds translate exactly to `le`).
+//!
+//! Per-shard metric names (`…shard.<i>.…`) become a `shard="<i>"` label
+//! on a single family instead of N distinct families, so dashboards can
+//! aggregate across shards without regex gymnastics.
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramSnapshot;
+use crate::snapshot::TelemetrySnapshot;
+
+/// Maps `name` into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the text format: backslash, double quote
+/// and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a metric name into its Prometheus family name and labels:
+/// a `shard.<digits>.` path segment is lifted out into a `shard` label,
+/// everything else is sanitized into the family name.
+fn family_of(name: &str) -> (String, Vec<(String, String)>) {
+    let segments: Vec<&str> = name.split('.').collect();
+    let mut kept: Vec<&str> = Vec::with_capacity(segments.len());
+    let mut labels = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        let seg = segments[i];
+        let next_is_index = i + 1 < segments.len()
+            && !segments[i + 1].is_empty()
+            && segments[i + 1].bytes().all(|b| b.is_ascii_digit());
+        if seg == "shard" && next_is_index && labels.is_empty() {
+            kept.push(seg);
+            labels.push(("shard".to_string(), segments[i + 1].to_string()));
+            i += 2;
+        } else {
+            kept.push(seg);
+            i += 1;
+        }
+    }
+    let family = format!("bw_{}", sanitize_metric_name(&kept.join("_")));
+    (family, labels)
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", k, escape_label_value(v));
+    }
+    out.push('}');
+}
+
+fn write_scalar_family(
+    out: &mut String,
+    kind: &str,
+    entries: &[(String, u64)],
+    seen: &mut Vec<String>,
+) {
+    for (name, value) in entries {
+        let (family, labels) = family_of(name);
+        if !seen.contains(&family) {
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            seen.push(family.clone());
+        }
+        out.push_str(&family);
+        write_labels(out, &labels);
+        let _ = writeln!(out, " {value}");
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistogramSnapshot, seen: &mut Vec<String>) {
+    let (family, labels) = family_of(name);
+    if !seen.contains(&family) {
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        seen.push(family.clone());
+    }
+    let mut cum = 0u64;
+    for &(bound, n) in &h.buckets {
+        cum += n;
+        if bound == u64::MAX {
+            // Collapses into the +Inf bucket below.
+            continue;
+        }
+        let mut all = labels.clone();
+        all.push(("le".to_string(), bound.to_string()));
+        let _ = write!(out, "{family}_bucket");
+        write_labels(out, &all);
+        let _ = writeln!(out, " {cum}");
+    }
+    let mut inf = labels.clone();
+    inf.push(("le".to_string(), "+Inf".to_string()));
+    let _ = write!(out, "{family}_bucket");
+    write_labels(out, &inf);
+    let _ = writeln!(out, " {}", h.count);
+    let _ = write!(out, "{family}_sum");
+    write_labels(out, &labels);
+    let _ = writeln!(out, " {}", h.sum);
+    let _ = write!(out, "{family}_count");
+    write_labels(out, &labels);
+    let _ = writeln!(out, " {}", h.count);
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (stdlib only; see the module docs for the name/label mapping).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<String> = Vec::new();
+        write_scalar_family(&mut out, "counter", self.counters(), &mut seen);
+        write_scalar_family(&mut out, "gauge", self.gauges(), &mut seen);
+        for (name, h) in self.histograms() {
+            write_histogram(&mut out, name, h, &mut seen);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn names_are_sanitized_into_the_prometheus_alphabet() {
+        assert_eq!(sanitize_metric_name("live.engine.runs"), "live_engine_runs");
+        assert_eq!(sanitize_metric_name("weird name-1"), "weird_name_1");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("live.campaign.completed", 42);
+        s.push_gauge("live.campaign.total", 100);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE bw_live_campaign_completed counter\n"));
+        assert!(text.contains("bw_live_campaign_completed 42\n"));
+        assert!(text.contains("# TYPE bw_live_campaign_total gauge\n"));
+        assert!(text.contains("bw_live_campaign_total 100\n"));
+    }
+
+    #[test]
+    fn shard_indices_become_labels_on_one_family() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_gauge("live.monitor.shard.0.queue_depth", 3);
+        s.push_gauge("live.monitor.shard.11.queue_depth", 9);
+        let text = s.to_prometheus();
+        // One TYPE line, two labelled series.
+        assert_eq!(
+            text.matches("# TYPE bw_live_monitor_shard_queue_depth gauge").count(),
+            1
+        );
+        assert!(text.contains("bw_live_monitor_shard_queue_depth{shard=\"0\"} 3\n"));
+        assert!(text.contains("bw_live_monitor_shard_queue_depth{shard=\"11\"} 9\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_le_buckets() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5] {
+            h.observe(v);
+        }
+        let mut s = TelemetrySnapshot::new();
+        s.push_histogram("campaign.injection_us", h.snapshot());
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE bw_campaign_injection_us histogram\n"));
+        assert!(text.contains("bw_campaign_injection_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("bw_campaign_injection_us_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("bw_campaign_injection_us_bucket{le=\"7\"} 4\n"));
+        assert!(text.contains("bw_campaign_injection_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("bw_campaign_injection_us_sum 7\n"));
+        assert!(text.contains("bw_campaign_injection_us_count 4\n"));
+    }
+
+    #[test]
+    fn the_top_bucket_folds_into_inf() {
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        let mut s = TelemetrySnapshot::new();
+        s.push_histogram("wide", h.snapshot());
+        let text = s.to_prometheus();
+        assert!(text.contains("bw_wide_bucket{le=\"+Inf\"} 1\n"));
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)));
+    }
+}

@@ -1,0 +1,193 @@
+//! The background sampler: periodic registry deltas as trace records.
+//!
+//! A [`Sampler`] polls a [`MetricRegistry`] on a fixed interval and emits
+//! one flat `sample` record per tick into a [`Recorder`]: counter
+//! *deltas* since the previous tick (only the ones that moved), every
+//! gauge's current value, plus `tick` / `dt_us` bookkeeping. Histograms
+//! are deliberately excluded — their shape travels in the end-of-run
+//! `histogram` records, and per-tick bucket dumps would swamp the trace.
+//!
+//! `sample` records are time series, not forensics: `bw report` ignores
+//! them (its parser keeps only `injection` / `violation` events), and
+//! nothing the sampler emits flows into a run's result snapshot, so
+//! same-seed determinism is untouched by whether a sampler was running.
+//!
+//! When an interval's `*events_dropped` counters moved, the record gains
+//! a `warn` field — the live counterpart of the end-of-run drop warning,
+//! so a monitor falling behind is visible mid-campaign in `bw top`.
+//!
+//! A final tick is always flushed on [`Sampler::stop`] (or drop), so even
+//! a run shorter than one interval leaves at least one sample behind.
+//! Without the `telemetry` feature the constructor returns an inert
+//! handle and no thread is ever spawned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+use crate::recorder::Recorder;
+use crate::registry::MetricRegistry;
+use crate::snapshot::TelemetrySnapshot;
+
+/// Granularity of the stop check while waiting out an interval.
+const SLEEP_SLICE: Duration = Duration::from_millis(5);
+
+/// Builds one `sample` record's fields from two consecutive registry
+/// snapshots: counter deltas (changed counters only, saturating so a
+/// replaced source can never underflow), absolute gauge values, and a
+/// `warn` marker when events were dropped in the interval.
+pub fn sample_fields(
+    prev: &TelemetrySnapshot,
+    cur: &TelemetrySnapshot,
+    tick: u64,
+    dt_us: u64,
+) -> Vec<(String, Value)> {
+    let mut fields = vec![
+        ("tick".to_string(), Value::U64(tick)),
+        ("dt_us".to_string(), Value::U64(dt_us)),
+    ];
+    let mut dropped = 0u64;
+    for (name, &v) in cur.counters().iter().map(|(n, v)| (n, v)) {
+        let delta = v.saturating_sub(prev.counter(name).unwrap_or(0));
+        if delta > 0 {
+            if name.ends_with("events_dropped") {
+                dropped += delta;
+            }
+            fields.push((name.clone(), Value::U64(delta)));
+        }
+    }
+    for (name, &v) in cur.gauges().iter().map(|(n, v)| (n, v)) {
+        fields.push((name.clone(), Value::U64(v)));
+    }
+    if dropped > 0 {
+        fields.push(("warn".to_string(), Value::from("events_dropped")));
+    }
+    fields
+}
+
+/// A background thread emitting periodic `sample` records (see the
+/// module docs). Stops — flushing one final tick — on [`Sampler::stop`]
+/// or drop.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling `registry` into `recorder` every `interval`
+    /// (clamped to at least 1ms). Inert without the `telemetry` feature.
+    pub fn start(
+        registry: Arc<MetricRegistry>,
+        recorder: Arc<dyn Recorder>,
+        interval: Duration,
+    ) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        if !crate::ENABLED {
+            return Sampler { stop, handle: None };
+        }
+        let interval = interval.max(Duration::from_millis(1));
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("bw-sampler".to_string())
+            .spawn(move || {
+                let mut prev = registry.snapshot();
+                let mut last = Instant::now();
+                let mut tick = 0u64;
+                loop {
+                    while last.elapsed() < interval && !thread_stop.load(Ordering::Acquire) {
+                        thread::sleep(SLEEP_SLICE.min(interval));
+                    }
+                    let stopping = thread_stop.load(Ordering::Acquire);
+                    let now = Instant::now();
+                    let dt_us = (now - last).as_micros() as u64;
+                    last = now;
+                    let cur = registry.snapshot();
+                    tick += 1;
+                    let fields = sample_fields(&prev, &cur, tick, dt_us);
+                    let borrowed: Vec<(&str, Value)> =
+                        fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                    recorder.record("sample", &borrowed);
+                    prev = cur;
+                    if stopping {
+                        recorder.flush();
+                        break;
+                    }
+                }
+            })
+            .expect("spawn bw-sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler, flushing a final partial-interval tick.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counters: &[(&str, u64)], gauges: &[(&str, u64)]) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        for &(n, v) in counters {
+            s.push_counter(n, v);
+        }
+        for &(n, v) in gauges {
+            s.push_gauge(n, v);
+        }
+        s
+    }
+
+    #[test]
+    fn deltas_skip_unchanged_counters_and_keep_gauges_absolute() {
+        let prev = snap(&[("live.a", 10), ("live.b", 4)], &[("live.depth", 9)]);
+        let cur = snap(&[("live.a", 15), ("live.b", 4)], &[("live.depth", 2)]);
+        let fields = sample_fields(&prev, &cur, 3, 50_000);
+        assert_eq!(fields[0], ("tick".to_string(), Value::U64(3)));
+        assert_eq!(fields[1], ("dt_us".to_string(), Value::U64(50_000)));
+        assert_eq!(fields[2], ("live.a".to_string(), Value::U64(5)));
+        assert_eq!(fields[3], ("live.depth".to_string(), Value::U64(2)));
+        assert_eq!(fields.len(), 4);
+    }
+
+    #[test]
+    fn dropped_events_raise_the_warn_marker() {
+        let prev = snap(&[("live.monitor.events_dropped", 0)], &[]);
+        let cur = snap(&[("live.monitor.events_dropped", 7)], &[]);
+        let fields = sample_fields(&prev, &cur, 1, 1000);
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "warn" && *v == Value::from("events_dropped")));
+        let clean = sample_fields(&cur, &cur, 2, 1000);
+        assert!(!clean.iter().any(|(k, _)| k == "warn"));
+    }
+
+    #[test]
+    fn counter_resets_saturate_instead_of_underflowing() {
+        let prev = snap(&[("live.a", 100)], &[]);
+        let cur = snap(&[("live.a", 30)], &[]);
+        let fields = sample_fields(&prev, &cur, 1, 1000);
+        // 30 < 100: a replaced source restarted its count; no delta.
+        assert!(!fields.iter().any(|(k, _)| k == "live.a"));
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal stdlib HTTP endpoint serving Prometheus exposition.
+//!
+//! [`MetricsServer::bind`] spawns one background thread around a
+//! non-blocking [`TcpListener`]: `GET /metrics` (or `/`) answers with
+//! `registry.snapshot().to_prometheus()`, anything else gets a 404.
+//! Connections are served inline, one at a time — scrapers poll on the
+//! order of seconds, so a single accept loop is plenty, and refusing to
+//! pull in an HTTP stack keeps the workspace dependency-free.
+//!
+//! The server reads the registry only; it can never perturb results, so
+//! scraping a deterministic run mid-flight is always safe.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::registry::MetricRegistry;
+
+/// How long the accept loop naps when idle before re-checking for
+/// connections or shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A background `/metrics` endpoint over `registry` (see module docs).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free one)
+    /// and starts serving `registry`.
+    pub fn bind(addr: &str, registry: Arc<MetricRegistry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("bw-metrics".to_string())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = serve_connection(stream, &registry);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if thread_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => {
+                        if thread_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            })
+            .expect("spawn bw-metrics thread");
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, registry: &MetricRegistry) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read the request head (best effort — a scraper's GET fits in one
+    // small read; stop at the blank line or a 4 KiB cap).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 4096 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", registry.snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_404s_elsewhere() {
+        let registry = Arc::new(MetricRegistry::new());
+        registry.counter("live.test.requests").add(5);
+        let server =
+            MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind metrics");
+        let addr = server.local_addr();
+
+        let ok = http_get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.contains("bw_live_test_requests 5"));
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+}

@@ -159,6 +159,7 @@ impl TelemetrySnapshot {
             );
         }
         for (n, h) in &self.histograms {
+            let buckets = h.encode_buckets();
             recorder.record(
                 "histogram",
                 &[
@@ -166,6 +167,7 @@ impl TelemetrySnapshot {
                     ("count", Value::U64(h.count)),
                     ("sum", Value::U64(h.sum)),
                     ("max", Value::U64(h.max)),
+                    ("buckets", Value::from(buckets.as_str())),
                 ],
             );
         }

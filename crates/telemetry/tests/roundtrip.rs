@@ -277,6 +277,135 @@ fn empty_trace_produces_no_lines() {
 }
 
 #[test]
+fn histogram_records_round_trip_their_buckets() {
+    let buf = SharedBuf::default();
+    let rec = JsonlRecorder::new(Box::new(buf.clone()));
+    let h = Histogram::new();
+    for v in [0, 1, 1, 900, u64::MAX] {
+        h.observe(v);
+    }
+    let snapshot_buckets = h.snapshot().buckets.clone();
+    let mut snap = TelemetrySnapshot::new();
+    snap.push_histogram("lat", h.snapshot());
+    snap.record_to(&rec);
+    rec.flush();
+    let parsed = parse_flat_object(buf.text().trim_end()).unwrap();
+    let encoded = parsed
+        .iter()
+        .find(|(k, _)| k == "buckets")
+        .and_then(|(_, v)| v.as_str())
+        .expect("histogram record carries a buckets field");
+    assert_eq!(HistogramSnapshot::decode_buckets(encoded), snapshot_buckets);
+    // Quantiles reconstructed from the decoded buckets match the source.
+    let decoded = HistogramSnapshot {
+        count: 5,
+        sum: 0, // irrelevant for quantiles
+        max: u64::MAX,
+        buckets: HistogramSnapshot::decode_buckets(encoded),
+    };
+    assert_eq!(decoded.p50(), h.snapshot().p50());
+    assert_eq!(decoded.p99(), h.snapshot().p99());
+}
+
+#[test]
+fn sampler_emits_parseable_sample_records() {
+    use bw_telemetry::{MetricRegistry, Sampler};
+    use std::time::Duration;
+
+    let registry = Arc::new(MetricRegistry::new());
+    let counter = registry.counter("live.test.events_processed");
+    let gauge = registry.gauge("live.test.depth");
+    let dropped = registry.counter("live.test.events_dropped");
+
+    let buf = SharedBuf::default();
+    let rec: Arc<dyn Recorder> = Arc::new(JsonlRecorder::new(Box::new(buf.clone())));
+    let sampler = Sampler::start(Arc::clone(&registry), rec, Duration::from_millis(5));
+    // Let the sampler take its baseline snapshot before any activity, so
+    // everything below must appear as deltas in some tick.
+    std::thread::sleep(Duration::from_millis(50));
+    counter.add(40);
+    gauge.set(7);
+    dropped.add(2);
+    std::thread::sleep(Duration::from_millis(50));
+    sampler.stop();
+
+    let text = buf.text();
+    if !bw_telemetry::ENABLED {
+        assert!(text.is_empty(), "sampler must be inert without the feature");
+        return;
+    }
+    let lines: Vec<Vec<(String, Value)>> =
+        text.lines().map(|l| parse_flat_object(l).expect("sample record parses")).collect();
+    assert!(!lines.is_empty(), "at least the final flush tick must land");
+    let get = |l: &[(String, Value)], k: &str| {
+        l.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone())
+    };
+    // Every record is a flat `sample` with tick/dt_us; ticks increase.
+    let mut last_tick = 0;
+    for line in &lines {
+        assert_eq!(get(line, "ev").and_then(|v| v.as_str().map(String::from)), Some("sample".into()));
+        let tick = get(line, "tick").and_then(|v| v.as_u64()).expect("tick field");
+        assert!(tick > last_tick, "ticks must increase");
+        last_tick = tick;
+        assert!(get(line, "dt_us").and_then(|v| v.as_u64()).is_some());
+    }
+    // Counter activity appears as deltas summing to the total; the tick
+    // that saw the drops carries the warn marker; gauges are absolute in
+    // every tick once set.
+    let total: u64 = lines
+        .iter()
+        .filter_map(|l| get(l, "live.test.events_processed").and_then(|v| v.as_u64()))
+        .sum();
+    assert_eq!(total, 40, "deltas must sum to the activity\n{text}");
+    assert!(
+        lines.iter().any(|l| {
+            get(l, "warn").and_then(|v| v.as_str().map(String::from))
+                == Some("events_dropped".into())
+        }),
+        "the drop must warn some tick\n{text}"
+    );
+    let last = lines.last().unwrap();
+    assert_eq!(get(last, "live.test.depth").and_then(|v| v.as_u64()), Some(7));
+    assert!(get(last, "warn").is_none(), "warn must clear once drops stop\n{text}");
+}
+
+#[test]
+fn prometheus_exposition_has_types_labels_and_escapes() {
+    use bw_telemetry::{escape_label_value, sanitize_metric_name};
+
+    let mut snap = TelemetrySnapshot::new();
+    snap.push_counter("live.monitor.shard.0.events_processed", 12);
+    snap.push_counter("live.monitor.shard.1.events_processed", 30);
+    snap.push_gauge("live.monitor.shard.0.queue_depth", 4);
+    let h = Histogram::new();
+    h.observe(1);
+    h.observe(1000);
+    snap.push_histogram("campaign.injection_us", h.snapshot());
+    let text = snap.to_prometheus();
+
+    // One family, two labelled series, one TYPE line.
+    assert_eq!(text.matches("# TYPE bw_live_monitor_shard_events_processed counter").count(), 1);
+    assert!(text.contains("bw_live_monitor_shard_events_processed{shard=\"0\"} 12"), "{text}");
+    assert!(text.contains("bw_live_monitor_shard_events_processed{shard=\"1\"} 30"), "{text}");
+    assert!(text.contains("# TYPE bw_live_monitor_shard_queue_depth gauge"), "{text}");
+    // Histograms expose cumulative le buckets ending at +Inf, plus
+    // _sum/_count.
+    assert!(text.contains("# TYPE bw_campaign_injection_us histogram"), "{text}");
+    assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
+    assert!(text.contains("bw_campaign_injection_us_sum 1001"), "{text}");
+    assert!(text.contains("bw_campaign_injection_us_count 2"), "{text}");
+    // Name sanitization and label escaping helpers hold their contracts.
+    assert_eq!(sanitize_metric_name("9lives μ"), "_9lives__");
+    assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    // Every non-comment line is `name[{labels}] value`.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+        assert!(!name.is_empty());
+        assert!(value.parse::<f64>().is_ok() || value.parse::<u64>().is_ok(), "{line}");
+    }
+}
+
+#[test]
 fn snapshot_record_to_emits_parseable_metric_records() {
     let buf = SharedBuf::default();
     let rec = JsonlRecorder::new(Box::new(buf.clone()));

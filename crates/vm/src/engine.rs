@@ -465,7 +465,9 @@ impl Engine for SimEngine {
         hook: &dyn SharedBranchHook,
     ) -> RunResult {
         let mut adapter = SharedHookAdapter(hook);
-        crate::sim::run_sim_with_hook(image, config, &mut adapter)
+        let result = crate::sim::run_sim_with_hook(image, config, &mut adapter);
+        crate::live::record_run(EngineKind::Sim, &result);
+        result
     }
 }
 
@@ -488,7 +490,9 @@ impl Engine for RealEngine {
         config: &ExecConfig,
         hook: &dyn SharedBranchHook,
     ) -> RunResult {
-        crate::real::run_real_engine(image, config, hook)
+        let result = crate::real::run_real_engine(image, config, hook);
+        crate::live::record_run(EngineKind::Real, &result);
+        result
     }
 }
 

@@ -44,6 +44,7 @@
 
 mod engine;
 mod image;
+mod live;
 mod machine;
 mod memory;
 mod real;

@@ -1,0 +1,89 @@
+//! Live (process-cumulative) engine metrics for the global registry.
+//!
+//! Every engine run folds its headline [`crate::RunResult`] numbers into
+//! these statics when it finishes, so the sampler and the `/metrics`
+//! endpoint see events/sec and run throughput *across* runs — exactly
+//! what a campaign looks like from the outside: thousands of short runs
+//! whose individual snapshots never exist at the same time.
+//!
+//! The fold happens once per run (cold) with relaxed atomics, and the
+//! values flow only into the global [`MetricRegistry`] — never back into
+//! a `RunResult` — so deterministic snapshots are untouched.
+
+use std::sync::{Arc, OnceLock};
+
+use bw_telemetry::{Counter, MetricRegistry, MetricSource, TelemetrySnapshot};
+
+use crate::engine::{EngineKind, RunResult};
+
+static SIM_RUNS: Counter = Counter::new();
+static REAL_RUNS: Counter = Counter::new();
+static EVENTS_SENT: Counter = Counter::new();
+static EVENTS_PROCESSED: Counter = Counter::new();
+static TOTAL_STEPS: Counter = Counter::new();
+static VIOLATIONS: Counter = Counter::new();
+
+struct EngineLiveSource;
+
+impl MetricSource for EngineLiveSource {
+    fn collect(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("live.engine.sim.runs", SIM_RUNS.get());
+        s.push_counter("live.engine.real.runs", REAL_RUNS.get());
+        s.push_counter("live.engine.events_sent", EVENTS_SENT.get());
+        s.push_counter("live.engine.events_processed", EVENTS_PROCESSED.get());
+        s.push_counter("live.engine.total_steps", TOTAL_STEPS.get());
+        s.push_counter("live.engine.violations", VIOLATIONS.get());
+        s
+    }
+}
+
+/// Folds one finished run into the live registry (registering the source
+/// on first use). A no-op without the `telemetry` feature.
+pub(crate) fn record_run(kind: EngineKind, result: &RunResult) {
+    if !bw_telemetry::ENABLED {
+        return;
+    }
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        MetricRegistry::global().register_source("engine.live", Arc::new(EngineLiveSource));
+    });
+    match kind {
+        EngineKind::Sim => SIM_RUNS.inc(),
+        EngineKind::Real => REAL_RUNS.inc(),
+    }
+    EVENTS_SENT.add(result.events_sent);
+    EVENTS_PROCESSED.add(result.events_processed);
+    TOTAL_STEPS.add(result.total_steps);
+    VIOLATIONS.add(result.violations.len() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_recorded_run_reaches_the_global_registry() {
+        let result = RunResult {
+            outcome: crate::engine::RunOutcome::Completed,
+            outputs: Vec::new(),
+            parallel_cycles: 0,
+            violations: Vec::new(),
+            violation_reports: Vec::new(),
+            total_steps: 10,
+            events_sent: 5,
+            events_processed: 5,
+            events_dropped: 0,
+            branches_per_thread: Vec::new(),
+            steps_per_thread: Vec::new(),
+            telemetry: TelemetrySnapshot::new(),
+            branch_events: Vec::new(),
+        };
+        record_run(EngineKind::Sim, &result);
+        if bw_telemetry::ENABLED {
+            let snap = MetricRegistry::global().snapshot();
+            assert!(snap.counter("live.engine.sim.runs").unwrap_or(0) >= 1);
+            assert!(snap.counter("live.engine.events_sent").unwrap_or(0) >= 5);
+        }
+    }
+}

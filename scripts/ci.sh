@@ -59,6 +59,51 @@ diff "$tmpdir/w1.txt" "$tmpdir/s4.txt"
 cargo run --release --quiet --bin bw -- stats "$tmpdir/s4.jsonl" \
   | grep -q "monitor shards:"
 
+# Observability leg. Live sampling is observability-only: the same seeded
+# campaign traced with --sample-interval-ms must yield a `bw report`
+# byte-identical to the unsampled w1 trace above, while the sampled trace
+# itself carries `sample` records that `bw top` / `bw stats --series`
+# render into a time series.
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 40 --workers 1 --telemetry "$tmpdir/sampled.jsonl" \
+  --sample-interval-ms 5 >/dev/null
+grep -q '"ev":"sample"' "$tmpdir/sampled.jsonl"
+cargo run --release --quiet --bin bw -- report "$tmpdir/sampled.jsonl" \
+  > "$tmpdir/sampled.txt"
+diff "$tmpdir/w1.txt" "$tmpdir/sampled.txt"
+cargo run --release --quiet --bin bw -- top "$tmpdir/sampled.jsonl" \
+  | grep -q "totals:"
+cargo run --release --quiet --bin bw -- stats "$tmpdir/sampled.jsonl" --series \
+  | grep -q "samples:"
+cargo run --release --quiet --bin bw -- stats "$tmpdir/sampled.jsonl" \
+  --format json | grep -q '"events.sample":'
+
+# Metrics-endpoint smoke: a campaign serving --metrics-addr must answer
+# GET /metrics with bw_-prefixed Prometheus text while it runs.
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 3000 --workers 2 --metrics-addr 127.0.0.1:9187 \
+  >/dev/null 2>&1 &
+metrics_pid=$!
+got_metrics=""
+for _ in $(seq 1 50); do
+  if body="$(curl -sf http://127.0.0.1:9187/metrics 2>/dev/null)" \
+     || body="$( (exec 3<>/dev/tcp/127.0.0.1/9187 \
+          && printf 'GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n' >&3 \
+          && cat <&3) 2>/dev/null)"; then
+    if grep -q "bw_live_" <<<"$body"; then got_metrics=yes; break; fi
+  fi
+  sleep 0.1
+done
+wait "$metrics_pid"
+[ -n "$got_metrics" ] || { echo "metrics endpoint never served bw_ metrics" >&2; exit 1; }
+
+# Perf-trajectory gate: the seeded bench suite must emit schema'd JSON and
+# stay within 20x of the committed baseline (catches order-of-magnitude
+# cliffs, tolerates noisy CI machines).
+cargo run --release --quiet --bin bw -- bench-suite \
+  --json "$tmpdir/BENCH.json" --baseline results/BENCH_baseline.json
+grep -q '"schema":"bw-bench-suite/v1"' "$tmpdir/BENCH.json"
+
 # Real-engine leg: the OS-thread scheduler must satisfy the same Engine
 # contract as the simulator on every SPLASH port (parity suite), and
 # survive a fuzz smoke with real-engine campaigns and the sim-vs-real

@@ -4,8 +4,15 @@
 //! between two identical runs. This is what makes the counters usable as
 //! regression oracles for the figure-8/9 overhead attribution.
 
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use blockwatch::reports::ForensicsReport;
 use blockwatch::splash::{Benchmark, Size};
-use blockwatch::{Blockwatch, FaultModel, SimConfig};
+use blockwatch::{
+    Blockwatch, FaultModel, JsonlRecorder, MetricRegistry, Recorder, Sampler, SimConfig,
+};
 
 /// Two same-seed simulated runs produce identical deterministic snapshots.
 #[test]
@@ -75,4 +82,73 @@ fn same_seed_campaigns_have_identical_outcome_counters() {
         a.telemetry.counter("campaign.outcome.detected"),
         Some(a.counts.detected as u64)
     );
+}
+
+/// A writer appending into a shared buffer, so the test can read the
+/// JSONL trace back without touching the filesystem.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Live sampling is observability-only: a same-seed campaign traced with
+/// a background [`Sampler`] attached produces the identical records,
+/// identical deterministic telemetry, and a byte-identical `bw report` —
+/// the `sample` records ride alongside without perturbing anything.
+#[test]
+fn sampling_does_not_perturb_campaign_determinism() {
+    let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test).unwrap()).unwrap();
+    let run = |with_sampler: bool| {
+        let buf = SharedBuf::default();
+        let rec = Arc::new(JsonlRecorder::new(Box::new(buf.clone())));
+        let sampler = with_sampler.then(|| {
+            Sampler::start(
+                MetricRegistry::global(),
+                Arc::clone(&rec) as Arc<dyn Recorder>,
+                Duration::from_millis(2),
+            )
+        });
+        let result = bw
+            .campaign_runner(20, FaultModel::BranchFlip, 2)
+            .seed(11)
+            .workers(1)
+            .recorder(rec.as_ref())
+            .run()
+            .unwrap();
+        if let Some(sampler) = sampler {
+            sampler.stop();
+        }
+        rec.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        (result, text)
+    };
+    let (sampled, sampled_trace) = run(true);
+    let (plain, plain_trace) = run(false);
+
+    assert_eq!(sampled.records, plain.records);
+    let (ds, dp) = (
+        sampled.telemetry.deterministic_part(),
+        plain.telemetry.deterministic_part(),
+    );
+    assert_eq!(ds.counters(), dp.counters());
+    assert_eq!(ds.gauges(), dp.gauges());
+
+    // The sampled trace actually contains sample records (with the
+    // feature on — the sampler is inert without it)...
+    if blockwatch::telemetry::ENABLED {
+        assert!(sampled_trace.contains("\"ev\":\"sample\""), "{sampled_trace}");
+    }
+    assert!(!plain_trace.contains("\"ev\":\"sample\""));
+    // ...and the forensics view ignores them: byte-identical reports.
+    let report_sampled = ForensicsReport::parse(&sampled_trace).unwrap().render();
+    let report_plain = ForensicsReport::parse(&plain_trace).unwrap().render();
+    assert_eq!(report_sampled, report_plain);
 }
