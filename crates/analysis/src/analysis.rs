@@ -38,7 +38,7 @@ use crate::category::{combine_all, combine_optimistic, Category};
 
 /// Where a pointer value can point, for load classification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Prov {
+pub(crate) enum Prov {
     /// Not yet known (fixpoint bottom).
     Unresolved,
     /// Always into the given global region.
@@ -50,7 +50,10 @@ enum Prov {
 }
 
 impl Prov {
-    fn merge(self, other: Prov) -> Prov {
+    /// Join of the provenance lattice (`Unresolved < {Global, Local} <
+    /// Unknown`): commutative and associative, so the provenance fixpoint
+    /// has a unique least solution independent of iteration order.
+    pub(crate) fn merge(self, other: Prov) -> Prov {
         match (self, other) {
             (Prov::Unresolved, p) | (p, Prov::Unresolved) => p,
             (a, b) if a == b => a,
@@ -60,7 +63,7 @@ impl Prov {
 }
 
 /// One conditional branch discovered in the module.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BranchInfo {
     /// Stable id (index into [`ModuleAnalysis::branches`]).
     pub id: BranchId,
@@ -99,12 +102,62 @@ pub struct ModuleAnalysis {
     pub trace: Vec<Vec<Category>>,
     /// Whether each function is reachable from the SPMD entry.
     pub parallel_funcs: Vec<bool>,
+    /// Number of dependency-graph SCCs the parallel scheduler executed
+    /// (0 when the sequential oracle path produced this result).
+    pub sccs: usize,
 }
 
 impl ModuleAnalysis {
-    /// Runs the similarity analysis on `module`.
+    /// Runs the similarity analysis on `module` (the sequential oracle:
+    /// one whole-module fixpoint, as in the paper's Figure 3).
     pub fn run(module: &Module) -> ModuleAnalysis {
         Analyzer::new(module).run()
+    }
+
+    /// Runs the SCC-parallel analysis: the interprocedural value-dependency
+    /// graph is condensed into its SCC DAG and per-SCC local fixpoints are
+    /// scheduled across `workers` threads in dependency order (`0` = one
+    /// worker per available core). The result is bitwise-identical to
+    /// [`ModuleAnalysis::run`] at any worker count, except that
+    /// [`ModuleAnalysis::trace`] is empty (there is no whole-module
+    /// iteration to snapshot) and [`ModuleAnalysis::iterations`] reports
+    /// the largest local-SCC round count instead.
+    pub fn run_parallel(module: &Module, workers: usize) -> ModuleAnalysis {
+        crate::parallel::run_parallel(module, workers)
+    }
+
+    /// Reports the first difference from `other` in the fields the two
+    /// analysis paths must agree on (`value_cats`, `branches`,
+    /// `parallel_funcs`), or `None` if they agree. `iterations`, `trace`
+    /// and `sccs` are schedule artifacts and deliberately not compared.
+    pub fn divergence(&self, other: &ModuleAnalysis) -> Option<String> {
+        if self.value_cats != other.value_cats {
+            for (fi, (a, b)) in self.value_cats.iter().zip(&other.value_cats).enumerate() {
+                for (vi, (ca, cb)) in a.iter().zip(b).enumerate() {
+                    if ca != cb {
+                        return Some(format!("value f{fi}:v{vi}: {ca} vs {cb}"));
+                    }
+                }
+            }
+            return Some("value table shapes differ".into());
+        }
+        if self.branches != other.branches {
+            for (a, b) in self.branches.iter().zip(&other.branches) {
+                if a != b {
+                    return Some(format!(
+                        "branch {}: {:?} vs {:?}",
+                        a.id.index(),
+                        a,
+                        b
+                    ));
+                }
+            }
+            return Some("branch counts differ".into());
+        }
+        if self.parallel_funcs != other.parallel_funcs {
+            return Some("parallel_funcs differ".into());
+        }
+        None
     }
 
     /// The category of an SSA value.
@@ -191,6 +244,101 @@ impl CategoryHistogram {
         }
         (self.shared + self.thread_id + self.partial) as f64 / self.total() as f64
     }
+}
+
+/// Everything the fixpoint needs that is a pure function of the module:
+/// CFG orders, loop structure, trivial-phi resolution, and the branch
+/// list. Computed once and shared by the sequential and parallel paths so
+/// both literally run the same transfer functions over the same facts.
+pub(crate) struct ModuleFacts {
+    pub(crate) rpo: Vec<Vec<BlockId>>,
+    /// Per function: loop header → in-loop predecessors (back edges).
+    pub(crate) loop_headers: Vec<HashMap<BlockId, Vec<BlockId>>>,
+    /// Trivial-phi resolution: `resolved[f][v]` is the value `v` is a copy
+    /// of (through chains of phis whose incomings all agree), or `v` itself.
+    pub(crate) resolved: Vec<Vec<ValueId>>,
+    pub(crate) branches: Vec<BranchInfo>,
+}
+
+impl ModuleFacts {
+    pub(crate) fn new(module: &Module) -> ModuleFacts {
+        let mut rpo = Vec::with_capacity(module.funcs.len());
+        let mut loop_headers = Vec::with_capacity(module.funcs.len());
+        let mut branches = Vec::new();
+        let mut loop_depths: Vec<Vec<u32>> = Vec::with_capacity(module.funcs.len());
+
+        for (fid, func) in module.iter_funcs() {
+            let cfg = Cfg::new(func);
+            let dom = DomTree::new(&cfg, func.entry());
+            let loops = LoopForest::new(&cfg, &dom);
+            rpo.push(cfg.reverse_postorder(func.entry()));
+
+            let mut headers: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+            for l in loops.loops() {
+                let latches: Vec<BlockId> = l
+                    .blocks
+                    .iter()
+                    .copied()
+                    .filter(|&b| cfg.succs(b).contains(&l.header))
+                    .collect();
+                headers.insert(l.header, latches);
+            }
+            loop_headers.push(headers);
+
+            let depths: Vec<u32> =
+                (0..func.blocks.len()).map(|i| loops.depth(BlockId::from_index(i))).collect();
+            loop_depths.push(depths);
+
+            for (bb, block) in func.iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    if let Op::Br { cond, .. } = inst.op {
+                        branches.push(BranchInfo {
+                            id: BranchId::from_index(branches.len()),
+                            func: fid,
+                            block: bb,
+                            inst_index: i,
+                            cond,
+                            category: Category::Na,
+                            loop_depth: loop_depths[fid.index()][bb.index()],
+                            in_parallel_section: false,
+                            min_locks_held: 0,
+                        });
+                    }
+                }
+            }
+        }
+
+        let resolved = module.funcs.iter().map(resolve_trivial_phis).collect();
+        ModuleFacts { rpo, loop_headers, resolved, branches }
+    }
+}
+
+/// Applies the shared post-fixpoint steps — default unresolved branches to
+/// `none` (Figure 3, line 18), mark the parallel section, run the
+/// critical-section dataflow — and assembles the result. Both analysis
+/// paths end here, so their outputs are structurally identical by
+/// construction.
+pub(crate) fn finalize(
+    module: &Module,
+    rpo: &[Vec<BlockId>],
+    mut branches: Vec<BranchInfo>,
+    value_cats: Vec<Vec<Category>>,
+    iterations: usize,
+    trace: Vec<Vec<Category>>,
+    sccs: usize,
+) -> ModuleAnalysis {
+    for b in &mut branches {
+        b.category = value_cats[b.func.index()][b.cond.index()];
+        if b.category == Category::Na {
+            b.category = Category::None;
+        }
+    }
+    let parallel_funcs = reachable_from_spmd(module);
+    for b in &mut branches {
+        b.in_parallel_section = parallel_funcs[b.func.index()];
+    }
+    compute_critical_sections(module, rpo, &mut branches);
+    ModuleAnalysis { value_cats, branches, iterations, trace, parallel_funcs, sccs }
 }
 
 struct Analyzer<'m> {
@@ -387,58 +535,21 @@ fn phi_sccs(
 
 impl<'m> Analyzer<'m> {
     fn new(module: &'m Module) -> Self {
-        let mut rpo = Vec::with_capacity(module.funcs.len());
-        let mut loop_headers = Vec::with_capacity(module.funcs.len());
-        let mut branches = Vec::new();
-        let mut loop_depths: Vec<Vec<u32>> = Vec::with_capacity(module.funcs.len());
-
-        for (fid, func) in module.iter_funcs() {
-            let cfg = Cfg::new(func);
-            let dom = DomTree::new(&cfg, func.entry());
-            let loops = LoopForest::new(&cfg, &dom);
-            rpo.push(cfg.reverse_postorder(func.entry()));
-
-            let mut headers: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
-            for l in loops.loops() {
-                let latches: Vec<BlockId> = l
-                    .blocks
-                    .iter()
-                    .copied()
-                    .filter(|&b| cfg.succs(b).contains(&l.header))
-                    .collect();
-                headers.insert(l.header, latches);
-            }
-            loop_headers.push(headers);
-
-            let depths: Vec<u32> =
-                (0..func.blocks.len()).map(|i| loops.depth(BlockId::from_index(i))).collect();
-            loop_depths.push(depths);
-
-            for (bb, block) in func.iter_blocks() {
-                for (i, inst) in block.insts.iter().enumerate() {
-                    if let Op::Br { cond, .. } = inst.op {
-                        branches.push(BranchInfo {
-                            id: BranchId::from_index(branches.len()),
-                            func: fid,
-                            block: bb,
-                            inst_index: i,
-                            cond,
-                            category: Category::Na,
-                            loop_depth: loop_depths[fid.index()][bb.index()],
-                            in_parallel_section: false,
-                            min_locks_held: 0,
-                        });
-                    }
-                }
-            }
-        }
-
+        let facts = ModuleFacts::new(module);
         let cats = module.funcs.iter().map(|f| vec![Category::Na; f.num_values()]).collect();
         let provs = module.funcs.iter().map(|f| vec![Prov::Unresolved; f.num_values()]).collect();
         let ret_cats = vec![Vec::new(); module.funcs.len()];
-        let resolved = module.funcs.iter().map(resolve_trivial_phis).collect();
 
-        Analyzer { module, cats, provs, ret_cats, rpo, loop_headers, resolved, branches }
+        Analyzer {
+            module,
+            cats,
+            provs,
+            ret_cats,
+            rpo: facts.rpo,
+            loop_headers: facts.loop_headers,
+            resolved: facts.resolved,
+            branches: facts.branches,
+        }
     }
 
     fn run(mut self) -> ModuleAnalysis {
@@ -462,27 +573,7 @@ impl<'m> Analyzer<'m> {
             );
         }
 
-        // Branches never resolved default to `none` (Figure 3, line 18).
-        for b in &mut self.branches {
-            b.category = self.cats[b.func.index()][b.cond.index()];
-            if b.category == Category::Na {
-                b.category = Category::None;
-            }
-        }
-
-        let parallel_funcs = self.reachable_from_spmd();
-        for b in &mut self.branches {
-            b.in_parallel_section = parallel_funcs[b.func.index()];
-        }
-        self.compute_critical_sections();
-
-        ModuleAnalysis {
-            value_cats: self.cats,
-            branches: self.branches,
-            iterations,
-            trace,
-            parallel_funcs,
-        }
+        finalize(self.module, &self.rpo, self.branches, self.cats, iterations, trace, 0)
     }
 
     fn branch_snapshot(&self) -> Vec<Category> {
@@ -491,6 +582,20 @@ impl<'m> Analyzer<'m> {
 
     /// Pointer provenance: a small forward fixpoint of its own.
     fn resolve_provenance(&mut self) {
+        // Seed before iterating: parameters of pointer type are unknown
+        // (pointers flowing through calls are not tracked). Seeding must
+        // happen first so values derived from parameter pointers (geps,
+        // loads) see `Unknown` during the fixpoint — seeding afterwards
+        // would leave dependents at whatever the iteration order happened
+        // to produce, making the result sensitive to function and block
+        // layout.
+        for (fid, func) in self.module.iter_funcs() {
+            for i in 0..func.params.len() {
+                if func.params[i] == bw_ir::Type::Ptr {
+                    self.provs[fid.index()][i] = Prov::Unknown;
+                }
+            }
+        }
         let mut changed = true;
         while changed {
             changed = false;
@@ -530,14 +635,6 @@ impl<'m> Analyzer<'m> {
                             changed = true;
                         }
                     }
-                }
-            }
-        }
-        // Parameters of pointer type are unknown.
-        for (fid, func) in self.module.iter_funcs() {
-            for i in 0..func.params.len() {
-                if func.params[i] == bw_ir::Type::Ptr {
-                    self.provs[fid.index()][i] = Prov::Unknown;
                 }
             }
         }
@@ -745,122 +842,122 @@ impl<'m> Analyzer<'m> {
         }
     }
 
-    fn reachable_from_spmd(&self) -> Vec<bool> {
-        let mut reachable = vec![false; self.module.funcs.len()];
-        let Some(entry) = self.module.spmd_entry else {
-            return reachable;
-        };
-        let mut work = vec![entry];
-        reachable[entry.index()] = true;
-        while let Some(fid) = work.pop() {
-            for block in &self.module.func(fid).blocks {
-                for inst in &block.insts {
-                    let callees: Vec<FuncId> = match &inst.op {
-                        Op::Call { func, .. } => vec![*func],
-                        Op::CallIndirect { table, .. } => {
-                            self.module.tables[table.index()].funcs.clone()
-                        }
-                        _ => continue,
-                    };
-                    for callee in callees {
-                        if !reachable[callee.index()] {
-                            reachable[callee.index()] = true;
-                            work.push(callee);
-                        }
+}
+
+/// Which functions are reachable from the SPMD entry (the paper's
+/// "parallel section").
+pub(crate) fn reachable_from_spmd(module: &Module) -> Vec<bool> {
+    let mut reachable = vec![false; module.funcs.len()];
+    let Some(entry) = module.spmd_entry else {
+        return reachable;
+    };
+    let mut work = vec![entry];
+    reachable[entry.index()] = true;
+    while let Some(fid) = work.pop() {
+        for block in &module.func(fid).blocks {
+            for inst in &block.insts {
+                let callees: Vec<FuncId> = match &inst.op {
+                    Op::Call { func, .. } => vec![*func],
+                    Op::CallIndirect { table, .. } => module.tables[table.index()].funcs.clone(),
+                    _ => continue,
+                };
+                for callee in callees {
+                    if !reachable[callee.index()] {
+                        reachable[callee.index()] = true;
+                        work.push(callee);
                     }
                 }
             }
         }
-        reachable
+    }
+    reachable
+}
+
+/// Interprocedural "minimum mutexes held" dataflow, used by the
+/// critical-section optimization (branches only one thread can execute
+/// at a time are not worth checking).
+pub(crate) fn compute_critical_sections(
+    module: &Module,
+    rpo: &[Vec<BlockId>],
+    branches: &mut [BranchInfo],
+) {
+    const INF: u32 = u32::MAX / 2;
+    // held_entry[f] = min locks held when f is entered.
+    let mut held_entry = vec![INF; module.funcs.len()];
+    for role in [module.init, module.spmd_entry, module.fini].into_iter().flatten() {
+        held_entry[role.index()] = 0;
     }
 
-    /// Interprocedural "minimum mutexes held" dataflow, used by the
-    /// critical-section optimization (branches only one thread can execute
-    /// at a time are not worth checking).
-    fn compute_critical_sections(&mut self) {
-        const INF: u32 = u32::MAX / 2;
-        // held_entry[f] = min locks held when f is entered.
-        let mut held_entry = vec![INF; self.module.funcs.len()];
-        for role in [self.module.init, self.module.spmd_entry, self.module.fini]
-            .into_iter()
-            .flatten()
-        {
-            held_entry[role.index()] = 0;
-        }
+    // block_in[f][b] = min locks held entering block b of f.
+    let mut block_in: Vec<Vec<u32>> =
+        module.funcs.iter().map(|f| vec![INF; f.blocks.len()]).collect();
 
-        // block_in[f][b] = min locks held entering block b of f.
-        let mut block_in: Vec<Vec<u32>> =
-            self.module.funcs.iter().map(|f| vec![INF; f.blocks.len()]).collect();
-
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for (fid, func) in self.module.iter_funcs() {
-                let entry_held = held_entry[fid.index()];
-                let fi = fid.index();
-                if block_in[fi][func.entry().index()] > entry_held {
-                    block_in[fi][func.entry().index()] = entry_held;
-                    changed = true;
-                }
-                for &bb in &self.rpo[fi] {
-                    let mut held = block_in[fi][bb.index()];
-                    if held >= INF {
-                        continue;
-                    }
-                    for inst in &func.block(bb).insts {
-                        match &inst.op {
-                            Op::MutexLock(_) => held += 1,
-                            Op::MutexUnlock(_) => held = held.saturating_sub(1),
-                            Op::Call { func: callee, .. }
-                                if held_entry[callee.index()] > held => {
-                                    held_entry[callee.index()] = held;
-                                    changed = true;
-                                }
-                            Op::CallIndirect { table, .. } => {
-                                for &callee in &self.module.tables[table.index()].funcs {
-                                    if held_entry[callee.index()] > held {
-                                        held_entry[callee.index()] = held;
-                                        changed = true;
-                                    }
-                                }
-                            }
-                            Op::Br { then_bb, else_bb, .. } => {
-                                for succ in [*then_bb, *else_bb] {
-                                    if block_in[fi][succ.index()] > held {
-                                        block_in[fi][succ.index()] = held;
-                                        changed = true;
-                                    }
-                                }
-                            }
-                            Op::Jump(succ)
-                                if block_in[fi][succ.index()] > held => {
-                                    block_in[fi][succ.index()] = held;
-                                    changed = true;
-                                }
-                            _ => {}
-                        }
-                    }
-                }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (fid, func) in module.iter_funcs() {
+            let entry_held = held_entry[fid.index()];
+            let fi = fid.index();
+            if block_in[fi][func.entry().index()] > entry_held {
+                block_in[fi][func.entry().index()] = entry_held;
+                changed = true;
             }
-        }
-
-        for b in &mut self.branches {
-            let fi = b.func.index();
-            let func = self.module.func(b.func);
-            let mut held = block_in[fi][b.block.index()];
-            if held >= INF {
-                held = 0; // unreachable branch
-            } else {
-                for inst in func.block(b.block).insts.iter().take(b.inst_index) {
+            for &bb in &rpo[fi] {
+                let mut held = block_in[fi][bb.index()];
+                if held >= INF {
+                    continue;
+                }
+                for inst in &func.block(bb).insts {
                     match &inst.op {
                         Op::MutexLock(_) => held += 1,
                         Op::MutexUnlock(_) => held = held.saturating_sub(1),
+                        Op::Call { func: callee, .. } if held_entry[callee.index()] > held => {
+                            held_entry[callee.index()] = held;
+                            changed = true;
+                        }
+                        Op::CallIndirect { table, .. } => {
+                            for &callee in &module.tables[table.index()].funcs {
+                                if held_entry[callee.index()] > held {
+                                    held_entry[callee.index()] = held;
+                                    changed = true;
+                                }
+                            }
+                        }
+                        Op::Br { then_bb, else_bb, .. } => {
+                            for succ in [*then_bb, *else_bb] {
+                                if block_in[fi][succ.index()] > held {
+                                    block_in[fi][succ.index()] = held;
+                                    changed = true;
+                                }
+                            }
+                        }
+                        Op::Jump(succ) if block_in[fi][succ.index()] > held => {
+                            block_in[fi][succ.index()] = held;
+                            changed = true;
+                        }
                         _ => {}
                     }
                 }
             }
-            b.min_locks_held = held;
         }
+    }
+
+    for b in branches {
+        let fi = b.func.index();
+        let func = module.func(b.func);
+        let mut held = block_in[fi][b.block.index()];
+        if held >= INF {
+            held = 0; // unreachable branch
+        } else {
+            for inst in func.block(b.block).insts.iter().take(b.inst_index) {
+                match &inst.op {
+                    Op::MutexLock(_) => held += 1,
+                    Op::MutexUnlock(_) => held = held.saturating_sub(1),
+                    _ => {}
+                }
+            }
+        }
+        b.min_locks_held = held;
     }
 }
 

@@ -38,6 +38,12 @@ pub struct AnalysisConfig {
     /// one of the branches"). Trades detection of pure branch-flip faults
     /// on the skipped branches for fewer events; off by default.
     pub dedup_checks: bool,
+    /// Run the similarity fixpoint SCC-parallel across this many worker
+    /// threads (`Some(0)` = one per available core). `None` keeps the
+    /// sequential whole-module iteration. Both paths produce bitwise-
+    /// identical results; the parallel one trades the paper's Table III
+    /// iteration trace for throughput on large modules.
+    pub analysis_workers: Option<usize>,
 }
 
 impl Default for AnalysisConfig {
@@ -48,6 +54,7 @@ impl Default for AnalysisConfig {
             max_loop_depth: 6,
             parallel_section_only: true,
             dedup_checks: false,
+            analysis_workers: None,
         }
     }
 }

@@ -1,0 +1,498 @@
+//! SCC-parallel similarity analysis.
+//!
+//! The sequential fixpoint ([`ModuleAnalysis::run`]) sweeps the whole
+//! module until nothing changes. Its dependency structure is much sparser
+//! than that: the category of a value depends only on its operands, call
+//! arguments feeding a parameter, and callee returns feeding a call
+//! result. This module condenses that interprocedural dependency graph
+//! ([`bw_ir::ValueGraph`]) into its DAG of strongly connected components
+//! and runs one small *local* fixpoint per SCC, scheduling SCCs across a
+//! worker pool in dependency order: an SCC starts only once every SCC it
+//! reads from has finished, so each local fixpoint sees exactly final
+//! values for everything outside itself.
+//!
+//! State lives in two dense, globally-indexed tables — one byte per value
+//! for the packed category bitset ([`PackedCategory`]) and four bytes for
+//! packed pointer provenance — shared across workers as plain atomics with
+//! relaxed ordering. The scheduler's ready-queue mutex and in-degree
+//! counters provide the happens-before edges between an SCC's writers and
+//! its dependents' readers.
+//!
+//! **Determinism.** The result is a function of the module alone, not of
+//! the worker count or schedule: SCC membership and member order are
+//! canonical (sorted global indices, dependencies-first topological
+//! numbering), each local fixpoint only reads finalized predecessors or
+//! its own members, and both lattices have order-independent joins. The
+//! sequential analysis remains the oracle: `bw-gen`'s fuzz harness and the
+//! parity suite cross-check [`ModuleAnalysis::divergence`] between the two
+//! paths on every generated module and splash port.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use bw_ir::{Condensation, FuncId, GlobalId, Module, Op, Type, ValueDef, ValueGraph, ValueId};
+
+use crate::analysis::{finalize, ModuleAnalysis, ModuleFacts};
+use crate::category::{Category, PackedCategory};
+
+/// Packed pointer provenance: `0` unresolved, `1` local, `2` unknown,
+/// `3 + g` global region `g`. Like the category bitset, one flat atomic
+/// per value.
+const PROV_UNRESOLVED: u32 = 0;
+const PROV_LOCAL: u32 = 1;
+const PROV_UNKNOWN: u32 = 2;
+const PROV_GLOBAL_BASE: u32 = 3;
+
+fn prov_global(g: GlobalId) -> u32 {
+    PROV_GLOBAL_BASE + g.index() as u32
+}
+
+/// Join of the packed provenance lattice — mirrors `Prov::merge`.
+fn prov_merge(a: u32, b: u32) -> u32 {
+    if a == PROV_UNRESOLVED {
+        b
+    } else if b == PROV_UNRESOLVED || a == b {
+        a
+    } else {
+        PROV_UNKNOWN
+    }
+}
+
+pub(crate) fn run_parallel(module: &Module, workers: usize) -> ModuleAnalysis {
+    let facts = ModuleFacts::new(module);
+    let graph = ValueGraph::build(module);
+    let cond = graph.condense();
+    let analyzer = ParallelAnalyzer::new(module, &facts, &graph);
+    analyzer.seed_provenance();
+
+    let ncomps = cond.num_comps();
+    let pool = effective_pool(workers, ncomps);
+    let max_rounds = if pool <= 1 {
+        // Degenerate pool: walk the components in topological order on
+        // this thread. Identical results — the schedule never matters.
+        let mut max_rounds = 0;
+        for comp in &cond.comps {
+            max_rounds = max_rounds.max(analyzer.process_comp(comp));
+        }
+        max_rounds
+    } else {
+        schedule(&analyzer, &cond, pool)
+    };
+
+    let value_cats = analyzer.unpack_cats();
+    finalize(module, &facts.rpo, facts.branches, value_cats, max_rounds, Vec::new(), ncomps)
+}
+
+/// Worker-pool sizing, the `bw-fault` campaign idiom: `0` means one worker
+/// per available core, and the pool never exceeds the job count.
+fn effective_pool(workers: usize, njobs: usize) -> usize {
+    let requested = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    requested.clamp(1, njobs.max(1))
+}
+
+/// Kahn-style DAG scheduling: every component starts with its in-degree as
+/// a countdown; finishing a component decrements its dependents and pushes
+/// the ones that hit zero onto a shared ready queue.
+fn schedule(analyzer: &ParallelAnalyzer<'_>, cond: &Condensation, pool: usize) -> usize {
+    let ncomps = cond.num_comps();
+    let in_deg: Vec<AtomicU32> = cond.in_degrees().into_iter().map(AtomicU32::new).collect();
+    let initial: VecDeque<u32> = (0..ncomps as u32)
+        .filter(|&c| in_deg[c as usize].load(Ordering::Relaxed) == 0)
+        .collect();
+    let queue = Mutex::new(initial);
+    let ready = Condvar::new();
+    let done = AtomicUsize::new(0);
+    let max_rounds = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..pool {
+            s.spawn(|| loop {
+                let next = {
+                    let mut q = queue.lock().expect("scheduler queue poisoned");
+                    loop {
+                        if let Some(c) = q.pop_front() {
+                            break Some(c);
+                        }
+                        if done.load(Ordering::Acquire) == ncomps {
+                            break None;
+                        }
+                        q = ready.wait(q).expect("scheduler queue poisoned");
+                    }
+                };
+                let Some(c) = next else { return };
+                let rounds = analyzer.process_comp(&cond.comps[c as usize]);
+                max_rounds.fetch_max(rounds, Ordering::AcqRel);
+                for &succ in &cond.comp_succs[c as usize] {
+                    // AcqRel chains the happens-before edge through the
+                    // last-finishing predecessor: its relaxed table writes
+                    // are visible to whoever pops `succ`.
+                    if in_deg[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        queue.lock().expect("scheduler queue poisoned").push_back(succ);
+                        ready.notify_one();
+                    }
+                }
+                if done.fetch_add(1, Ordering::AcqRel) + 1 == ncomps {
+                    // Wake every idle worker for shutdown. Taking the lock
+                    // first closes the check-then-wait window.
+                    let _q = queue.lock().expect("scheduler queue poisoned");
+                    ready.notify_all();
+                }
+            });
+        }
+    });
+
+    max_rounds.load(Ordering::Acquire)
+}
+
+struct ParallelAnalyzer<'m> {
+    module: &'m Module,
+    facts: &'m ModuleFacts,
+    graph: &'m ValueGraph,
+    /// Packed category per value, globally indexed.
+    cats: Vec<AtomicU8>,
+    /// Packed provenance per value, globally indexed.
+    provs: Vec<AtomicU32>,
+    /// Global indices of the arguments feeding each parameter (empty for
+    /// non-parameter values). Dense, like everything else here.
+    param_args: Vec<Vec<u32>>,
+    /// Global indices of each function's return-site operands.
+    ret_values: Vec<Vec<u32>>,
+}
+
+impl<'m> ParallelAnalyzer<'m> {
+    fn new(module: &'m Module, facts: &'m ModuleFacts, graph: &'m ValueGraph) -> Self {
+        let n = graph.num_values();
+        let cats = (0..n).map(|_| AtomicU8::new(PackedCategory::NA.bits())).collect();
+        let provs = (0..n).map(|_| AtomicU32::new(PROV_UNRESOLVED)).collect();
+
+        let mut param_args: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut ret_values: Vec<Vec<u32>> = vec![Vec::new(); module.funcs.len()];
+        for (fid, func) in module.iter_funcs() {
+            for (_, block) in func.iter_blocks() {
+                if let Some(inst) = block.terminator() {
+                    if let Op::Ret(Some(v)) = inst.op {
+                        ret_values[fid.index()].push(graph.index(fid, v) as u32);
+                    }
+                }
+                for inst in &block.insts {
+                    let mut record = |callee: FuncId, args: &[ValueId]| {
+                        let nparams = module.func(callee).params.len();
+                        for (i, &arg) in args.iter().enumerate().take(nparams) {
+                            let param = graph.index(callee, ValueId::from_index(i));
+                            param_args[param].push(graph.index(fid, arg) as u32);
+                        }
+                    };
+                    match &inst.op {
+                        Op::Call { func: callee, args, .. } => record(*callee, args),
+                        Op::CallIndirect { table, args, .. } => {
+                            for &callee in &module.tables[table.index()].funcs {
+                                record(callee, args);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        ParallelAnalyzer { module, facts, graph, cats, provs, param_args, ret_values }
+    }
+
+    /// Seeds pointer-typed parameters to `Unknown` before any scheduling —
+    /// the same pre-fixpoint seeding the sequential path performs.
+    fn seed_provenance(&self) {
+        for (fid, func) in self.module.iter_funcs() {
+            for (i, ty) in func.params.iter().enumerate() {
+                if *ty == Type::Ptr {
+                    let g = self.graph.index(fid, ValueId::from_index(i));
+                    self.provs[g].store(PROV_UNKNOWN, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn cat(&self, g: u32) -> PackedCategory {
+        PackedCategory::from_bits(self.cats[g as usize].load(Ordering::Relaxed))
+    }
+
+    fn prov(&self, g: u32) -> u32 {
+        self.provs[g as usize].load(Ordering::Relaxed)
+    }
+
+    /// Runs the local fixpoint of one SCC: provenance first (categories
+    /// read it), then categories, each iterated over the members in
+    /// canonical order until stable. Returns the category round count.
+    fn process_comp(&self, members: &[u32]) -> usize {
+        loop {
+            let mut changed = false;
+            for &g in members {
+                if let Some(new) = self.eval_prov(g) {
+                    let old = self.prov(g);
+                    let merged = prov_merge(old, new);
+                    if merged != old {
+                        self.provs[g as usize].store(merged, Ordering::Relaxed);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for &g in members {
+                let new = self.eval_cat(g);
+                // Figure 3 discipline: `NA` is never written back, so a
+                // value keeps its last non-bottom category.
+                if new != PackedCategory::NA && new != self.cat(g) {
+                    self.cats[g as usize].store(new.bits(), Ordering::Relaxed);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            assert!(
+                rounds <= members.len() + 10,
+                "per-SCC similarity fixpoint failed to converge in {} rounds",
+                members.len() + 10
+            );
+        }
+        rounds
+    }
+
+    /// Provenance transfer of one value — mirrors the sequential
+    /// `resolve_provenance` body. `None` means "no rule writes this value".
+    fn eval_prov(&self, g: u32) -> Option<u32> {
+        let (fid, vid) = self.graph.split(g as usize);
+        let func = self.module.func(fid);
+        let ValueDef::Inst { block, inst_index } = func.defs[vid.index()] else {
+            return None; // parameter seeds are fixed up front
+        };
+        let inst = &func.block(block).insts[inst_index];
+        let op_prov = |v: ValueId| self.prov(self.graph.index(fid, v) as u32);
+        match &inst.op {
+            Op::GlobalAddr(global) => Some(prov_global(*global)),
+            Op::Gep { base, .. } => Some(op_prov(*base)),
+            Op::Alloca { .. } => Some(PROV_LOCAL),
+            Op::Phi { incomings, .. } => {
+                let mut p = PROV_UNRESOLVED;
+                for inc in incomings {
+                    if inc.value == vid {
+                        continue;
+                    }
+                    p = prov_merge(p, op_prov(inc.value));
+                }
+                Some(p)
+            }
+            Op::Call { .. } | Op::CallIndirect { .. } | Op::Load { .. } => {
+                if inst.ty == Some(Type::Ptr) {
+                    Some(PROV_UNKNOWN)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Category transfer of one value — the packed mirror of the
+    /// sequential `visit` / `update_params` rules.
+    fn eval_cat(&self, g: u32) -> PackedCategory {
+        let (fid, vid) = self.graph.split(g as usize);
+        let func = self.module.func(fid);
+        let (block, inst_index) = match func.defs[vid.index()] {
+            ValueDef::Param(_) => {
+                // Call-site merge (Figure 2 "multiple instances" policy).
+                return merge_sites_packed(
+                    self.param_args[g as usize].iter().map(|&a| self.cat(a)),
+                );
+            }
+            ValueDef::Inst { block, inst_index } => (block, inst_index),
+        };
+        let inst = &func.block(block).insts[inst_index];
+        let cat = |v: ValueId| self.cat(self.graph.index(fid, v) as u32);
+        match &inst.op {
+            Op::Const(_) | Op::GlobalAddr(_) | Op::NumThreads => PackedCategory::SHARED,
+            Op::ThreadId => PackedCategory::THREAD_ID,
+            Op::Rand { .. } | Op::Alloca { .. } => PackedCategory::NONE,
+            Op::AtomicFetchAdd { global, .. } => {
+                if self.module.global(*global).tid_counter {
+                    PackedCategory::THREAD_ID
+                } else {
+                    PackedCategory::NONE
+                }
+            }
+            Op::Bin { lhs, rhs, .. } | Op::Cmp { lhs, rhs, .. } => {
+                PackedCategory::combine_all([cat(*lhs), cat(*rhs)])
+            }
+            Op::Un { operand, .. } => cat(*operand),
+            Op::Gep { base, offset } => PackedCategory::combine_all([cat(*base), cat(*offset)]),
+            Op::Load { addr, .. } => {
+                let p = self.prov(self.graph.index(fid, *addr) as u32);
+                if p == PROV_UNRESOLVED {
+                    PackedCategory::NA
+                } else if p >= PROV_GLOBAL_BASE
+                    && self
+                        .module
+                        .global(GlobalId::from_index((p - PROV_GLOBAL_BASE) as usize))
+                        .shared
+                {
+                    match cat(*addr) {
+                        PackedCategory::NA => PackedCategory::NA,
+                        PackedCategory::SHARED => PackedCategory::SHARED,
+                        // One of the elements of a shared array: groupable
+                        // by value, hence partial.
+                        _ => PackedCategory::PARTIAL,
+                    }
+                } else {
+                    PackedCategory::NONE
+                }
+            }
+            Op::Phi { incomings, .. } => {
+                let resolved = &self.facts.resolved[fid.index()];
+                let target = resolved[vid.index()];
+                if target != vid {
+                    return cat(target);
+                }
+                let latches = self.facts.loop_headers[fid.index()].get(&block);
+                let is_loop_phi =
+                    latches.is_some_and(|l| incomings.iter().any(|inc| l.contains(&inc.block)));
+                let combined = PackedCategory::combine_optimistic(
+                    incomings
+                        .iter()
+                        .filter(|inc| resolved[inc.value.index()] != vid)
+                        .map(|inc| cat(inc.value)),
+                );
+                if !is_loop_phi && combined == PackedCategory::SHARED {
+                    // If-else convergence merging distinct shared values →
+                    // partial (the paper's deviation from Table II).
+                    let mut distinct: Vec<ValueId> = incomings
+                        .iter()
+                        .map(|inc| resolved[inc.value.index()])
+                        .filter(|&v| v != vid)
+                        .collect();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    if distinct.len() >= 2 {
+                        return PackedCategory::PARTIAL;
+                    }
+                }
+                combined
+            }
+            Op::Call { func: callee, .. } => self.callee_result(&[*callee]),
+            Op::CallIndirect { table, .. } => {
+                self.callee_result(&self.module.tables[table.index()].funcs)
+            }
+            // No result (unreachable here — such instructions define no
+            // value, so no global index points at them).
+            _ => PackedCategory::NA,
+        }
+    }
+
+    fn callee_result(&self, callees: &[FuncId]) -> PackedCategory {
+        let mut sites = 0usize;
+        let mut combined = PackedCategory::NA;
+        for &callee in callees {
+            for &rv in &self.ret_values[callee.index()] {
+                sites += 1;
+                let c = self.cat(rv);
+                if c != PackedCategory::NA {
+                    combined = if combined == PackedCategory::NA {
+                        c
+                    } else {
+                        combined.combine(c)
+                    };
+                }
+            }
+        }
+        match combined {
+            PackedCategory::NA | PackedCategory::NONE => combined,
+            c if sites <= 1 && callees.len() <= 1 => c,
+            // Result is "one of several" values: groupable at best.
+            _ => PackedCategory::PARTIAL,
+        }
+    }
+
+    fn unpack_cats(&self) -> Vec<Vec<Category>> {
+        self.module
+            .iter_funcs()
+            .map(|(fid, func)| {
+                (0..func.num_values())
+                    .map(|v| self.cat(self.graph.index(fid, ValueId::from_index(v)) as u32).unpack())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Packed mirror of the sequential `merge_sites`: unanimous sites keep
+/// their category, mixed checkable categories fall back to `partial`, any
+/// `none` poisons the merge, and an all-`NA` (or empty) site set is `NA`.
+fn merge_sites_packed(cats: impl IntoIterator<Item = PackedCategory>) -> PackedCategory {
+    let mut first: Option<PackedCategory> = None;
+    let mut unanimous = true;
+    for c in cats {
+        if c == PackedCategory::NA {
+            continue;
+        }
+        if c == PackedCategory::NONE {
+            return PackedCategory::NONE;
+        }
+        match first {
+            None => first = Some(c),
+            Some(f) if f == c => {}
+            Some(_) => unanimous = false,
+        }
+    }
+    match first {
+        None => PackedCategory::NA,
+        Some(f) if unanimous => f,
+        Some(_) => PackedCategory::PARTIAL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prov_merge_mirrors_enum() {
+        let g0 = prov_global(GlobalId(0));
+        assert_eq!(prov_merge(PROV_UNRESOLVED, g0), g0);
+        assert_eq!(prov_merge(g0, PROV_UNRESOLVED), g0);
+        assert_eq!(prov_merge(g0, g0), g0);
+        assert_eq!(prov_merge(g0, PROV_LOCAL), PROV_UNKNOWN);
+        assert_eq!(prov_merge(PROV_UNKNOWN, g0), PROV_UNKNOWN);
+    }
+
+    #[test]
+    fn merge_sites_packed_rules() {
+        use PackedCategory as P;
+        assert_eq!(merge_sites_packed([P::SHARED, P::SHARED]), P::SHARED);
+        assert_eq!(merge_sites_packed([P::SHARED, P::NA]), P::SHARED);
+        assert_eq!(merge_sites_packed([P::NA, P::NA]), P::NA);
+        assert_eq!(merge_sites_packed([]), P::NA);
+        assert_eq!(merge_sites_packed([P::SHARED, P::THREAD_ID]), P::PARTIAL);
+        assert_eq!(merge_sites_packed([P::SHARED, P::NONE]), P::NONE);
+        assert_eq!(merge_sites_packed([P::THREAD_ID, P::THREAD_ID]), P::THREAD_ID);
+        assert_eq!(merge_sites_packed([P::PARTIAL, P::SHARED]), P::PARTIAL);
+    }
+
+    #[test]
+    fn effective_pool_sizing() {
+        assert_eq!(effective_pool(4, 100), 4);
+        assert_eq!(effective_pool(8, 2), 2);
+        assert_eq!(effective_pool(1, 0), 1);
+        assert!(effective_pool(0, 64) >= 1);
+    }
+}

@@ -1,9 +1,16 @@
 //! Microbenchmark: the similarity fixpoint on every SPLASH-2 port (the
-//! paper reports its static analysis takes under a second per benchmark).
+//! paper reports its static analysis takes under a second per benchmark),
+//! plus a worker-scaling sweep of the SCC-parallel analysis on generated
+//! large modules. Throughput is reported in values analyzed per second;
+//! compare across the `workers/*` IDs for the speedup curve (on a
+//! single-core host all points collapse to sequential speed — the sweep
+//! then measures scheduling overhead, not speedup).
 
 use bw_analysis::{AnalysisConfig, CheckPlan, ModuleAnalysis};
+use bw_gen::GenConfig;
+use bw_ir::Module;
 use bw_splash::{Benchmark, Size};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_analysis(c: &mut Criterion) {
@@ -23,5 +30,39 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_analysis);
+/// A seeded corpus of generated modules with deep bodies, so the
+/// condensations have enough independent components to schedule. One
+/// generated module is small; a corpus gives the sweep a stable rate.
+fn corpus(base_seed: u64, count: u64) -> Vec<Module> {
+    let cfg = GenConfig { max_stmts: 120, max_depth: 4, ..GenConfig::default() };
+    (0..count).map(|i| bw_gen::generate_module(base_seed + i, &cfg)).collect()
+}
+
+fn bench_parallel_analysis(c: &mut Criterion) {
+    let modules = corpus(7, 24);
+    let nvalues: u64 =
+        modules.iter().flat_map(|m| m.funcs.iter()).map(|f| f.num_values() as u64).sum();
+    let mut group = c.benchmark_group("analysis_workers");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(nvalues));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for m in &modules {
+                black_box(ModuleAnalysis::run(m));
+            }
+        });
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter(|| {
+                for m in &modules {
+                    black_box(ModuleAnalysis::run_parallel(m, workers));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_parallel_analysis);
 criterion_main!(benches);

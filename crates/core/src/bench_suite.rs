@@ -1,10 +1,11 @@
 //! The `bw bench-suite` perf-trajectory harness.
 //!
-//! One seeded, self-timed pass over the three throughput-critical paths —
+//! One seeded, self-timed pass over the throughput-critical paths —
 //! monitor ingest (events/sec over a shard sweep), fault campaigns
-//! (injections/sec on the FFT port) and pipeline preparation (per-stage
+//! (injections/sec on the FFT port), pipeline preparation (per-stage
 //! wall clock from [`ProgramImage::try_prepare_timed`](bw_vm::ProgramImage))
-//! — emitted as one flat JSON object CI can archive and diff across
+//! and similarity-analysis throughput (values/sec, sequential and
+//! SCC-parallel) — emitted as one flat JSON object CI can archive and diff across
 //! commits. Criterion (in `bw-bench`) answers "is this change faster?";
 //! this suite answers "did throughput fall off a cliff since the committed
 //! baseline?" cheaply enough to run on every push.
@@ -269,6 +270,42 @@ pub fn run_bench_suite(config: &BenchSuiteConfig) -> Result<BenchSuiteResult, Er
         result.push(format!("pipeline.{name}.link_us"), timings.link_us);
     }
 
+    // Similarity-analysis throughput over a seeded corpus of generated
+    // modules (single modules are too small for a stable rate): the
+    // sequential oracle plus the SCC-parallel path at a small worker
+    // sweep. Parallel keys are per-worker-count so the baseline gate
+    // catches a regression in either scheduling overhead or the analysis
+    // itself.
+    let gen_cfg =
+        bw_gen::GenConfig { max_stmts: 120, max_depth: 4, ..bw_gen::GenConfig::default() };
+    let corpus: Vec<_> =
+        (0..24).map(|i| bw_gen::generate_module(config.seed + i, &gen_cfg)).collect();
+    let nvalues: u64 = corpus
+        .iter()
+        .flat_map(|m| m.funcs.iter())
+        .map(|f| f.num_values() as u64)
+        .sum();
+    result.push("analysis.values", nvalues);
+    let time_sweep = |run: &dyn Fn(&bw_ir::Module) -> bw_analysis::ModuleAnalysis| {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            let started = Instant::now();
+            for module in &corpus {
+                std::hint::black_box(run(module));
+            }
+            let us = started.elapsed().as_micros() as u64;
+            if us > 0 {
+                best = best.max(nvalues as f64 * 1e6 / us as f64);
+            }
+        }
+        best
+    };
+    result.push("analysis_values_per_sec", time_sweep(&bw_analysis::ModuleAnalysis::run));
+    for workers in [1usize, 4] {
+        let rate = time_sweep(&|m| bw_analysis::ModuleAnalysis::run_parallel(m, workers));
+        result.push(format!("analysis.w{workers}.values_per_sec"), rate);
+    }
+
     Ok(result)
 }
 
@@ -290,6 +327,9 @@ mod tests {
         assert!(result.get("campaign.fft.injections_per_sec").is_some());
         assert!(result.get("pipeline.fft.analyze_us").is_some());
         assert!(result.get("pipeline.continuous-ocean.link_us").is_some());
+        assert!(result.get("analysis_values_per_sec").is_some());
+        assert!(result.get("analysis.w1.values_per_sec").is_some());
+        assert!(result.get("analysis.w4.values_per_sec").is_some());
         let parsed = BenchSuiteResult::parse(&result.to_json()).unwrap();
         assert_eq!(parsed.fields.len(), result.fields.len());
         assert!(!result.render().is_empty());

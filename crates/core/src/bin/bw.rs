@@ -13,6 +13,9 @@
 //!             [--progress] [--stats]
 //!             [--telemetry T.jsonl]  fault-injection campaign with and
 //!                                    without BLOCKWATCH
+//! bw gen      [--seed S] [--max-stmts M] [--out FILE]
+//!                                    dump a seeded random SPMD module as
+//!                                    textual IR (replayable with bw run)
 //! bw stats    <trace.jsonl> [--series] [--format text|json]
 //!                                    summarize a JSONL telemetry trace
 //! bw top      <trace.jsonl>          time-series view of a sampled trace
@@ -29,6 +32,11 @@
 //! deterministic simulated scheduler, `real` runs on OS threads (`--real`
 //! is kept as a legacy alias for `--engine real` on `bw run`).
 //!
+//! Commands that analyze a program (`analyze`, `run`, `ir`, `campaign`,
+//! `fuzz`) take `--analysis-workers N` to run the similarity analysis as
+//! SCC-parallel worklists on N workers (0 = one per core). Results are
+//! bitwise-identical to the sequential default at any worker count.
+//!
 //! `<file>` is a mini-language source path, or `splash:<name>` for a
 //! built-in SPLASH-2 port (`splash:fft`, `splash:radix`, …) sized with
 //! `--size test|small|reference`.
@@ -43,8 +51,8 @@ use blockwatch::reports::{render_telemetry, ForensicsReport, SeriesReport, Trace
 use blockwatch::telemetry::{JsonlRecorder, MetricRegistry, MetricsServer, Recorder, Sampler};
 use blockwatch::vm::MonitorMode;
 use blockwatch::{
-    Benchmark, Blockwatch, CampaignProgress, EngineKind, ExecConfig, FaultModel, RunOutcome,
-    Size, TelemetrySnapshot,
+    AnalysisConfig, Benchmark, Blockwatch, CampaignProgress, EngineKind, ExecConfig, FaultModel,
+    RunOutcome, Size, TelemetrySnapshot,
 };
 
 fn main() -> ExitCode {
@@ -59,6 +67,7 @@ fn main() -> ExitCode {
         "ir" => cmd_ir(rest),
         "campaign" => cmd_campaign(rest),
         "fuzz" => cmd_fuzz(rest),
+        "gen" => cmd_gen(rest),
         "stats" => cmd_stats(rest),
         "top" => cmd_top(rest),
         "bench-suite" => cmd_bench_suite(rest),
@@ -96,6 +105,9 @@ const USAGE: &str = "usage:
                                       generate random SPMD programs and run
                                       the differential oracle; failures are
                                       shrunk and saved as fuzz-<seed>.bwir
+  bw gen      [--seed S] [--max-stmts M] [--out FILE]
+                                      dump a seeded random SPMD module as
+                                      textual IR (replayable with bw run)
   bw stats    <trace.jsonl> [--series] [--format text|json]
                                       summarize a JSONL telemetry trace
   bw top      <trace.jsonl>           time-series view of a sampled trace:
@@ -116,6 +128,11 @@ const USAGE: &str = "usage:
   a disjoint (site, branch) slice. Verdicts are byte-identical at any S —
   it is purely a throughput knob (see the monitor-ingest bench).
 
+  --analysis-workers runs the similarity analysis as per-SCC worklists
+  scheduled across N workers (0 = one per core; omit for the sequential
+  oracle). Categories, branches and verdicts are bitwise-identical at any
+  N — it is purely a throughput knob (see the analysis bench).
+
   --sample-interval-ms starts a background sampler that appends timestamped
   `sample` records (counter deltas, gauge levels) to the --telemetry trace;
   render them with `bw top` or `bw stats --series`. --metrics-addr serves
@@ -127,7 +144,21 @@ const USAGE: &str = "usage:
   splash:<name> (fft, fmm, radix, raytrace, water, ocean-contig,
   ocean-noncontig) sized with --size test|small|reference";
 
+/// Parses `--analysis-workers` (the SCC-parallel analysis knob): absent =
+/// sequential oracle, `0` = one worker per core.
+fn analysis_workers(rest: &[String]) -> Result<Option<usize>, String> {
+    match flag(rest, "--analysis-workers") {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid --analysis-workers `{s}` (expected a count, 0 = auto)")),
+    }
+}
+
 fn load(spec: &str, rest: &[String]) -> Result<Blockwatch, String> {
+    let config =
+        AnalysisConfig { analysis_workers: analysis_workers(rest)?, ..AnalysisConfig::default() };
     if let Some(name) = spec.strip_prefix("splash:") {
         let bench = match name {
             "ocean-contig" | "ocean" => Benchmark::OceanContig,
@@ -148,15 +179,15 @@ fn load(spec: &str, rest: &[String]) -> Result<Blockwatch, String> {
             }
         };
         let module = bench.module(size).map_err(|e| format!("{e}"))?;
-        return Blockwatch::from_module(module).map_err(|e| format!("{e}"));
+        return Blockwatch::from_module_with(module, config).map_err(|e| format!("{e}"));
     }
     let source =
         std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))?;
     if spec.ends_with(".bwir") {
         let module = blockwatch::ir::parse_module(&source).map_err(|e| format!("{e}"))?;
-        return Blockwatch::from_module(module).map_err(|e| format!("{e}"));
+        return Blockwatch::from_module_with(module, config).map_err(|e| format!("{e}"));
     }
-    Blockwatch::compile(&source).map_err(|e| format!("{e}"))
+    Blockwatch::compile_with(&source, config).map_err(|e| format!("{e}"))
 }
 
 /// Opens the JSONL recorder named by `--telemetry`, if the flag is given.
@@ -413,6 +444,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
         engine: kind,
         real_cross_check,
         monitor_shards: shards,
+        analysis_workers: analysis_workers(rest)?,
     };
     let report = match &recorder {
         Some(recorder) => blockwatch::gen::run_fuzz_recorded(&config, recorder.as_ref()),
@@ -440,6 +472,30 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
                 unexercised.join(", ")
             ));
         }
+    }
+    Ok(())
+}
+
+fn cmd_gen(rest: &[String]) -> Result<(), String> {
+    let seed = flag(rest, "--seed")
+        .map(|s| match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| format!("bad --seed `{s}`: {e}")),
+            None => s.parse().map_err(|e| format!("bad --seed `{s}`: {e}")),
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let mut gen = blockwatch::gen::GenConfig::default();
+    if let Some(m) = flag(rest, "--max-stmts").and_then(|s| s.parse().ok()) {
+        gen.max_stmts = m;
+    }
+    let module = blockwatch::gen::generate_module(seed, &gen);
+    let text = format!("{}", ModulePrinter(&module));
+    match flag(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => emit(&text),
     }
     Ok(())
 }

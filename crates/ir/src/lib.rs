@@ -54,6 +54,7 @@ mod inst;
 mod loops;
 mod module;
 mod print;
+mod scc;
 mod text;
 mod value;
 mod verify;
@@ -71,6 +72,7 @@ pub use inst::{BinOp, CmpOp, Inst, Op, PhiIncoming, UnOp};
 pub use loops::{Loop, LoopForest};
 pub use module::{FuncTable, Global, Module};
 pub use print::{format_block, format_inst, FunctionPrinter, ModulePrinter};
+pub use scc::{Condensation, ValueGraph};
 pub use text::{parse_module, TextError};
 pub use value::{Ptr, Space, Type, Val};
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -24,7 +24,7 @@ use bw_telemetry::{tm_gauge_max, tm_inc, Gauge, TelemetrySnapshot};
 
 use crate::checker::{check_instance, Report};
 use crate::event::BranchEvent;
-use crate::monitor::{CheckTable, Monitor, Violation};
+use crate::monitor::{CheckTable, Violation};
 use crate::provenance::{window_capacity, FlightRecorder, ViolationReport, WindowEntry};
 use crate::spsc::Consumer;
 use crate::table::BranchTable;
@@ -238,11 +238,8 @@ impl RootMonitor {
 }
 
 /// A two-level monitor tree running on real threads: one OS thread per
-/// sub-monitor plus one root thread.
-///
-/// Legacy entry point: new code should spawn monitors through
-/// [`crate::MonitorBuilder`], which covers this shape as
-/// [`crate::MonitorTopology::Hierarchical`].
+/// sub-monitor plus one root thread. Spawned through
+/// [`crate::MonitorBuilder`] with [`crate::MonitorTopology::Hierarchical`].
 pub struct HierarchicalMonitorThread {
     handles: Vec<std::thread::JoinHandle<(u64, Vec<InstanceBatch>)>>,
     root_handle: std::thread::JoinHandle<RootMonitor>,
@@ -254,40 +251,14 @@ pub struct HierarchicalMonitorThread {
 
 impl HierarchicalMonitorThread {
     /// Spawns sub-monitors over `queues` split into groups of `fanout`
-    /// threads each, plus the root.
+    /// threads each, plus the root, sharing `drops` with the application
+    /// threads' [`crate::EventSender`]s; the accumulated count is folded
+    /// into the root at [`HierarchicalMonitorThread::join`]. This is the
+    /// spawn path [`crate::MonitorBuilder`] uses.
     ///
     /// # Panics
     ///
     /// Panics if `fanout` is zero.
-    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Hierarchical")]
-    pub fn spawn(
-        checks: CheckTable,
-        nthreads: usize,
-        queues: Vec<Consumer<BranchEvent>>,
-        fanout: usize,
-    ) -> Self {
-        Self::spawn_internal(checks, nthreads, queues, fanout, Arc::new(AtomicU64::new(0)))
-    }
-
-    /// Like [`HierarchicalMonitorThread::spawn`], but shares `drops` with
-    /// the application threads' [`crate::EventSender`]s; the accumulated
-    /// count is folded into the root at [`HierarchicalMonitorThread::join`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `fanout` is zero.
-    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Hierarchical")]
-    pub fn spawn_with_drop_counter(
-        checks: CheckTable,
-        nthreads: usize,
-        queues: Vec<Consumer<BranchEvent>>,
-        fanout: usize,
-        drops: Arc<AtomicU64>,
-    ) -> Self {
-        Self::spawn_internal(checks, nthreads, queues, fanout, drops)
-    }
-
-    /// The non-deprecated spawn path [`crate::MonitorBuilder`] uses.
     pub(crate) fn spawn_internal(
         checks: CheckTable,
         nthreads: usize,
@@ -405,21 +376,10 @@ impl HierarchicalMonitorThread {
     }
 }
 
-/// Runs the same event stream through a flat [`Monitor`] (for differential
-/// testing of the hierarchy).
-#[deprecated(note = "drive a passive Monitor (or ShardedMonitor with one shard) directly")]
-pub fn run_flat(checks: CheckTable, nthreads: usize, events: &[BranchEvent]) -> Monitor {
-    let mut m = Monitor::new(checks, nthreads);
-    for &e in events {
-        m.process(e);
-    }
-    m.flush();
-    m
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::Monitor;
     use bw_analysis::CheckKind;
 
     fn checks() -> CheckTable {
@@ -432,7 +392,6 @@ mod tests {
 
     /// Flat and hierarchical monitors agree on a mixed clean/faulty stream.
     #[test]
-    #[allow(deprecated)] // run_flat is the legacy differential helper
     fn hierarchy_matches_flat_verdicts() {
         let nthreads = 8;
         let mut events = Vec::new();
@@ -448,7 +407,12 @@ mod tests {
         events.push(ev(2, 50, 7, true));
         events.push(ev(3, 50, 7, false));
 
-        let flat = run_flat(checks(), nthreads as usize, &events);
+        // The flat side of the differential: a passive monitor fed inline.
+        let mut flat = Monitor::new(checks(), nthreads as usize);
+        for &e in &events {
+            flat.process(e);
+        }
+        flat.flush();
 
         let mut subs: Vec<SubMonitor> = (0..2).map(|_| SubMonitor::new(4)).collect();
         let mut root = RootMonitor::new(checks(), nthreads as usize);
@@ -498,36 +462,59 @@ mod tests {
 
     /// The threaded tree detects the same injected mismatch end to end.
     #[test]
-    #[allow(deprecated)] // exercising the legacy tree entry point
     fn threaded_hierarchy_detects() {
-        use crate::spsc::spsc_queue;
+        use crate::topology::{MonitorBuilder, MonitorTopology};
         let nthreads = 8usize;
-        let mut producers = Vec::new();
-        let mut consumers = Vec::new();
-        for _ in 0..nthreads {
-            let (p, c) = spsc_queue(1024);
-            producers.push(p);
-            consumers.push(c);
-        }
-        let tree = HierarchicalMonitorThread::spawn(checks(), nthreads, consumers, 4);
-        let handles: Vec<_> = producers
+        let (senders, handle) = MonitorBuilder::new(checks(), nthreads)
+            .topology(MonitorTopology::Hierarchical { fanout: 4 })
+            .queue_capacity(1024)
+            .spawn();
+        let handles: Vec<_> = senders
             .into_iter()
             .enumerate()
-            .map(|(t, p)| {
+            .map(|(t, mut sender)| {
                 std::thread::spawn(move || {
                     for iter in 0..200u64 {
                         let taken = !(t == 6 && iter == 123);
-                        p.push(ev(t as u32, iter, 42, taken)).unwrap();
+                        sender.send(ev(t as u32, iter, 42, taken));
                     }
+                    assert_eq!(sender.dropped(), 0);
                 })
             })
             .collect();
         for h in handles {
             h.join().unwrap();
         }
+        let verdict = handle.join();
+        assert_eq!(verdict.events_processed, 8 * 200);
+        assert_eq!(verdict.violations.len(), 1);
+        assert_eq!(verdict.violations[0].iter, 123);
+    }
+
+    /// Bugfix regression (moved from the integration suite when the
+    /// explicit-queue spawns were removed): a sender dropped after
+    /// overflowing its queue must not take its drop count with it — the
+    /// tree folds sender-side drops into the root at join. Pre-filling
+    /// the queue before any monitor exists needs `spawn_internal`, so
+    /// this lives in the crate rather than on top of `MonitorBuilder`.
+    #[test]
+    fn dropped_events_survive_the_sender() {
+        use crate::monitor::EventSender;
+        use crate::spsc::spsc_queue;
+        let drops = Arc::new(AtomicU64::new(0));
+        let (p, c) = spsc_queue(4);
+        let mut sender = EventSender::with_drop_counter(p, Arc::clone(&drops));
+        // No consumer is draining yet: capacity 4, so sends 5..=7 drop.
+        for iter in 0..7u64 {
+            sender.send(ev(0, iter, 1, true));
+        }
+        assert_eq!(sender.dropped(), 3);
+        drop(sender);
+
+        let tree = HierarchicalMonitorThread::spawn_internal(checks(), 1, vec![c], 1, drops);
         let (root, events) = tree.join();
-        assert_eq!(events, 8 * 200);
-        assert_eq!(root.violations().len(), 1);
-        assert_eq!(root.violations()[0].iter, 123);
+        assert_eq!(events, 4);
+        assert_eq!(root.events_dropped(), 3);
+        assert_eq!(root.snapshot().counter("monitor.events_dropped"), Some(3));
     }
 }

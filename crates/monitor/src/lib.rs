@@ -22,10 +22,11 @@
 //! tree), or `Sharded` (N workers each owning a disjoint
 //! `(site, branch)` key-space slice, routed by [`shard_of`]). Every
 //! topology joins into the same [`MonitorVerdict`] shape, and sharded
-//! verdicts are byte-identical to flat ones by construction. The old
-//! per-topology entry points ([`MonitorThread`],
-//! [`HierarchicalMonitorThread`], [`run_flat`]) remain as deprecated
-//! wrappers.
+//! verdicts are byte-identical to flat ones by construction. (The old
+//! per-topology entry points — `MonitorThread`, the explicit-queue
+//! `HierarchicalMonitorThread` spawns, `run_flat` — have been removed;
+//! drive a passive [`Monitor`] directly where a test needs full control
+//! of the event stream.)
 //!
 //! # Examples
 //!
@@ -58,12 +59,9 @@ mod telemetry;
 mod topology;
 
 pub use checker::{check_instance, Report, ViolationKind};
-#[allow(deprecated)]
-pub use hierarchy::{
-    run_flat, HierarchicalMonitorThread, InstanceBatch, RootMonitor, SubMonitor,
-};
+pub use hierarchy::{HierarchicalMonitorThread, InstanceBatch, RootMonitor, SubMonitor};
 pub use event::{hash_words, BranchEvent, KeyHasher};
-pub use monitor::{CheckTable, EventSender, Monitor, MonitorThread, Violation};
+pub use monitor::{CheckTable, EventSender, Monitor, Violation};
 pub use shard::{per_shard_capacity, shard_of, ShardedMonitor, ShardedMonitorThread};
 pub use topology::{MonitorBuilder, MonitorHandle, MonitorTopology, MonitorVerdict};
 pub use provenance::{

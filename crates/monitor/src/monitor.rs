@@ -3,11 +3,11 @@
 //!
 //! The monitor is a passive object ([`Monitor::poll`] / [`Monitor::flush`])
 //! so that the deterministic simulator can drive it inline; for the
-//! real-threads engine, [`MonitorThread`] wraps it in a dedicated OS thread
-//! that polls until all producers disconnect, exactly like the paper's
-//! asynchronous monitor thread.
+//! real-threads engine, [`crate::MonitorBuilder`] wraps it in dedicated OS
+//! threads that poll until all producers disconnect, exactly like the
+//! paper's asynchronous monitor thread.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bw_analysis::{CheckKind, CheckPlan};
@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::checker::{check_instance, Report, ViolationKind};
 use crate::event::BranchEvent;
 use crate::provenance::{window_capacity, FlightRecorder, ViolationReport, WindowEntry};
-use crate::spsc::{Consumer, Producer, QueueFull};
+use crate::spsc::{Producer, QueueFull};
 use crate::table::BranchTable;
 use crate::telemetry::MonitorTelemetry;
 
@@ -388,98 +388,9 @@ impl Drop for EventSender {
     }
 }
 
-/// The monitor thread for the real-threads engine: owns the consumer ends
-/// of all per-thread queues and polls them round-robin until asked to stop
-/// (after the application threads join), then drains what is left.
-///
-/// Legacy entry point: new code should spawn monitors through
-/// [`crate::MonitorBuilder`], which covers this flat shape as
-/// [`crate::MonitorTopology::Flat`] alongside the hierarchical and sharded
-/// ones.
-pub struct MonitorThread {
-    handle: std::thread::JoinHandle<Monitor>,
-    stop: Arc<AtomicBool>,
-    drops: Arc<AtomicU64>,
-}
-
-impl MonitorThread {
-    /// Spawns the monitor thread with a private drop counter; pair the
-    /// producers with [`EventSender::new`] (no senders report drops into
-    /// this monitor) or use [`MonitorThread::spawn_with_drop_counter`].
-    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Flat")]
-    pub fn spawn(checks: CheckTable, nthreads: usize, queues: Vec<Consumer<BranchEvent>>) -> Self {
-        #[allow(deprecated)]
-        Self::spawn_with_drop_counter(checks, nthreads, queues, Arc::new(AtomicU64::new(0)))
-    }
-
-    /// Spawns the monitor thread sharing `drops` with the application
-    /// threads' senders (created via [`EventSender::with_drop_counter`]).
-    /// At [`MonitorThread::join`] the accumulated count is folded into
-    /// the returned monitor's [`Monitor::events_dropped`].
-    #[deprecated(note = "use MonitorBuilder with MonitorTopology::Flat")]
-    pub fn spawn_with_drop_counter(
-        checks: CheckTable,
-        nthreads: usize,
-        queues: Vec<Consumer<BranchEvent>>,
-        drops: Arc<AtomicU64>,
-    ) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("blockwatch-monitor".into())
-            .spawn(move || {
-                let mut monitor = Monitor::new(checks, nthreads);
-                loop {
-                    let mut drained_any = false;
-                    // Round-robin over the per-thread front-end queues.
-                    for q in &queues {
-                        tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
-                        while let Some(event) = q.pop() {
-                            monitor.process(event);
-                            drained_any = true;
-                        }
-                    }
-                    if !drained_any {
-                        if stop2.load(Ordering::Acquire) {
-                            break;
-                        }
-                        std::thread::yield_now();
-                    }
-                }
-                // Producers are done: one final sweep, then flush.
-                for q in &queues {
-                    tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
-                    while let Some(event) = q.pop() {
-                        monitor.process(event);
-                    }
-                }
-                monitor.flush();
-                monitor
-            })
-            .expect("spawn monitor thread");
-        MonitorThread { handle, stop, drops }
-    }
-
-    /// Signals the monitor to finish once the queues are empty and returns
-    /// the final monitor state, with every sender's drop count folded in
-    /// (callers must drop or join the sending threads first so the counts
-    /// have been flushed).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the monitor thread itself panicked.
-    pub fn join(self) -> Monitor {
-        self.stop.store(true, Ordering::Release);
-        let mut monitor = self.handle.join().expect("monitor thread panicked");
-        monitor.record_dropped(self.drops.load(Ordering::Acquire));
-        monitor
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spsc::spsc_queue;
     use bw_analysis::TidCheck;
 
     fn table_with(kinds: Vec<Option<CheckKind>>) -> CheckTable {
@@ -582,20 +493,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercising the legacy flat entry point
     fn monitor_thread_end_to_end() {
+        use crate::topology::{MonitorBuilder, MonitorTopology};
         let checks = table_with(vec![Some(CheckKind::SharedUniform)]);
         let nthreads = 4;
-        let mut producers = Vec::new();
-        let mut consumers = Vec::new();
-        for _ in 0..nthreads {
-            let (p, c) = spsc_queue(256);
-            producers.push(EventSender::new(p));
-            consumers.push(c);
-        }
-        let monitor = MonitorThread::spawn(checks, nthreads, consumers);
+        let (senders, handle) = MonitorBuilder::new(checks, nthreads)
+            .topology(MonitorTopology::Flat)
+            .queue_capacity(256)
+            .spawn();
 
-        let handles: Vec<_> = producers
+        let handles: Vec<_> = senders
             .into_iter()
             .enumerate()
             .map(|(t, mut sender)| {
@@ -619,11 +526,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let monitor = monitor.join();
-        assert_eq!(monitor.events_processed(), 400);
-        assert_eq!(monitor.violations().len(), 1);
-        assert_eq!(monitor.violations()[0].iter, 50);
-        assert_eq!(monitor.violations()[0].kind, ViolationKind::WitnessMismatch);
+        let verdict = handle.join();
+        assert_eq!(verdict.events_processed, 400);
+        assert_eq!(verdict.violations.len(), 1);
+        assert_eq!(verdict.violations[0].iter, 50);
+        assert_eq!(verdict.violations[0].kind, ViolationKind::WitnessMismatch);
     }
 
     #[test]

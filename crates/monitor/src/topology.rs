@@ -2,10 +2,11 @@
 //! every ingest shape behind a [`MonitorTopology`] enum.
 //!
 //! Before this existed each topology had its own ad-hoc constructor —
-//! [`crate::MonitorThread`] for flat ingest,
-//! [`crate::HierarchicalMonitorThread`] for the Section VI tree, and
-//! callers wired queues, senders, and drop counters by hand, differently
-//! each time. The builder owns that wiring: it creates the queues, hands
+//! a `MonitorThread` for flat ingest, explicit-queue
+//! [`crate::HierarchicalMonitorThread`] spawns for the Section VI tree —
+//! and callers wired queues, senders, and drop counters by hand,
+//! differently each time. Those constructors are gone; the builder owns
+//! that wiring: it creates the queues, hands
 //! back one routing [`EventSender`] per application thread, and returns a
 //! [`MonitorHandle`] whose `join` produces a [`MonitorVerdict`] with the
 //! same shape for every topology. Choosing sharded ingest is flipping an

@@ -4,8 +4,9 @@
 //!   consistent with `events_processed`;
 //! * flush batch accounting matches what `flush` actually drained;
 //! * sender-side drop counts survive the sender (the `EventSender` drop
-//!   aggregation bugfix) and surface on the joined monitor — in every
-//!   topology: flat, hierarchical, and sharded.
+//!   aggregation bugfix) and surface on the joined monitor — flat and
+//!   sharded here; the hierarchical variant lives in the `hierarchy`
+//!   module's unit tests next to the crate-private spawn it needs.
 //!
 //! All strict value assertions are conditioned on the `telemetry` feature
 //! (without it the gated instruments legitimately read zero); the
@@ -17,8 +18,7 @@ use std::sync::Arc;
 
 use bw_analysis::CheckKind;
 use bw_monitor::{
-    shard_of, spsc_queue, BranchEvent, CheckTable, EventSender, HierarchicalMonitorThread,
-    Monitor, MonitorThread, ShardedMonitorThread,
+    shard_of, spsc_queue, BranchEvent, CheckTable, EventSender, Monitor, ShardedMonitorThread,
 };
 
 const TELEMETRY: bool = cfg!(feature = "telemetry");
@@ -103,9 +103,10 @@ fn flush_batches_match_drained_instances() {
 }
 
 /// The monitor thread's queue high-water mark stays within the physical
-/// queue capacity and is consistent with the event totals.
+/// queue capacity and is consistent with the event totals. Flat ingest is
+/// a one-shard [`ShardedMonitorThread`]; explicit queues let the test
+/// pre-fill them before any monitor exists.
 #[test]
-#[allow(deprecated)] // the legacy flat entry point must keep its telemetry
 fn queue_high_water_is_bounded_by_capacity() {
     let nthreads = 2;
     let capacity = 64;
@@ -125,13 +126,18 @@ fn queue_high_water_is_bounded_by_capacity() {
         assert_eq!(sender.dropped(), 0);
         assert_eq!(sender.sent(), capacity as u64);
     }
-    let monitor = MonitorThread::spawn(checks(), nthreads, consumers);
+    let monitor = ShardedMonitorThread::spawn(
+        checks(),
+        nthreads,
+        vec![consumers],
+        vec![Arc::new(AtomicU64::new(0))],
+    );
     drop(producers);
-    let monitor = monitor.join();
-    assert_eq!(monitor.events_processed(), (nthreads * capacity) as u64);
-    let hw = monitor.telemetry().queue_high_water.get();
+    let verdict = monitor.join();
+    assert_eq!(verdict.events_processed, (nthreads * capacity) as u64);
+    let hw = verdict.telemetry.gauge("monitor.queue_high_water").unwrap_or(0);
     assert!(hw <= capacity as u64, "high water {hw} exceeds capacity {capacity}");
-    assert!(hw <= monitor.events_processed());
+    assert!(hw <= verdict.events_processed);
     if TELEMETRY {
         // The queues were full before the monitor started draining.
         assert_eq!(hw, capacity as u64);
@@ -161,8 +167,9 @@ fn violation_tallies_match_violations() {
 
 /// Bugfix regression: a sender dropped (thread exit) after overflowing its
 /// queue must not take its drop count with it — the joined monitor sees it.
+/// (The hierarchical-topology variant lives in the `hierarchy` module's
+/// unit tests, next to the crate-private spawn it needs.)
 #[test]
-#[allow(deprecated)] // the drop aggregation must keep working via the legacy path
 fn dropped_events_survive_the_sender() {
     let drops = Arc::new(AtomicU64::new(0));
     let (p, c) = spsc_queue(4);
@@ -178,34 +185,13 @@ fn dropped_events_survive_the_sender() {
     drop(sender);
     assert_eq!(drops.load(Ordering::Acquire), 3);
 
-    // The monitor spawned over the same drop counter reports the loss.
-    let monitor = MonitorThread::spawn_with_drop_counter(checks(), 1, vec![c], drops);
-    let monitor = monitor.join();
-    assert_eq!(monitor.events_dropped(), 3);
-    assert_eq!(monitor.events_processed(), 4);
-    assert_eq!(monitor.snapshot().counter("monitor.events_dropped"), Some(3));
-}
-
-/// The same drop-survival guarantee through the hierarchical topology: the
-/// sub-monitor tree folds sender-side drops into the root at join.
-#[test]
-#[allow(deprecated)] // pre-filling queues needs the explicit-queue spawn
-fn dropped_events_survive_the_sender_hierarchical() {
-    let drops = Arc::new(AtomicU64::new(0));
-    let (p, c) = spsc_queue(4);
-    let mut sender = EventSender::with_drop_counter(p, Arc::clone(&drops));
-    for iter in 0..7u64 {
-        sender.send(ev(0, iter, 1));
-    }
-    assert_eq!(sender.dropped(), 3);
-    drop(sender);
-
-    let tree =
-        HierarchicalMonitorThread::spawn_with_drop_counter(checks(), 1, vec![c], 1, drops);
-    let (root, events) = tree.join();
-    assert_eq!(events, 4);
-    assert_eq!(root.events_dropped(), 3);
-    assert_eq!(root.snapshot().counter("monitor.events_dropped"), Some(3));
+    // The one-shard monitor spawned over the same drop sink reports the
+    // loss.
+    let monitor = ShardedMonitorThread::spawn(checks(), 1, vec![vec![c]], vec![drops]);
+    let verdict = monitor.join();
+    assert_eq!(verdict.events_dropped, 3);
+    assert_eq!(verdict.events_processed, 4);
+    assert_eq!(verdict.telemetry.counter("monitor.events_dropped"), Some(3));
 }
 
 /// The same drop-survival guarantee through sharded ingest: each shard's

@@ -97,6 +97,28 @@ done
 wait "$metrics_pid"
 [ -n "$got_metrics" ] || { echo "metrics endpoint never served bw_ metrics" >&2; exit 1; }
 
+# Analysis-parity leg: the SCC-parallel similarity analysis is a
+# throughput knob, never a semantic one. `bw analyze` output (per-branch
+# categories, check plan, histogram) must be byte-identical between the
+# sequential oracle and the parallel path at 1 and 4 workers, on every
+# SPLASH port and on a seeded generated module.
+cargo run --release --quiet --bin bw -- gen --seed 0xb10c --max-stmts 120 \
+  --out "$tmpdir/gen.bwir"
+for target in splash:fft splash:fmm splash:radix splash:raytrace splash:water \
+    splash:ocean-contig splash:ocean-noncontig "$tmpdir/gen.bwir"; do
+  name="$(basename "$target" | tr ':' '_')"
+  cargo run --release --quiet --bin bw -- analyze "$target" \
+    > "$tmpdir/seq_$name.txt"
+  for workers in 1 4; do
+    cargo run --release --quiet --bin bw -- analyze "$target" \
+      --analysis-workers "$workers" > "$tmpdir/par_$name.txt"
+    diff "$tmpdir/seq_$name.txt" "$tmpdir/par_$name.txt"
+  done
+done
+# The deeper sweep (worker counts 1/2/4/8, 100+ fuzz seeds) runs in the
+# test suite: crates/core's `analysis_parity` integration tests.
+cargo test -q -p blockwatch --test analysis_parity
+
 # Perf-trajectory gate: the seeded bench suite must emit schema'd JSON and
 # stay within 20x of the committed baseline (catches order-of-magnitude
 # cliffs, tolerates noisy CI machines).

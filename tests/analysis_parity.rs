@@ -1,0 +1,65 @@
+//! Parallel-vs-sequential analysis parity.
+//!
+//! The SCC-parallel analysis (`ModuleAnalysis::run_parallel`) must be
+//! bitwise-identical to the sequential oracle (`ModuleAnalysis::run`) in
+//! everything downstream consumers read — value categories, the branch
+//! table (categories, parallel-section flags, lock counts), and the
+//! parallel-function set — on every SPLASH port and across a seeded sweep
+//! of generated modules, at every worker count. `iterations`, `trace` and
+//! `sccs` are schedule artifacts and excluded by `divergence` itself.
+
+use blockwatch::gen::{generate_module, GenConfig};
+use blockwatch::splash::{Benchmark, Size};
+use bw_analysis::ModuleAnalysis;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_parity(module: &bw_ir::Module, what: &str) {
+    let oracle = ModuleAnalysis::run(module);
+    for workers in WORKER_SWEEP {
+        let parallel = ModuleAnalysis::run_parallel(module, workers);
+        if let Some(diff) = oracle.divergence(&parallel) {
+            panic!("{what} diverges at {workers} workers: {diff}");
+        }
+        assert!(
+            parallel.sccs > 0,
+            "{what}: parallel path must report its SCC count"
+        );
+    }
+}
+
+#[test]
+fn splash_ports_are_worker_invariant() {
+    for bench in Benchmark::ALL {
+        let module = bench.module(Size::Test).expect("splash port compiles");
+        assert_parity(&module, bench.name());
+    }
+}
+
+#[test]
+fn splash_ports_at_larger_size() {
+    // One heavier module exercises multi-SCC scheduling harder.
+    let module = Benchmark::Fft.module(Size::Small).expect("fft compiles");
+    assert_parity(&module, "fft/small");
+}
+
+#[test]
+fn generated_modules_are_worker_invariant() {
+    // ≥100 fuzz seeds across the worker sweep (the acceptance bar).
+    let cfg = GenConfig::default();
+    for seed in 0..120u64 {
+        let module = generate_module(seed, &cfg);
+        assert_parity(&module, &format!("gen seed {seed}"));
+    }
+}
+
+#[test]
+fn generated_modules_with_deeper_shapes() {
+    // Larger programs with more call structure: more cross-function SCC
+    // edges, more parameter merges.
+    let cfg = GenConfig { max_stmts: 120, max_depth: 4, ..GenConfig::default() };
+    for seed in 0..20u64 {
+        let module = generate_module(seed, &cfg);
+        assert_parity(&module, &format!("gen deep seed {seed}"));
+    }
+}
