@@ -20,7 +20,9 @@ use std::time::Instant;
 use bw_analysis::CheckKind;
 use bw_monitor::{BranchEvent, CheckTable, MonitorBuilder, MonitorTopology};
 use bw_splash::{Benchmark, Size};
-use bw_telemetry::{parse_flat_object, write_json_object, Value};
+use bw_telemetry::{
+    parse_flat_object, write_json_object, JsonlRecorder, Recorder, TimeDomain, Value,
+};
 
 use crate::{Blockwatch, Error, FaultModel};
 
@@ -306,6 +308,35 @@ pub fn run_bench_suite(config: &BenchSuiteConfig) -> Result<BenchSuiteResult, Er
         result.push(format!("analysis.w{workers}.values_per_sec"), rate);
     }
 
+    // Timeline encode: `tspan` records/sec through a JsonlRecorder into a
+    // discarding writer — the `--trace-spans` hot path every engine span,
+    // shard flush and campaign stage goes through.
+    const TL_EVENTS: u64 = 20_000;
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let rec = JsonlRecorder::new(Box::new(std::io::sink()));
+        let started = Instant::now();
+        for i in 0..TL_EVENTS {
+            bw_telemetry::record_span(
+                &rec,
+                TimeDomain::Cycles,
+                "t0",
+                "barrier_phase",
+                "phase 0",
+                i,
+                17,
+                &[("steps", Value::U64(i)), ("branches", Value::U64(i / 8))],
+            );
+        }
+        rec.flush();
+        let us = started.elapsed().as_micros() as u64;
+        if us > 0 {
+            best = best.max(TL_EVENTS as f64 * 1e6 / us as f64);
+        }
+    }
+    result.push("timeline.events", TL_EVENTS);
+    result.push("timeline_events_per_sec", best);
+
     Ok(result)
 }
 
@@ -330,6 +361,7 @@ mod tests {
         assert!(result.get("analysis_values_per_sec").is_some());
         assert!(result.get("analysis.w1.values_per_sec").is_some());
         assert!(result.get("analysis.w4.values_per_sec").is_some());
+        assert!(result.get("timeline_events_per_sec").is_some());
         let parsed = BenchSuiteResult::parse(&result.to_json()).unwrap();
         assert_eq!(parsed.fields.len(), result.fields.len());
         assert!(!result.render().is_empty());

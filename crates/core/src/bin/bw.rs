@@ -19,13 +19,16 @@
 //! bw stats    <trace.jsonl> [--series] [--format text|json]
 //!                                    summarize a JSONL telemetry trace
 //! bw top      <trace.jsonl>          time-series view of a sampled trace
+//! bw timeline <trace.jsonl> [--chrome OUT.json] [--phase-profile]
+//!                                    per-thread span lanes from a trace
 //! bw bench-suite [--json OUT.json] [--baseline BASE.json]
 //!                                    seeded perf-trajectory suite
 //! bw report   <trace.jsonl>          violation forensics from a trace
 //! ```
 //!
 //! Traced commands also take `--sample-interval-ms MS` (background
-//! sampler appending `sample` records for `bw top`) and
+//! sampler appending `sample` records for `bw top`), `--trace-spans`
+//! (causal span records for `bw timeline`) and
 //! `--metrics-addr HOST:PORT` (live Prometheus `/metrics` endpoint).
 //!
 //! Every executing command takes `--engine sim|real`: `sim` is the
@@ -48,6 +51,7 @@ use std::time::Duration;
 use blockwatch::bench_suite::{run_bench_suite, BenchSuiteConfig, BenchSuiteResult};
 use blockwatch::ir::ModulePrinter;
 use blockwatch::reports::{render_telemetry, ForensicsReport, SeriesReport, TraceSummary};
+use blockwatch::timeline::TimelineReport;
 use blockwatch::telemetry::{JsonlRecorder, MetricRegistry, MetricsServer, Recorder, Sampler};
 use blockwatch::vm::MonitorMode;
 use blockwatch::{
@@ -70,6 +74,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "stats" => cmd_stats(rest),
         "top" => cmd_top(rest),
+        "timeline" => cmd_timeline(rest),
         "bench-suite" => cmd_bench_suite(rest),
         "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
@@ -91,17 +96,19 @@ const USAGE: &str = "usage:
   bw analyze  <file>                  print per-branch similarity categories
   bw run      <file> [--threads N] [--engine sim|real] [--monitor-shards S]
               [--stats] [--telemetry T.jsonl] [--sample-interval-ms MS]
-              [--metrics-addr HOST:PORT]
+              [--trace-spans] [--metrics-addr HOST:PORT]
                                       run under the monitor
   bw ir       <file>                  dump the SSA IR
   bw campaign <file> [--threads N] [--injections K] [--model flip|cond]
               [--workers W] [--engine sim|real] [--monitor-shards S]
               [--progress] [--stats] [--telemetry T.jsonl]
-              [--sample-interval-ms MS] [--metrics-addr HOST:PORT]
+              [--sample-interval-ms MS] [--trace-spans]
+              [--metrics-addr HOST:PORT]
   bw fuzz     [--seeds N] [--start S] [--threads T1,T2,..] [--inject K]
               [--max-stmts M] [--engine sim|real] [--real-cross-check]
               [--monitor-shards S] [--require-coverage] [--telemetry T.jsonl]
-              [--sample-interval-ms MS] [--metrics-addr HOST:PORT]
+              [--sample-interval-ms MS] [--trace-spans]
+              [--metrics-addr HOST:PORT]
                                       generate random SPMD programs and run
                                       the differential oracle; failures are
                                       shrunk and saved as fuzz-<seed>.bwir
@@ -113,6 +120,13 @@ const USAGE: &str = "usage:
   bw top      <trace.jsonl>           time-series view of a sampled trace:
                                       per-tick events/s, campaign progress
                                       with ETA, per-shard queue depth
+  bw timeline <trace.jsonl> [--chrome OUT.json] [--phase-profile]
+                                      per-thread span lanes from a
+                                      --trace-spans trace; --chrome exports
+                                      Chrome Trace Event JSON (open in
+                                      Perfetto or chrome://tracing);
+                                      --phase-profile flags straggler
+                                      threads per barrier phase
   bw bench-suite [--json OUT.json] [--baseline BASE.json] [--seed S]
               [--threads N] [--injections K] [--reps R]
                                       seeded perf-trajectory suite (monitor
@@ -139,6 +153,14 @@ const USAGE: &str = "usage:
   the live registry as Prometheus text at http://HOST:PORT/metrics. Both
   are observability-only: verdicts, results and `bw report` output are
   byte-identical with or without them.
+
+  --trace-spans streams causal span records (`tspan`) into the --telemetry
+  trace: barrier phases, lock wait/hold intervals and per-phase work counts
+  from both engines, monitor-shard queue-wait/flush-batch spans, campaign
+  stage and per-injection spans, and flow arrows from a deviant thread's
+  branch event to the monitor verdict that flagged it. Render with
+  `bw timeline`. Like the sampler it is observability-only: all verdicts
+  and results are byte-identical with or without it.
 
   <file> is a source path, a .bwir textual-IR dump (e.g. a fuzz repro), or
   splash:<name> (fft, fmm, radix, raytrace, water, ocean-contig,
@@ -255,6 +277,44 @@ fn start_observability(
     Ok(obs)
 }
 
+/// Keeps the `--trace-spans` global span sink installed for as long as the
+/// traced work runs, and removes it on drop so spans from later work (a
+/// second campaign, test neighbours) cannot leak into the trace.
+struct TraceGuard;
+
+impl TraceGuard {
+    fn install(recorder: &Arc<JsonlRecorder>) -> TraceGuard {
+        blockwatch::telemetry::set_trace_sink(Some(
+            Arc::clone(recorder) as Arc<dyn Recorder>
+        ));
+        TraceGuard
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        blockwatch::telemetry::set_trace_sink(None);
+    }
+}
+
+/// Handles `--trace-spans`: installs the span sink over the `--telemetry`
+/// recorder and returns the guard that removes it again.
+fn trace_spans_guard(
+    rest: &[String],
+    recorder: Option<&Arc<JsonlRecorder>>,
+) -> Result<Option<TraceGuard>, String> {
+    if !rest.iter().any(|a| a == "--trace-spans") {
+        return Ok(None);
+    }
+    let Some(recorder) = recorder else {
+        return Err("--trace-spans needs --telemetry to give the spans a file".into());
+    };
+    if !blockwatch::telemetry::ENABLED {
+        eprintln!("warning: built without the `telemetry` feature; --trace-spans records nothing");
+    }
+    Ok(Some(TraceGuard::install(recorder)))
+}
+
 /// Warns on stderr when the monitor lost events to full queues.
 fn warn_dropped(telemetry: &TelemetrySnapshot) {
     if let Some(dropped) = telemetry.counter("monitor.events_dropped") {
@@ -352,6 +412,7 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     let n = threads(rest);
     let recorder = telemetry_recorder(rest)?;
     let mut obs = start_observability(rest, recorder.as_ref())?;
+    let trace = trace_spans_guard(rest, recorder.as_ref())?;
 
     let kind = engine_kind(rest)?;
     let shards = monitor_shards(rest)?;
@@ -359,6 +420,7 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     // The pipeline's own telemetry plus the run's: one merged snapshot.
     let mut telemetry = bw.telemetry();
     let result = bw.run_on(kind, &ExecConfig::new(n).monitor_shards(shards));
+    drop(trace);
     obs.finish();
     println!("outcome: {:?} ({} engine)", result.outcome, kind.name());
     match kind {
@@ -446,10 +508,12 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
         monitor_shards: shards,
         analysis_workers: analysis_workers(rest)?,
     };
+    let trace = trace_spans_guard(rest, recorder.as_ref())?;
     let report = match &recorder {
         Some(recorder) => blockwatch::gen::run_fuzz_recorded(&config, recorder.as_ref()),
         None => blockwatch::gen::run_fuzz(&config),
     };
+    drop(trace);
     obs.finish();
     emit(&report.render());
 
@@ -511,7 +575,14 @@ fn cmd_stats(rest: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown format `{other}` (use text|json)")),
     }
     if rest.iter().any(|a| a == "--series") {
-        emit(&SeriesReport::parse(&text)?.render());
+        let series = SeriesReport::parse(&text)?;
+        if series.ticks.is_empty() {
+            return Err(format!(
+                "no sample records in `{path}` — re-run with --sample-interval-ms MS \
+                 (and --telemetry) to collect them"
+            ));
+        }
+        emit(&series.render());
     }
     Ok(())
 }
@@ -521,6 +592,12 @@ fn cmd_top(rest: &[String]) -> Result<(), String> {
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let series = SeriesReport::parse(&text)?;
+    if series.ticks.is_empty() {
+        return Err(format!(
+            "no sample records in `{path}` — re-run with --sample-interval-ms MS \
+             (and --telemetry) to collect them"
+        ));
+    }
     emit(&series.render());
     // Latency context under the series: the trace's histogram aggregates
     // (detection latency, injection duration) with quantiles from their
@@ -532,6 +609,29 @@ fn cmd_top(rest: &[String]) -> Result<(), String> {
             snapshot.push_histogram(h.name.as_str(), h.snapshot());
         }
         emit(&render_telemetry(&snapshot));
+    }
+    Ok(())
+}
+
+fn cmd_timeline(rest: &[String]) -> Result<(), String> {
+    let path = file_arg(rest)?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let report = TimelineReport::parse(&text)?;
+    if report.events.is_empty() {
+        return Err(format!(
+            "no tspan records in `{path}` — re-run with --telemetry T.jsonl --trace-spans \
+             to collect spans"
+        ));
+    }
+    if let Some(out) = flag(rest, "--chrome") {
+        std::fs::write(&out, report.to_chrome_json())
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!("wrote {out} (load in Perfetto or chrome://tracing)");
+    }
+    emit(&report.render());
+    if rest.iter().any(|a| a == "--phase-profile") {
+        emit(&report.phase_profile().render());
     }
     Ok(())
 }
@@ -650,8 +750,11 @@ fn cmd_campaign(rest: &[String]) -> Result<(), String> {
     };
 
     // Only the protected campaign is traced: the JSONL file then describes
-    // one campaign, not two interleaved ones.
+    // one campaign, not two interleaved ones. The span sink comes down
+    // before the baseline campaign for the same reason.
+    let trace = trace_spans_guard(rest, recorder.as_ref())?;
     let protected = run(MonitorMode::Enabled, "with BLOCKWATCH", true)?;
+    drop(trace);
     let baseline = run(MonitorMode::Off, "without BLOCKWATCH", false)?;
     obs.finish();
 

@@ -49,11 +49,13 @@ pub mod bench_suite;
 mod error;
 mod pipeline;
 pub mod reports;
+pub mod timeline;
 
 pub use bench_suite::{run_bench_suite, BenchSuiteConfig, BenchSuiteResult, BENCH_SUITE_SCHEMA};
 pub use error::Error;
 pub use pipeline::{Blockwatch, CampaignRunner};
 pub use reports::{ForensicsReport, SampleTick, SeriesReport, TraceSummary};
+pub use timeline::{PhaseProfile, PhaseStat, PhaseThread, TimelineEvent, TimelineReport};
 
 pub use bw_analysis as analysis;
 pub use bw_fault as fault;

@@ -23,7 +23,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use bw_telemetry::{
-    tm_event, tm_observe, tm_span, Histogram, Recorder, TelemetrySnapshot, Value, NULL_RECORDER,
+    tm_event, tm_observe, tm_span, Histogram, Recorder, TelemetrySnapshot, TimeDomain, TraceScope,
+    Value, NULL_RECORDER,
 };
 use bw_monitor::ViolationReport;
 use bw_vm::{
@@ -642,6 +643,24 @@ impl CampaignLive {
     }
 }
 
+/// Mirrors a completed campaign stage onto the trace timeline (the
+/// `main` lane, wall-clock) when span tracing is active. Called after
+/// the stage so a stage that returns early (error) leaves no span.
+fn trace_stage(name: &str, start_us: u64, extra: &[(&str, Value)]) {
+    if let Some(sink) = bw_telemetry::trace_sink() {
+        bw_telemetry::record_span(
+            sink.as_ref(),
+            TimeDomain::WallUs,
+            "main",
+            "stage",
+            name,
+            start_us,
+            bw_telemetry::wall_now_us().saturating_sub(start_us),
+            extra,
+        );
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute_campaign(
     image: &ProgramImage,
@@ -669,16 +688,40 @@ fn execute_campaign(
     let worker = |wid: usize| -> WorkerStats {
         let started = Instant::now();
         let mut stats = WorkerStats { worker: wid, ..WorkerStats::default() };
+        // Span tracing (`--trace-spans`): every record an injection's run
+        // emits (sim-engine spans run inline on this thread) is scoped
+        // with `inj`/`wid`, and the worker lane `w<wid>` gets one span
+        // per injection. Resolved once per worker; `None` costs nothing.
+        let trace = bw_telemetry::trace_sink();
         while !stop.load(Ordering::Relaxed) {
             let index = next.fetch_add(1, Ordering::Relaxed);
             if index >= plans.len() {
                 break;
             }
             let plan = plans[index];
+            let _scope = trace.as_ref().map(|_| {
+                TraceScope::enter(&[
+                    ("inj", Value::U64(index as u64)),
+                    ("wid", Value::U64(wid as u64)),
+                ])
+            });
+            let trace_start = trace.as_ref().map(|_| bw_telemetry::wall_now_us());
             let run_started = Instant::now();
             let record = execute_one(eng, image, faulty_sim, golden, plan);
             let outcome = record.outcome;
             let run_us = run_started.elapsed().as_micros() as u64;
+            if let (Some(sink), Some(start)) = (trace.as_ref(), trace_start) {
+                bw_telemetry::record_span(
+                    sink.as_ref(),
+                    TimeDomain::WallUs,
+                    &format!("w{wid}"),
+                    "injection",
+                    &format!("inj {index}"),
+                    start,
+                    bw_telemetry::wall_now_us().saturating_sub(start),
+                    &[("outcome", Value::from(outcome.name()))],
+                );
+            }
             stats.injections += 1;
             stats.busy_us += run_us;
             tm_observe!(_instruments.inj_hist, run_us);
@@ -825,7 +868,13 @@ pub fn run_campaign_recorded(
     // counts (the paper's PIN profiling run), on the same engine the
     // faulty runs will use.
     let span = tm_span!(recorder, "campaign.golden");
+    let stage_start = bw_telemetry::wall_now_us();
     let golden = engine(config.engine).run(image, &config.sim);
+    trace_stage(
+        "campaign.golden",
+        stage_start,
+        &[("total_steps", Value::from(golden.total_steps))],
+    );
     span.finish(&[("total_steps", Value::from(golden.total_steps))]);
     run_campaign_with_golden_recorded(image, config, &golden, progress, recorder)
 }
@@ -852,18 +901,28 @@ pub fn run_campaign_with_golden_recorded(
     recorder: &dyn Recorder,
 ) -> Result<CampaignResult, CampaignError> {
     let span = tm_span!(recorder, "campaign.plan");
+    let stage_start = bw_telemetry::wall_now_us();
     let (faulty_sim, plans) = validate_and_plan(config, golden)?;
+    trace_stage("campaign.plan", stage_start, &[("injections", Value::from(plans.len()))]);
     span.finish(&[("injections", Value::from(plans.len()))]);
 
     let inj_hist = Histogram::new();
     let span = tm_span!(recorder, "campaign.execute");
+    let stage_start = bw_telemetry::wall_now_us();
     let instruments = ExecInstruments { inj_hist: &inj_hist, recorder };
     let (pairs, worker_stats) =
         execute_campaign(image, &faulty_sim, golden, &plans, config, progress, &instruments);
+    trace_stage(
+        "campaign.execute",
+        stage_start,
+        &[("workers", Value::from(worker_stats.len()))],
+    );
     span.finish(&[("workers", Value::from(worker_stats.len()))]);
 
     let span = tm_span!(recorder, "campaign.reduce");
+    let stage_start = bw_telemetry::wall_now_us();
     let (records, counts, aborted) = reduce_campaign(pairs, config);
+    trace_stage("campaign.reduce", stage_start, &[("records", Value::from(records.len()))]);
     span.finish(&[("records", Value::from(records.len()))]);
 
     let telemetry =

@@ -435,9 +435,9 @@ mod tests {
         cfg.real_cross_check = true;
         let r = run_fuzz(&cfg);
         assert!(r.ok(), "unexpected failures:\n{}", r.render());
-        // 2 seeds x 2 thread counts x 9 runs (monitored, repeat,
-        // unmonitored, shard sweep of 4, real, real sharded).
-        assert_eq!(r.stats.runs, 2 * 2 * 9);
+        // 2 seeds x 2 thread counts x 10 runs (monitored, repeat,
+        // unmonitored, span-traced, shard sweep of 4, real, real sharded).
+        assert_eq!(r.stats.runs, 2 * 2 * 10);
     }
 
     #[test]

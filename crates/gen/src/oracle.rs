@@ -94,6 +94,16 @@ pub enum OracleFailure {
         /// Which observable diverged.
         detail: String,
     },
+    /// Span tracing changed an observable: a run with a `--trace-spans`
+    /// sink installed disagreed with the untraced run on something
+    /// deterministic (outputs, violations, step counts, cycles). Tracing
+    /// must be observability-only by construction.
+    TraceDivergence {
+        /// Thread count of the failing run.
+        nthreads: u32,
+        /// Which observable diverged.
+        detail: String,
+    },
     /// The real-threads engine disagreed with the simulator on a
     /// schedule-independent observable (outputs, outcome, or the absence
     /// of violations). Only produced by the opt-in cross-check of
@@ -129,6 +139,7 @@ impl OracleFailure {
             OracleFailure::CategoryPattern { .. } => "category-pattern",
             OracleFailure::NotTransparent { .. } => "not-transparent",
             OracleFailure::NotReproducible { .. } => "not-reproducible",
+            OracleFailure::TraceDivergence { .. } => "trace-divergence",
             OracleFailure::EngineDivergence { .. } => "engine-divergence",
             OracleFailure::ShardDivergence { .. } => "shard-divergence",
         }
@@ -159,6 +170,9 @@ impl fmt::Display for OracleFailure {
             }
             OracleFailure::NotReproducible { nthreads, detail } => {
                 write!(f, "run not reproducible at {nthreads} thread(s): {detail}")
+            }
+            OracleFailure::TraceDivergence { nthreads, detail } => {
+                write!(f, "span tracing not transparent at {nthreads} thread(s): {detail}")
             }
             OracleFailure::EngineDivergence { nthreads, detail } => {
                 write!(f, "real engine diverges from sim at {nthreads} thread(s): {detail}")
@@ -250,9 +264,9 @@ impl CoverageCounts {
 /// Aggregate statistics from one oracle sweep, for fuzz reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OracleStats {
-    /// Runs executed (seven per thread count: monitored, repeat,
-    /// unmonitored, and the four-point shard sweep; nine with the real
-    /// cross-check).
+    /// Runs executed (eight per thread count: monitored, repeat,
+    /// unmonitored, span-traced, and the four-point shard sweep; ten with
+    /// the real cross-check).
     pub runs: u64,
     /// Branch events captured across all monitored runs.
     pub events: u64,
@@ -349,6 +363,23 @@ pub fn check_image_cross(
         stats.runs += 1;
         if let Some(detail) = diff_transparent(&r_on, &r_off) {
             return Err(OracleFailure::NotTransparent { nthreads: n, detail });
+        }
+
+        // Tracing transparency: with a `--trace-spans` sink installed every
+        // span tracer activates, and nothing deterministic may change. The
+        // discarding sink exercises the instrumentation without a file; the
+        // previous sink (the CLI may have installed one for the whole fuzz
+        // session) is restored afterwards. Without the `telemetry` feature
+        // the sink never installs and this leg doubles as a repeat run.
+        {
+            let prev = bw_telemetry::trace_sink();
+            bw_telemetry::set_trace_sink(Some(std::sync::Arc::new(bw_telemetry::NullRecorder)));
+            let r_traced = run_sim(image, &cfg_on);
+            bw_telemetry::set_trace_sink(prev);
+            stats.runs += 1;
+            if let Some(detail) = diff_full(&r_on, &r_traced) {
+                return Err(OracleFailure::TraceDivergence { nthreads: n, detail });
+            }
         }
 
         // Shard neutrality: partitioning the monitor ingest must change

@@ -22,7 +22,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bw_telemetry::tm_gauge_max;
+use bw_telemetry::{tm_gauge_max, TimeDomain, Value};
 
 use crate::event::{hash_words, BranchEvent};
 use crate::monitor::{CheckTable, Monitor};
@@ -97,6 +97,14 @@ impl ShardedMonitor {
     /// Whether any shard has detected a violation.
     pub fn detected(&self) -> bool {
         self.monitors.iter().any(|m| m.detected())
+    }
+
+    /// Violations detected so far across all shards. Cheap (sums one
+    /// length per shard); the sim engine's tracer polls it around each
+    /// `process` call to attribute a verdict to the event that
+    /// triggered it.
+    pub fn violations_found(&self) -> usize {
+        self.monitors.iter().map(|m| m.violations().len()).sum()
     }
 
     /// Total events processed across all shards.
@@ -205,7 +213,15 @@ fn shard_worker(
     let mut monitor = Monitor::new(checks, nthreads);
     let mut batch: Vec<BranchEvent> = Vec::with_capacity(DRAIN_BATCH);
     let live = crate::live::shard_handles(shard);
+    // Span tracing (`--trace-spans`): this shard's lane records
+    // queue-wait gaps (idle, nothing to drain) and flush-batch spans
+    // (one drain sweep that moved events), wall-clock, observability
+    // only. Resolved once per worker; `None` costs nothing per sweep.
+    let tracer = bw_telemetry::trace_sink();
+    let track = format!("shard{shard}");
+    let mut idle_since: Option<u64> = None;
     loop {
+        let sweep_start = tracer.as_ref().map(|_| bw_telemetry::wall_now_us());
         let mut drained_any = false;
         let mut depth = 0usize;
         let mut processed = 0u64;
@@ -231,6 +247,36 @@ fn shard_worker(
             }
             queue_depth.set(depth as u64);
         }
+        if let Some(sink) = tracer.as_ref() {
+            let start = sweep_start.expect("sweep start stamped when tracing");
+            if drained_any {
+                // Close the preceding idle gap, then the drain sweep.
+                if let Some(idle) = idle_since.take() {
+                    bw_telemetry::record_span(
+                        sink.as_ref(),
+                        TimeDomain::WallUs,
+                        &track,
+                        "queue_wait",
+                        "idle",
+                        idle,
+                        start.saturating_sub(idle),
+                        &[],
+                    );
+                }
+                bw_telemetry::record_span(
+                    sink.as_ref(),
+                    TimeDomain::WallUs,
+                    &track,
+                    "flush_batch",
+                    "drain",
+                    start,
+                    bw_telemetry::wall_now_us().saturating_sub(start),
+                    &[("events", Value::U64(processed)), ("depth", Value::U64(depth as u64))],
+                );
+            } else if idle_since.is_none() {
+                idle_since = Some(start);
+            }
+        }
         if !drained_any {
             if stop.load(Ordering::Acquire) {
                 break;
@@ -239,6 +285,7 @@ fn shard_worker(
         }
     }
     // Producers are done: one final sweep, then flush.
+    let final_start = tracer.as_ref().map(|_| bw_telemetry::wall_now_us());
     let mut tail = 0u64;
     for q in queues {
         tm_gauge_max!(monitor.telemetry().queue_high_water, q.len());
@@ -260,6 +307,19 @@ fn shard_worker(
         queue_depth.set(0);
     }
     monitor.flush();
+    if let Some(sink) = tracer.as_ref() {
+        let start = final_start.expect("final sweep stamped when tracing");
+        bw_telemetry::record_span(
+            sink.as_ref(),
+            TimeDomain::WallUs,
+            &track,
+            "flush_batch",
+            "final flush",
+            start,
+            bw_telemetry::wall_now_us().saturating_sub(start),
+            &[("events", Value::U64(tail))],
+        );
+    }
     monitor
 }
 

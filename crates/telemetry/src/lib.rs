@@ -49,6 +49,7 @@ pub mod registry;
 pub mod sampler;
 pub mod serve;
 pub mod snapshot;
+pub mod trace;
 
 pub use json::{parse_flat_object, write_json_object, write_json_str, JsonError, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
@@ -58,6 +59,10 @@ pub use registry::{MetricRegistry, MetricSource};
 pub use sampler::{sample_fields, Sampler};
 pub use serve::MetricsServer;
 pub use snapshot::TelemetrySnapshot;
+pub use trace::{
+    record_flow, record_instant, record_span, set_trace_sink, trace_sink, tracing_active,
+    wall_now_us, TimeDomain, TraceScope, TRACE_EVENT,
+};
 
 /// Whether this build records telemetry (the `telemetry` cargo feature).
 pub const ENABLED: bool = cfg!(feature = "telemetry");

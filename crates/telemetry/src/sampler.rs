@@ -190,4 +190,58 @@ mod tests {
         // 30 < 100: a replaced source restarted its count; no delta.
         assert!(!fields.iter().any(|(k, _)| k == "live.a"));
     }
+
+    #[test]
+    fn counter_created_mid_tick_reports_its_full_value() {
+        // A source registered between two ticks has no `prev` entry; its
+        // whole count is this interval's delta, not silently zero.
+        let prev = snap(&[], &[]);
+        let cur = snap(&[("live.born", 42)], &[("live.born_gauge", 7)]);
+        let fields = sample_fields(&prev, &cur, 1, 1000);
+        assert!(fields.contains(&("live.born".to_string(), Value::U64(42))), "{fields:?}");
+        assert!(fields.contains(&("live.born_gauge".to_string(), Value::U64(7))));
+    }
+
+    /// A writer appending into a shared buffer, so the test can read the
+    /// emitted records back without the filesystem.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stop_before_first_tick_still_flushes_one_sample() {
+        let registry = Arc::new(MetricRegistry::new());
+        let buf = SharedBuf::default();
+        let rec = Arc::new(crate::recorder::JsonlRecorder::new(Box::new(buf.clone())));
+        // Interval far longer than the test: the only record comes from
+        // the final flush-on-stop tick.
+        let sampler = Sampler::start(
+            Arc::clone(&registry),
+            rec as Arc<dyn Recorder>,
+            Duration::from_secs(3600),
+        );
+        // Bumped after the sampler's baseline snapshot, so the partial
+        // interval has a nonzero delta to report.
+        registry.counter("live.sampler_test.early").add(3);
+        sampler.stop();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        if crate::ENABLED {
+            let samples: Vec<&str> =
+                text.lines().filter(|l| l.contains("\"ev\":\"sample\"")).collect();
+            assert_eq!(samples.len(), 1, "exactly the final tick: {text}");
+            assert!(samples[0].contains("\"tick\":1"), "{text}");
+            assert!(samples[0].contains("\"live.sampler_test.early\":3"), "{text}");
+        } else {
+            assert!(text.is_empty(), "inert sampler must not record: {text}");
+        }
+    }
 }

@@ -162,4 +162,52 @@ mod tests {
 
         server.shutdown();
     }
+
+    #[test]
+    fn concurrent_scrapes_survive_registry_churn() {
+        let registry = Arc::new(MetricRegistry::new());
+        registry.counter("live.churn.base").add(1);
+        let server =
+            MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind metrics");
+        let addr = server.local_addr();
+
+        // A writer thread keeps registering and bumping counters while
+        // several scrapers pull /metrics: every response must be a
+        // complete 200 with a consistent snapshot (the accept loop takes
+        // each snapshot atomically, churn or not).
+        let churn_stop = Arc::new(AtomicBool::new(false));
+        let churner = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&churn_stop);
+            thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    registry.counter(&format!("live.churn.c{}", i % 64)).add(1);
+                    i += 1;
+                }
+            })
+        };
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        let response = http_get(addr, "/metrics");
+                        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+                        assert!(response.contains("bw_live_churn_base 1"), "{response}");
+                        // The head promises the exact body length it sent.
+                        let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+                        let declared: usize = response
+                            .lines()
+                            .find_map(|l| l.strip_prefix("Content-Length: "))
+                            .and_then(|n| n.trim().parse().ok())
+                            .expect("Content-Length header");
+                        assert_eq!(body.len(), declared, "truncated scrape");
+                    }
+                });
+            }
+        });
+        churn_stop.store(true, Ordering::Release);
+        churner.join().unwrap();
+        server.shutdown();
+    }
 }

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use bw_ir::Val;
 use bw_monitor::{CheckTable, EventSender, MonitorBuilder, Violation, ViolationReport};
-use bw_telemetry::TelemetrySnapshot;
+use bw_telemetry::{Recorder, TelemetrySnapshot, TimeDomain, Value};
 
 use crate::engine::{
     ExecConfig, MonitorMode, RealConfig, RealResult, RunOutcome, RunResult, SharedBranchHook,
@@ -165,6 +165,108 @@ fn trip_stop(stop: &AtomicBool, mutexes: &[RawMutex], barriers: &[RawBarrier]) {
     }
 }
 
+/// Wall-clock span collection for one real-engine worker, active only
+/// while a trace sink is installed (`bw_telemetry::set_trace_sink`, the
+/// `--trace-spans` path). Mirrors the simulator's `SimTracer` vocabulary
+/// — barrier-phase spans with per-phase step/branch counts, barrier-wait
+/// stalls, lock wait/hold intervals — but timestamps are microseconds
+/// since a run-wide epoch (`dom: "us"`), because this engine has no cost
+/// model. Timestamps share the process-wide trace epoch
+/// (`bw_telemetry::wall_now_us`) so worker lanes line up with monitor
+/// shard and campaign-stage lanes. The tracer only reads worker state
+/// and writes to the sink, so tracing cannot change outputs or verdicts.
+struct RealTracer {
+    sink: Arc<dyn Recorder>,
+    track: String,
+    phase: u64,
+    phase_start: u64,
+    steps_base: u64,
+    branches_base: u64,
+    /// Acquire time of each mutex this worker currently holds.
+    hold_since: Vec<Option<u64>>,
+}
+
+impl RealTracer {
+    fn new(sink: Arc<dyn Recorder>, tid: u32, nmutexes: usize) -> Self {
+        RealTracer {
+            sink,
+            track: format!("t{tid}"),
+            phase: 0,
+            phase_start: 0,
+            steps_base: 0,
+            branches_base: 0,
+            hold_since: vec![None; nmutexes],
+        }
+    }
+
+    fn now(&self) -> u64 {
+        bw_telemetry::wall_now_us()
+    }
+
+    fn span(&self, cat: &str, name: &str, start: u64, end: u64, extra: &[(&str, Value)]) {
+        bw_telemetry::record_span(
+            self.sink.as_ref(),
+            TimeDomain::WallUs,
+            &self.track,
+            cat,
+            name,
+            start,
+            end.saturating_sub(start),
+            extra,
+        );
+    }
+
+    /// Closes the current barrier phase at time `end`.
+    fn phase_span(&self, end: u64, t: &ThreadState) {
+        self.span(
+            "barrier_phase",
+            &format!("phase {}", self.phase),
+            self.phase_start,
+            end,
+            &[
+                ("steps", Value::U64(t.steps.saturating_sub(self.steps_base))),
+                ("branches", Value::U64(t.dyn_branches.saturating_sub(self.branches_base))),
+            ],
+        );
+    }
+
+    fn lock_acquired(&mut self, m: usize, wait_start: u64) {
+        let now = self.now();
+        self.span("lock_wait", &format!("mutex {m}"), wait_start, now, &[]);
+        self.hold_since[m] = Some(now);
+    }
+
+    fn lock_released(&mut self, m: usize) {
+        if let Some(start) = self.hold_since[m].take() {
+            self.span("lock_hold", &format!("mutex {m}"), start, self.now(), &[]);
+        }
+    }
+
+    /// A barrier this worker waited on was released: one phase span
+    /// (work) plus one barrier-wait span (stall), then the next phase
+    /// opens at the release time.
+    fn barrier_released(&mut self, wait_start: u64, t: &ThreadState) {
+        self.phase_span(wait_start, t);
+        let now = self.now();
+        self.span(
+            "barrier_wait",
+            &format!("barrier (phase {})", self.phase),
+            wait_start,
+            now,
+            &[],
+        );
+        self.phase += 1;
+        self.phase_start = now;
+        self.steps_base = t.steps;
+        self.branches_base = t.dyn_branches;
+    }
+
+    /// Closes the final phase when the worker completes normally.
+    fn finish(&self, t: &ThreadState) {
+        self.phase_span(self.now(), t);
+    }
+}
+
 /// What one worker thread brought back.
 struct WorkerExit {
     outputs: Vec<Val>,
@@ -203,6 +305,9 @@ fn worker_loop(
     let mut t = ThreadState::new(tid, entry, image, config.seed);
     let mut trap = None;
     let mut hung = false;
+    // Resolved once per worker: costs nothing when no sink is installed.
+    let mut tracer = bw_telemetry::trace_sink()
+        .map(|sink| RealTracer::new(sink, tid, mutexes.len()));
     loop {
         if stop.load(Ordering::Relaxed) {
             // Another thread trapped or declared a hang; in a real process
@@ -221,32 +326,54 @@ fn worker_loop(
                     sender.send(event);
                 }
             }
-            StepOutcome::Lock(m) => match mutexes[m.index()].lock(stop, deadline) {
-                WaitOutcome::Released => {}
-                WaitOutcome::Stopped => break,
-                WaitOutcome::TimedOut => {
-                    hung = true;
-                    trip_stop(stop, mutexes, barriers);
-                    break;
+            StepOutcome::Lock(m) => {
+                let wait_start = tracer.as_ref().map(|tr| tr.now());
+                match mutexes[m.index()].lock(stop, deadline) {
+                    WaitOutcome::Released => {
+                        if let (Some(tr), Some(start)) = (tracer.as_mut(), wait_start) {
+                            tr.lock_acquired(m.index(), start);
+                        }
+                    }
+                    WaitOutcome::Stopped => break,
+                    WaitOutcome::TimedOut => {
+                        hung = true;
+                        trip_stop(stop, mutexes, barriers);
+                        break;
+                    }
                 }
-            },
+            }
             StepOutcome::Unlock(m) => {
                 if !mutexes[m.index()].unlock() {
                     trap = Some(TrapKind::BadUnlock);
                     trip_stop(stop, mutexes, barriers);
                     break;
                 }
-            }
-            StepOutcome::Barrier(b) => match barriers[b.index()].wait(stop, deadline) {
-                WaitOutcome::Released => {}
-                WaitOutcome::Stopped => break,
-                WaitOutcome::TimedOut => {
-                    hung = true;
-                    trip_stop(stop, mutexes, barriers);
-                    break;
+                if let Some(tr) = tracer.as_mut() {
+                    tr.lock_released(m.index());
                 }
-            },
-            StepOutcome::Done => break,
+            }
+            StepOutcome::Barrier(b) => {
+                let wait_start = tracer.as_ref().map(|tr| tr.now());
+                match barriers[b.index()].wait(stop, deadline) {
+                    WaitOutcome::Released => {
+                        if let (Some(tr), Some(start)) = (tracer.as_mut(), wait_start) {
+                            tr.barrier_released(start, &t);
+                        }
+                    }
+                    WaitOutcome::Stopped => break,
+                    WaitOutcome::TimedOut => {
+                        hung = true;
+                        trip_stop(stop, mutexes, barriers);
+                        break;
+                    }
+                }
+            }
+            StepOutcome::Done => {
+                if let Some(tr) = tracer.as_ref() {
+                    tr.finish(&t);
+                }
+                break;
+            }
             StepOutcome::Trap(k) => {
                 trap = Some(k);
                 trip_stop(stop, mutexes, barriers);

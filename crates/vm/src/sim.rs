@@ -17,10 +17,11 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use bw_ir::Val;
 use bw_monitor::{BranchEvent, CheckTable, ShardedMonitor};
-use bw_telemetry::tm_add;
+use bw_telemetry::{tm_add, Recorder, TimeDomain, Value};
 
 use crate::engine::{ExecMode, MonitorMode, RunOutcome, RunResult, SimConfig};
 use crate::image::ProgramImage;
@@ -36,6 +37,184 @@ struct MutexState {
 
 struct BarrierState {
     arrivals: Vec<(u32, u64)>, // (tid, arrival clock)
+}
+
+/// Passive span collection for the deterministic engine: while a trace
+/// sink is installed (`bw_telemetry::set_trace_sink`, the `--trace-spans`
+/// path), the scheduler reports per-thread barrier-phase spans (with
+/// per-phase step/branch counts), lock hold/wait intervals, barrier-wait
+/// stalls and verdict flow arrows as `tspan` records timestamped in
+/// simulated cycles. The tracer is never consulted for a scheduling
+/// decision and writes only to the sink — tracing cannot perturb clocks,
+/// verdicts or outputs, and every timestamp it emits is deterministic
+/// for a fixed seed.
+struct SimTracer {
+    sink: Arc<dyn Recorder>,
+    /// Start clock of each thread's current barrier phase.
+    phase_start: Vec<u64>,
+    /// Index of each thread's current barrier phase.
+    phase: Vec<u64>,
+    /// `ThreadState::steps` at phase start, for per-phase deltas.
+    steps_base: Vec<u64>,
+    /// `ThreadState::dyn_branches` at phase start.
+    branches_base: Vec<u64>,
+    /// Clock at which each thread blocked on a mutex, while it waits.
+    wait_since: Vec<Option<u64>>,
+    /// Acquire clock of each mutex's current owner.
+    hold_since: Vec<Option<u64>>,
+    /// Next causal-arrow id.
+    flows: u64,
+}
+
+impl SimTracer {
+    fn new(sink: Arc<dyn Recorder>, nthreads: usize, nmutexes: usize) -> Self {
+        SimTracer {
+            sink,
+            phase_start: vec![0; nthreads],
+            phase: vec![0; nthreads],
+            steps_base: vec![0; nthreads],
+            branches_base: vec![0; nthreads],
+            wait_since: vec![None; nthreads],
+            hold_since: vec![None; nmutexes],
+            flows: 0,
+        }
+    }
+
+    fn track(tid: u32) -> String {
+        format!("t{tid}")
+    }
+
+    /// Closes thread `tid`'s current barrier phase at clock `end`.
+    fn phase_span(&mut self, tid: u32, end: u64, thread: &ThreadState) {
+        let t = tid as usize;
+        let steps = thread.steps.saturating_sub(self.steps_base[t]);
+        let branches = thread.dyn_branches.saturating_sub(self.branches_base[t]);
+        bw_telemetry::record_span(
+            self.sink.as_ref(),
+            TimeDomain::Cycles,
+            &Self::track(tid),
+            "barrier_phase",
+            &format!("phase {}", self.phase[t]),
+            self.phase_start[t],
+            end.saturating_sub(self.phase_start[t]),
+            &[("steps", Value::U64(steps)), ("branches", Value::U64(branches))],
+        );
+    }
+
+    /// A full barrier released at clock `release`: one phase span (work)
+    /// plus one barrier-wait span (stall) per participant, then the next
+    /// phase opens at the release clock for all of them.
+    fn barrier_release(&mut self, arrivals: &[(u32, u64)], release: u64, threads: &[ThreadState]) {
+        for &(tid, arrival) in arrivals {
+            let t = tid as usize;
+            self.phase_span(tid, arrival, &threads[t]);
+            bw_telemetry::record_span(
+                self.sink.as_ref(),
+                TimeDomain::Cycles,
+                &Self::track(tid),
+                "barrier_wait",
+                &format!("barrier (phase {})", self.phase[t]),
+                arrival,
+                release.saturating_sub(arrival),
+                &[],
+            );
+            self.phase[t] += 1;
+            self.phase_start[t] = release;
+            self.steps_base[t] = threads[t].steps;
+            self.branches_base[t] = threads[t].dyn_branches;
+        }
+    }
+
+    fn lock_acquired(&mut self, m: usize, clock: u64) {
+        self.hold_since[m] = Some(clock);
+    }
+
+    fn lock_blocked(&mut self, tid: u32, clock: u64) {
+        self.wait_since[tid as usize] = Some(clock);
+    }
+
+    fn lock_released(&mut self, tid: u32, m: usize, clock: u64) {
+        if let Some(start) = self.hold_since[m].take() {
+            bw_telemetry::record_span(
+                self.sink.as_ref(),
+                TimeDomain::Cycles,
+                &Self::track(tid),
+                "lock_hold",
+                &format!("mutex {m}"),
+                start,
+                clock.saturating_sub(start),
+                &[],
+            );
+        }
+    }
+
+    fn lock_handoff(&mut self, next: u32, m: usize, granted: u64) {
+        if let Some(start) = self.wait_since[next as usize].take() {
+            bw_telemetry::record_span(
+                self.sink.as_ref(),
+                TimeDomain::Cycles,
+                &Self::track(next),
+                "lock_wait",
+                &format!("mutex {m}"),
+                start,
+                granted.saturating_sub(start),
+                &[],
+            );
+        }
+        self.hold_since[m] = Some(granted);
+    }
+
+    /// The inline monitor flagged a violation while processing `event`:
+    /// emit the causal arrow from the deviant thread's branch event to
+    /// the monitor verdict, plus a visible instant on the monitor lane.
+    fn verdict(&mut self, event: &BranchEvent, clock: u64) {
+        let id = self.flows;
+        self.flows += 1;
+        let name = format!("site {}", event.site);
+        let detail = [
+            ("site", Value::U64(event.site)),
+            ("branch", Value::U64(u64::from(event.branch))),
+            ("iter", Value::U64(event.iter)),
+        ];
+        bw_telemetry::record_flow(
+            self.sink.as_ref(),
+            TimeDomain::Cycles,
+            &Self::track(event.thread),
+            "branch_event",
+            &name,
+            clock,
+            id,
+            true,
+            &detail,
+        );
+        bw_telemetry::record_flow(
+            self.sink.as_ref(),
+            TimeDomain::Cycles,
+            "monitor",
+            "verdict",
+            &name,
+            clock,
+            id,
+            false,
+            &detail,
+        );
+        bw_telemetry::record_instant(
+            self.sink.as_ref(),
+            TimeDomain::Cycles,
+            "monitor",
+            "violation",
+            &name,
+            clock,
+            &detail,
+        );
+    }
+
+    /// Closes every thread's final phase at its finish clock.
+    fn finish(&mut self, finish_clock: &[u64], threads: &[ThreadState]) {
+        for (t, thread) in threads.iter().enumerate() {
+            self.phase_span(t as u32, finish_clock[t], thread);
+        }
+    }
 }
 
 /// Runs `image` on the simulated machine.
@@ -282,6 +461,10 @@ impl<'a> Sim<'a> {
         let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
             (0..n).map(|tid| Reverse((0u64, tid))).collect();
 
+        // Resolved once per run: cost nothing when no sink is installed.
+        let mut tracer = bw_telemetry::trace_sink()
+            .map(|sink| SimTracer::new(sink, n as usize, self.image.module.num_mutexes as usize));
+
         while let Some(Reverse((clock, tid))) = heap.pop() {
             let t = tid as usize;
             if threads[t].finished.is_some() || blocked[t] {
@@ -313,10 +496,17 @@ impl<'a> Sim<'a> {
                                 MonitorMode::Enabled => {
                                     clock += self.event_cost(tid);
                                     self.events_sent += 1;
-                                    self.monitor
-                                        .as_mut()
-                                        .expect("enabled monitor exists")
-                                        .process(event);
+                                    let monitor =
+                                        self.monitor.as_mut().expect("enabled monitor exists");
+                                    if let Some(tr) = tracer.as_mut() {
+                                        let before = monitor.violations_found();
+                                        monitor.process(event);
+                                        if monitor.violations_found() > before {
+                                            tr.verdict(&event, clock);
+                                        }
+                                    } else {
+                                        monitor.process(event);
+                                    }
                                 }
                                 MonitorMode::SendOnly => {
                                     clock += self.event_cost(tid);
@@ -332,8 +522,14 @@ impl<'a> Sim<'a> {
                         let ms = &mut mutexes[m.index()];
                         if ms.owner.is_none() {
                             ms.owner = Some(tid);
+                            if let Some(tr) = tracer.as_mut() {
+                                tr.lock_acquired(m.index(), clock);
+                            }
                         } else {
                             ms.waiters.push(tid);
+                            if let Some(tr) = tracer.as_mut() {
+                                tr.lock_blocked(tid, clock);
+                            }
                             blocked[t] = true;
                             requeue = false;
                             break;
@@ -355,6 +551,9 @@ impl<'a> Sim<'a> {
                             );
                         }
                         ms.owner = None;
+                        if let Some(tr) = tracer.as_mut() {
+                            tr.lock_released(tid, m.index(), clock);
+                        }
                         if !ms.waiters.is_empty() {
                             let next = ms.waiters.remove(0);
                             ms.owner = Some(next);
@@ -362,6 +561,9 @@ impl<'a> Sim<'a> {
                             clocks[nt] =
                                 clocks[nt].max(clock) + self.config.machine.lock_handoff;
                             blocked[nt] = false;
+                            if let Some(tr) = tracer.as_mut() {
+                                tr.lock_handoff(next, m.index(), clocks[nt]);
+                            }
                             heap.push(Reverse((clocks[nt], next)));
                         }
                     }
@@ -392,6 +594,9 @@ impl<'a> Sim<'a> {
                                     blocked[ot] = false;
                                     heap.push(Reverse((release, other)));
                                 }
+                            }
+                            if let Some(tr) = tracer.as_mut() {
+                                tr.barrier_release(&bs.arrivals, release, &threads);
                             }
                             bs.arrivals.clear();
                             clock = release;
@@ -428,6 +633,9 @@ impl<'a> Sim<'a> {
         }
 
         let parallel_cycles = finish_clock.iter().copied().max().unwrap_or(0);
+        if let Some(tr) = tracer.as_mut() {
+            tr.finish(&finish_clock, &threads);
+        }
         (RunOutcome::Completed, parallel_cycles, threads)
     }
 }

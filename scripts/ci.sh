@@ -78,6 +78,40 @@ cargo run --release --quiet --bin bw -- stats "$tmpdir/sampled.jsonl" --series \
 cargo run --release --quiet --bin bw -- stats "$tmpdir/sampled.jsonl" \
   --format json | grep -q '"events.sample":'
 
+# Timeline leg: span tracing is observability-only. A traced run must
+# leave tspan records that `bw timeline` renders into per-thread lanes
+# and a cross-thread phase profile, the Chrome export must be well-formed
+# Trace Event JSON (ph/ts/tid keys, Perfetto-loadable), and a seeded
+# campaign traced with --trace-spans must reconstruct a `bw report`
+# byte-identical to the untraced w1 forensics above.
+cargo run --release --quiet --bin bw -- run splash:fft --threads 4 \
+  --telemetry "$tmpdir/spans.jsonl" --trace-spans >/dev/null
+grep -q '"ev":"tspan"' "$tmpdir/spans.jsonl"
+cargo run --release --quiet --bin bw -- timeline "$tmpdir/spans.jsonl" \
+  --chrome "$tmpdir/spans.chrome.json" --phase-profile > "$tmpdir/timeline.txt"
+grep -q 'timeline \[cyc\]' "$tmpdir/timeline.txt"
+grep -q 'phase profile \[cyc\]' "$tmpdir/timeline.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tmpdir/spans.chrome.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+assert any(e.get("ph") == "X" and "ts" in e and "tid" in e for e in events), \
+    "no complete duration event with ph/ts/tid"
+PY
+else
+  grep -q '"ph":"X"' "$tmpdir/spans.chrome.json"
+  grep -q '"ts":' "$tmpdir/spans.chrome.json"
+  grep -q '"tid":' "$tmpdir/spans.chrome.json"
+fi
+cargo run --release --quiet --bin bw -- campaign splash:fft \
+  --injections 40 --workers 1 --telemetry "$tmpdir/traced.jsonl" \
+  --trace-spans >/dev/null
+cargo run --release --quiet --bin bw -- report "$tmpdir/traced.jsonl" \
+  > "$tmpdir/traced.txt"
+diff "$tmpdir/w1.txt" "$tmpdir/traced.txt"
+
 # Metrics-endpoint smoke: a campaign serving --metrics-addr must answer
 # GET /metrics with bw_-prefixed Prometheus text while it runs.
 cargo run --release --quiet --bin bw -- campaign splash:fft \

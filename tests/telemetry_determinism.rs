@@ -10,9 +10,19 @@ use std::time::Duration;
 
 use blockwatch::reports::ForensicsReport;
 use blockwatch::splash::{Benchmark, Size};
+use blockwatch::timeline::TimelineReport;
 use blockwatch::{
-    Blockwatch, FaultModel, JsonlRecorder, MetricRegistry, Recorder, Sampler, SimConfig,
+    Blockwatch, EngineKind, ExecConfig, FaultModel, JsonlRecorder, MetricRegistry, Recorder,
+    Sampler, SimConfig,
 };
+
+/// Serializes the tests that install the process-global `--trace-spans`
+/// sink, so parallel test threads cannot see each other's spans.
+static TRACE_SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn trace_sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Two same-seed simulated runs produce identical deterministic snapshots.
 #[test]
@@ -151,4 +161,161 @@ fn sampling_does_not_perturb_campaign_determinism() {
     let report_sampled = ForensicsReport::parse(&sampled_trace).unwrap().render();
     let report_plain = ForensicsReport::parse(&plain_trace).unwrap().render();
     assert_eq!(report_sampled, report_plain);
+}
+
+/// Span tracing is observability-only on the run path: a same-seed sim
+/// run with the `--trace-spans` sink installed produces byte-identical
+/// outputs, violations and deterministic telemetry.
+#[test]
+fn span_tracing_does_not_perturb_run_determinism() {
+    let _guard = trace_sink_lock();
+    let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test).unwrap()).unwrap();
+    let run = |traced: bool| {
+        let buf = SharedBuf::default();
+        let rec = Arc::new(JsonlRecorder::new(Box::new(buf.clone())));
+        if traced {
+            blockwatch::telemetry::set_trace_sink(Some(Arc::clone(&rec) as Arc<dyn Recorder>));
+        }
+        let result = bw.run_on(EngineKind::Sim, &ExecConfig::new(4).monitor_shards(Some(2)));
+        blockwatch::telemetry::set_trace_sink(None);
+        rec.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        (result, text)
+    };
+    let (traced, trace) = run(true);
+    let (plain, plain_trace) = run(false);
+
+    assert_eq!(traced.outputs, plain.outputs);
+    assert_eq!(traced.violations, plain.violations);
+    assert_eq!(traced.parallel_cycles, plain.parallel_cycles);
+    let (dt, dp) =
+        (traced.telemetry.deterministic_part(), plain.telemetry.deterministic_part());
+    assert_eq!(dt.counters(), dp.counters());
+    assert_eq!(dt.gauges(), dp.gauges());
+    if blockwatch::telemetry::ENABLED {
+        assert!(trace.contains("\"ev\":\"tspan\""), "traced run emits spans");
+        assert!(trace.contains("\"cat\":\"barrier_phase\""), "{trace}");
+    }
+    assert!(!plain_trace.contains("\"ev\":\"tspan\""));
+}
+
+/// ...and on the campaign path: records, outcome counters and the
+/// rendered forensics report are byte-identical with tracing on or off,
+/// at a multi-worker, multi-shard configuration.
+#[test]
+fn span_tracing_does_not_perturb_campaign_determinism() {
+    let _guard = trace_sink_lock();
+    let bw = Blockwatch::from_module(Benchmark::Fft.module(Size::Test).unwrap()).unwrap();
+    let run = |traced: bool| {
+        let buf = SharedBuf::default();
+        let rec = Arc::new(JsonlRecorder::new(Box::new(buf.clone())));
+        if traced {
+            blockwatch::telemetry::set_trace_sink(Some(Arc::clone(&rec) as Arc<dyn Recorder>));
+        }
+        let result = bw
+            .campaign_runner(20, FaultModel::BranchFlip, 2)
+            .seed(11)
+            .workers(2)
+            .monitor_shards(Some(2))
+            .recorder(rec.as_ref())
+            .run()
+            .unwrap();
+        blockwatch::telemetry::set_trace_sink(None);
+        rec.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        (result, text)
+    };
+    let (traced, trace) = run(true);
+    let (plain, plain_trace) = run(false);
+
+    assert_eq!(traced.records, plain.records);
+    assert_eq!(traced.counts, plain.counts);
+    let (dt, dp) =
+        (traced.telemetry.deterministic_part(), plain.telemetry.deterministic_part());
+    assert_eq!(dt.counters(), dp.counters());
+    if blockwatch::telemetry::ENABLED {
+        assert!(trace.contains("\"cat\":\"stage\""), "campaign stages traced");
+        assert!(trace.contains("\"cat\":\"injection\""), "injections traced");
+    }
+    // The forensics view skips tspan records entirely: byte-identical.
+    let report_traced = ForensicsReport::parse(&trace).unwrap().render();
+    let report_plain = ForensicsReport::parse(&plain_trace).unwrap().render();
+    assert_eq!(report_traced, report_plain);
+}
+
+/// A fixture where thread 0 does ~40x the work of its peers before the
+/// first barrier; with `reps` constant the same source is symmetric.
+fn straggler_source(straggle: bool) -> String {
+    let boost = if straggle {
+        "if (tid == 0) { reps = 40; }"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+module straggler;
+
+shared int n = 60;
+int acc[33];
+
+barrier phase;
+
+@spmd func slave() {{
+    var tid: int = threadid();
+    var reps: int = 1;
+    {boost}
+    for (var r: int = 0; r < reps; r = r + 1) {{
+        for (var i: int = 0; i < n; i = i + 1) {{
+            acc[tid] = acc[tid] + i;
+        }}
+    }}
+    barrier(phase);
+    acc[tid] = acc[tid] + 1;
+    barrier(phase);
+    output(acc[tid]);
+}}
+"#
+    )
+}
+
+/// Runs a source under the span sink and returns its parsed timeline.
+fn traced_timeline(source: &str) -> TimelineReport {
+    let _guard = trace_sink_lock();
+    let bw = Blockwatch::compile(source).unwrap();
+    let buf = SharedBuf::default();
+    let rec = Arc::new(JsonlRecorder::new(Box::new(buf.clone())));
+    blockwatch::telemetry::set_trace_sink(Some(Arc::clone(&rec) as Arc<dyn Recorder>));
+    let result = bw.run_on(EngineKind::Sim, &ExecConfig::new(4));
+    blockwatch::telemetry::set_trace_sink(None);
+    assert_eq!(result.outcome, blockwatch::RunOutcome::Completed);
+    rec.flush();
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    TimelineReport::parse(&text).unwrap()
+}
+
+/// The phase profile flags the seeded straggler thread (and only it).
+#[test]
+fn phase_profile_flags_seeded_straggler() {
+    if !blockwatch::telemetry::ENABLED {
+        return; // no spans to profile without the feature
+    }
+    let profile = traced_timeline(&straggler_source(true)).phase_profile();
+    assert_eq!(profile.dom, "cyc");
+    assert!(!profile.phases.is_empty());
+    assert_eq!(profile.deviant_threads(), vec![0], "{}", profile.render());
+    let text = profile.render();
+    assert!(text.contains("DEVIANT"), "{text}");
+    assert!(text.contains("deviant thread(s): t0"), "{text}");
+}
+
+/// The same program without the seeded imbalance profiles clean.
+#[test]
+fn phase_profile_reports_symmetric_program_similar() {
+    if !blockwatch::telemetry::ENABLED {
+        return;
+    }
+    let profile = traced_timeline(&straggler_source(false)).phase_profile();
+    assert!(!profile.phases.is_empty());
+    assert_eq!(profile.deviant_threads(), Vec::<u32>::new(), "{}", profile.render());
+    assert!(profile.render().contains("all threads similar in every phase"));
 }
